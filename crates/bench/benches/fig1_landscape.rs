@@ -1,0 +1,12 @@
+//! Regenerates Figure 1a (normalized cost landscape) and Figure 1b (CDF of
+//! ideal disjoint optimization) for the TensorFlow datasets.
+
+use lynceus_datasets::catalog;
+use lynceus_experiments::figures::{fig1a, fig1b};
+use lynceus_experiments::report::render_figure;
+
+fn main() {
+    let datasets = catalog::tensorflow_datasets();
+    println!("{}", render_figure(&fig1a(&datasets)));
+    println!("{}", render_figure(&fig1b(&datasets)));
+}

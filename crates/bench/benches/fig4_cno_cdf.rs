@@ -1,0 +1,13 @@
+//! Regenerates Figure 4: CDFs of the CNO achieved by Lynceus, BO and RND on
+//! the TensorFlow jobs with a medium budget (b = 3).
+
+use lynceus_bench::{bench_config, bench_tensorflow_datasets};
+use lynceus_experiments::figures::fig4;
+use lynceus_experiments::report::render_figure;
+
+fn main() {
+    let datasets = bench_tensorflow_datasets();
+    for figure in fig4(&datasets, &bench_config()) {
+        println!("{}", render_figure(&figure));
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: average, 50th and 90th percentile CNO of Lynceus,
+//! BO and RND on the Scout and CherryPick jobs with a medium budget.
+
+use lynceus_bench::{bench_cherrypick_datasets, bench_config, bench_scout_datasets};
+use lynceus_experiments::figures::fig5;
+use lynceus_experiments::report::render_table;
+
+fn main() {
+    let table = fig5(
+        &bench_scout_datasets(),
+        &bench_cherrypick_datasets(),
+        &bench_config(),
+    );
+    println!("{}", render_table(&table));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: CDFs of the CNO achieved by Lynceus with LA = 2, 1
+//! and 0 on the TensorFlow jobs (medium budget).
+
+use lynceus_bench::{bench_config, bench_tensorflow_datasets};
+use lynceus_experiments::figures::fig6;
+use lynceus_experiments::report::render_figure;
+
+fn main() {
+    let datasets = bench_tensorflow_datasets();
+    for figure in fig6(&datasets, &bench_config()) {
+        println!("{}", render_figure(&figure));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: 90th percentile CNO of the incumbent as a function
+//! of the number of explorations, for every Lynceus variant and BO (CNN).
+
+use lynceus_bench::{bench_config, bench_tensorflow_datasets};
+use lynceus_experiments::figures::fig7;
+use lynceus_experiments::report::render_figure;
+
+fn main() {
+    let datasets = bench_tensorflow_datasets();
+    println!("{}", render_figure(&fig7(&datasets[0], &bench_config())));
+}

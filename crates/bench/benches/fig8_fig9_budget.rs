@@ -1,0 +1,12 @@
+//! Regenerates Figures 8 and 9: 90th percentile CNO and average NEX as a
+//! function of the budget multiplier b ∈ {1, 3, 5}, for Lynceus and BO.
+
+use lynceus_bench::{bench_config, bench_tensorflow_datasets};
+use lynceus_experiments::figures::budget_sensitivity;
+use lynceus_experiments::report::render_table;
+
+fn main() {
+    let datasets = bench_tensorflow_datasets();
+    let table = budget_sensitivity(&datasets, &[1.0, 3.0, 5.0], &bench_config());
+    println!("{}", render_table(&table));
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the optimizer's hot components: surrogate
+//! refits, per-candidate predictions and the constrained-EI acquisition.
+//! These are the operations whose cost multiplies inside the lookahead
+//! recursion (Table 3's decision times are built out of them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lynceus_core::acquisition::constrained_ei;
+use lynceus_learners::{BaggingEnsemble, Prediction, Surrogate, TrainingSet};
+use lynceus_math::quadrature::gauss_hermite;
+use lynceus_math::rng::SeededRng;
+use std::hint::black_box;
+
+fn training_set(n: usize, dims: usize) -> TrainingSet {
+    let mut rng = SeededRng::new(42);
+    let mut data = TrainingSet::new(dims);
+    for _ in 0..n {
+        let features: Vec<f64> = (0..dims).map(|_| rng.uniform(0.0, 100.0)).collect();
+        let target = features.iter().sum::<f64>() + rng.gaussian(0.0, 5.0);
+        data.push(features, target);
+    }
+    data
+}
+
+fn bench_components(c: &mut Criterion) {
+    let data = training_set(40, 5);
+    c.bench_function("bagging_fit_40x5", |b| {
+        b.iter(|| {
+            let mut model = BaggingEnsemble::with_seed(10, 7);
+            model.fit(black_box(&data));
+            model
+        });
+    });
+
+    let mut fitted = BaggingEnsemble::with_seed(10, 7);
+    fitted.fit(&data);
+    c.bench_function("bagging_predict", |b| {
+        b.iter(|| fitted.predict(black_box(&[10.0, 20.0, 30.0, 40.0, 50.0])));
+    });
+
+    c.bench_function("constrained_ei", |b| {
+        b.iter(|| {
+            constrained_ei(
+                black_box(100.0),
+                Prediction {
+                    mean: black_box(80.0),
+                    std: black_box(12.0),
+                },
+                black_box(150.0),
+            )
+        });
+    });
+
+    c.bench_function("gauss_hermite_8", |b| {
+        b.iter(|| gauss_hermite(black_box(8)));
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Table 3: average wall-clock seconds to decide the next
+//! configuration for BO, Lynceus LA=1 and Lynceus LA=2 on the TensorFlow
+//! configuration space (the largest of the evaluation).
+
+use lynceus_bench::bench_tensorflow_datasets;
+use lynceus_experiments::figures::table3;
+use lynceus_experiments::report::render_table;
+use lynceus_experiments::ExperimentConfig;
+
+fn main() {
+    let datasets = bench_tensorflow_datasets();
+    let config = ExperimentConfig {
+        runs: 1,
+        threads: 1,
+        ..ExperimentConfig::default()
+    };
+    println!("{}", render_table(&table3(&datasets[0], &config)));
+}

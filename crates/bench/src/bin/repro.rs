@@ -1,0 +1,96 @@
+//! Regenerates the paper's figures and tables at configurable fidelity.
+//!
+//! ```text
+//! repro [--runs N] [--full] [fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|table3|all]
+//! ```
+//!
+//! With `--full` every job of each collection is used; `--runs` sets the
+//! number of repetitions per (job, optimizer) pair (the paper uses 100).
+
+use lynceus_datasets::catalog;
+use lynceus_experiments::figures;
+use lynceus_experiments::report::{render_figure, render_table};
+use lynceus_experiments::ExperimentConfig;
+
+struct Options {
+    runs: usize,
+    full: bool,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut runs = 10;
+    let mut full = false;
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a positive integer");
+            }
+            "--full" => full = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--runs N] [--full] [fig1a|fig1b|fig4|fig5|fig6|fig7|fig8|fig9|table3|all]"
+                );
+                std::process::exit(0);
+            }
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+    Options { runs, full, targets }
+}
+
+fn main() {
+    let options = parse_args();
+    let config = ExperimentConfig::default().with_runs(options.runs);
+    let tf = catalog::tensorflow_datasets();
+    let wants = |name: &str| {
+        options
+            .targets
+            .iter()
+            .any(|t| t == name || t == "all")
+    };
+
+    if wants("fig1a") {
+        println!("{}", render_figure(&figures::fig1a(&tf)));
+    }
+    if wants("fig1b") {
+        println!("{}", render_figure(&figures::fig1b(&tf)));
+    }
+    if wants("fig4") {
+        for figure in figures::fig4(&tf, &config) {
+            println!("{}", render_figure(&figure));
+        }
+    }
+    if wants("fig5") {
+        let scout = if options.full {
+            catalog::scout_datasets()
+        } else {
+            catalog::scout_datasets().into_iter().take(6).collect()
+        };
+        let cherry = catalog::cherrypick_datasets();
+        println!("{}", render_table(&figures::fig5(&scout, &cherry, &config)));
+    }
+    if wants("fig6") {
+        for figure in figures::fig6(&tf, &config) {
+            println!("{}", render_figure(&figure));
+        }
+    }
+    if wants("fig7") {
+        println!("{}", render_figure(&figures::fig7(&tf[0], &config)));
+    }
+    if wants("fig8") || wants("fig9") {
+        let table = figures::budget_sensitivity(&tf, &[1.0, 3.0, 5.0], &config);
+        println!("{}", render_table(&table));
+    }
+    if wants("table3") {
+        println!("{}", render_table(&figures::table3(&tf[0], &config)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Support library for the benchmark harness.
+//!
+//! Every figure and table of the paper has a corresponding bench target in
+//! `benches/` (run them all with `cargo bench --workspace`) and the `repro`
+//! binary regenerates any subset at higher fidelity. The helpers here choose
+//! the run counts: the defaults keep a full `cargo bench` affordable on a
+//! laptop, and the environment variables below scale the fidelity up to the
+//! paper's setup.
+//!
+//! * `LYNCEUS_RUNS` — repetitions per (job, optimizer) pair (default 1 for
+//!   benches so `cargo bench` stays affordable on a single core; the paper
+//!   uses ≥100).
+//! * `LYNCEUS_FULL` — set to `1` to run figure benches over every job instead
+//!   of the representative subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lynceus_datasets::{catalog, LookupDataset};
+use lynceus_experiments::ExperimentConfig;
+
+/// Number of repetitions used by the bench targets (the `LYNCEUS_RUNS`
+/// environment variable overrides the default of 1).
+#[must_use]
+pub fn bench_runs() -> usize {
+    std::env::var("LYNCEUS_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Whether the benches should cover every job (`LYNCEUS_FULL=1`) or the
+/// representative subset.
+#[must_use]
+pub fn full_fidelity() -> bool {
+    std::env::var("LYNCEUS_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The experiment configuration used by the bench targets: the default run
+/// count, a 2-node Gauss–Hermite rule (the cheapest lookahead that is still
+/// long-sighted) and single-threaded execution so the per-decision times of
+/// Table 3 are comparable across machines.
+#[must_use]
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        ..ExperimentConfig::default().with_runs(bench_runs())
+    }
+}
+
+/// The TensorFlow datasets the benches run on: all three under
+/// `LYNCEUS_FULL=1`, otherwise the CNN job (the one the paper highlights in
+/// Figure 7).
+#[must_use]
+pub fn bench_tensorflow_datasets() -> Vec<LookupDataset> {
+    let all = catalog::tensorflow_datasets();
+    if full_fidelity() {
+        all
+    } else {
+        all.into_iter().take(1).collect()
+    }
+}
+
+/// The Scout datasets the benches run on (all 18 under `LYNCEUS_FULL=1`,
+/// otherwise the first 4).
+#[must_use]
+pub fn bench_scout_datasets() -> Vec<LookupDataset> {
+    let all = catalog::scout_datasets();
+    if full_fidelity() {
+        all
+    } else {
+        all.into_iter().take(4).collect()
+    }
+}
+
+/// The CherryPick datasets the benches run on (all 5 under `LYNCEUS_FULL=1`,
+/// otherwise the first 2).
+#[must_use]
+pub fn bench_cherrypick_datasets() -> Vec<LookupDataset> {
+    let all = catalog::cherrypick_datasets();
+    if full_fidelity() {
+        all
+    } else {
+        all.into_iter().take(2).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_defaults_are_small_but_nonzero() {
+        assert!(bench_runs() >= 1);
+        assert!(!bench_tensorflow_datasets().is_empty());
+        assert!(!bench_scout_datasets().is_empty());
+        assert!(!bench_cherrypick_datasets().is_empty());
+        assert_eq!(bench_config().runs, bench_runs());
+    }
+}

@@ -1,0 +1,115 @@
+//! Billing arithmetic.
+//!
+//! The paper assumes a pay-by-the-second (or by-the-minute) pricing scheme,
+//! which all major providers now offer (Section 2 of the paper). The billing
+//! granularity matters: with per-minute billing a 61-second run costs two
+//! minutes. The datasets use per-second billing by default, matching the
+//! paper's EC2 setup, but the coarser granularities are provided so the
+//! sensitivity of the results to billing can be explored.
+
+use serde::{Deserialize, Serialize};
+
+/// The granularity at which usage is rounded up before being charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BillingGranularity {
+    /// Bill exact seconds (EC2 Linux, per the paper's assumption).
+    #[default]
+    PerSecond,
+    /// Round up to whole minutes (Azure-style).
+    PerMinute,
+    /// Round up to whole hours (legacy EC2).
+    PerHour,
+}
+
+impl BillingGranularity {
+    /// The billable duration, in seconds, for an actual usage duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    #[must_use]
+    pub fn billable_seconds(self, seconds: f64) -> f64 {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "usage duration must be a finite non-negative number of seconds"
+        );
+        match self {
+            BillingGranularity::PerSecond => seconds,
+            BillingGranularity::PerMinute => (seconds / 60.0).ceil() * 60.0,
+            BillingGranularity::PerHour => (seconds / 3600.0).ceil() * 3600.0,
+        }
+    }
+}
+
+/// Cost, in dollars, of using a resource priced at `price_per_hour` for
+/// `seconds` seconds under the given billing granularity.
+///
+/// # Panics
+///
+/// Panics if `seconds` is negative/not finite or `price_per_hour` is negative.
+#[must_use]
+pub fn cost_for(seconds: f64, price_per_hour: f64, granularity: BillingGranularity) -> f64 {
+    assert!(price_per_hour >= 0.0, "price must be non-negative");
+    granularity.billable_seconds(seconds) * price_per_hour / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_billing_is_linear() {
+        let a = cost_for(100.0, 3.6, BillingGranularity::PerSecond);
+        let b = cost_for(200.0, 3.6, BillingGranularity::PerSecond);
+        assert!((a - 0.1).abs() < 1e-12);
+        assert!((b - 2.0 * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_minute_billing_rounds_up() {
+        assert_eq!(
+            BillingGranularity::PerMinute.billable_seconds(61.0),
+            120.0
+        );
+        assert_eq!(BillingGranularity::PerMinute.billable_seconds(60.0), 60.0);
+        assert_eq!(BillingGranularity::PerMinute.billable_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_hour_billing_rounds_up() {
+        assert_eq!(
+            BillingGranularity::PerHour.billable_seconds(3601.0),
+            7200.0
+        );
+        let cost = cost_for(10.0, 1.0, BillingGranularity::PerHour);
+        assert!((cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarser_granularities_never_cost_less() {
+        for seconds in [1.0, 59.0, 61.0, 3599.0, 3600.0, 5000.0] {
+            let s = cost_for(seconds, 2.0, BillingGranularity::PerSecond);
+            let m = cost_for(seconds, 2.0, BillingGranularity::PerMinute);
+            let h = cost_for(seconds, 2.0, BillingGranularity::PerHour);
+            assert!(s <= m + 1e-12);
+            assert!(m <= h + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_usage_costs_nothing() {
+        for g in [
+            BillingGranularity::PerSecond,
+            BillingGranularity::PerMinute,
+            BillingGranularity::PerHour,
+        ] {
+            assert_eq!(cost_for(0.0, 10.0, g), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_duration_panics() {
+        let _ = cost_for(-1.0, 1.0, BillingGranularity::PerSecond);
+    }
+}

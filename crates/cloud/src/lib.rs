@@ -1,0 +1,43 @@
+//! Cloud substrate for the Lynceus reproduction.
+//!
+//! The paper profiles jobs on AWS EC2: the TensorFlow jobs use the `t2`
+//! family (Table 2), the Scout jobs the `{C4, R4, M4}` families and the
+//! CherryPick jobs the `{C4, M4, R3, I2}` families, each in sizes
+//! `{large, xlarge, 2xlarge}`. This crate models what the optimizer and the
+//! simulator need to know about that infrastructure:
+//!
+//! * [`VmType`] and [`Catalog`] — machine shapes (vCPUs, RAM, relative
+//!   per-core speed, network bandwidth) and their on-demand prices;
+//! * [`ClusterSpec`] — `N` identical VMs plus aggregate capacity and price;
+//! * [`billing`] — per-second billing arithmetic (the paper assumes
+//!   pay-by-the-second pricing, Section 2);
+//! * [`setup`] — the optional setup/switching-cost model of Section 4.4.
+//!
+//! # Example
+//!
+//! ```
+//! use lynceus_cloud::{Catalog, ClusterSpec};
+//!
+//! let catalog = Catalog::aws();
+//! let vm = catalog.get("t2.xlarge").unwrap();
+//! let cluster = ClusterSpec::new(vm.clone(), 8);
+//! assert_eq!(cluster.total_vcpus(), 32);
+//! // Cost of holding the cluster for 10 minutes.
+//! let cost = cluster.cost_for_seconds(600.0);
+//! assert!(cost > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod catalog;
+pub mod cluster;
+pub mod setup;
+pub mod vm;
+
+pub use billing::{cost_for, BillingGranularity};
+pub use catalog::Catalog;
+pub use cluster::ClusterSpec;
+pub use setup::SetupCostModel;
+pub use vm::{VmFamily, VmSize, VmType};

@@ -1,0 +1,136 @@
+//! The constrained Expected Improvement acquisition function (paper
+//! Section 3).
+//!
+//! For a candidate configuration `x` with predicted cost distribution
+//! `N(µ(x), σ(x)²)`:
+//!
+//! * `EI(x)` is the expected improvement of `C(x)` below the incumbent `y*`;
+//! * `PC(x)` is the probability that the configuration satisfies the runtime
+//!   constraint. Lynceus reuses the cost model for this: since
+//!   `C(x) = T(x)·U(x)` and `U(x)` is known, `P(T(x) ≤ Tmax)` is evaluated as
+//!   `P(C(x) ≤ Tmax·U(x))`;
+//! * `EIc(x) = EI(x)·PC(x)`.
+//!
+//! The incumbent `y*` is the cost of the cheapest *feasible* configuration
+//! profiled so far; when no feasible configuration has been found yet, the
+//! paper (following Lam & Willcox) uses the most expensive profiled cost plus
+//! three times the largest predictive standard deviation over the untested
+//! configurations.
+
+use lynceus_learners::Prediction;
+use lynceus_math::normal::StandardNormal;
+use lynceus_math::quadrature::normal_below;
+
+/// Expected improvement of a Gaussian cost prediction below the incumbent
+/// `y_best` (minimization).
+#[must_use]
+pub fn expected_improvement(y_best: f64, prediction: Prediction) -> f64 {
+    StandardNormal::expected_improvement(y_best, prediction.mean, prediction.std)
+}
+
+/// Probability that the predicted cost is below `cost_cap` (used both for the
+/// runtime-constraint probability `PC(x)` with `cost_cap = Tmax·U(x)` and for
+/// the budget filter with `cost_cap = β`).
+#[must_use]
+pub fn feasibility_probability(prediction: Prediction, cost_cap: f64) -> f64 {
+    normal_below(prediction.mean, prediction.std, cost_cap)
+}
+
+/// Constrained expected improvement `EIc(x) = EI(x)·P(C(x) ≤ Tmax·U(x))`.
+#[must_use]
+pub fn constrained_ei(y_best: f64, prediction: Prediction, constraint_cost_cap: f64) -> f64 {
+    expected_improvement(y_best, prediction)
+        * feasibility_probability(prediction, constraint_cost_cap)
+}
+
+/// The incumbent `y*` used by the acquisition function.
+///
+/// * `profiled` holds `(cost, feasible)` for every configuration profiled so
+///   far (feasible = runtime within `Tmax`).
+/// * `max_untested_std` is the largest predictive standard deviation over the
+///   configurations not yet profiled, used in the fallback when nothing
+///   feasible has been found yet.
+///
+/// Returns `f64::INFINITY` when nothing has been profiled at all (every
+/// candidate then has unbounded improvement, which is the desired degenerate
+/// behaviour before the bootstrap phase).
+#[must_use]
+pub fn incumbent_cost(profiled: &[(f64, bool)], max_untested_std: f64) -> f64 {
+    let best_feasible = profiled
+        .iter()
+        .filter(|(_, feasible)| *feasible)
+        .map(|(cost, _)| *cost)
+        .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))));
+    if let Some(best) = best_feasible {
+        return best;
+    }
+    let max_cost = profiled
+        .iter()
+        .map(|(cost, _)| *cost)
+        .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.max(c))));
+    match max_cost {
+        Some(max) => max + 3.0 * max_untested_std,
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(mean: f64, std: f64) -> Prediction {
+        Prediction { mean, std }
+    }
+
+    #[test]
+    fn ei_prefers_lower_means_at_equal_uncertainty() {
+        let better = expected_improvement(10.0, pred(5.0, 1.0));
+        let worse = expected_improvement(10.0, pred(8.0, 1.0));
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn ei_prefers_uncertainty_at_equal_means() {
+        let explore = expected_improvement(10.0, pred(11.0, 4.0));
+        let exploit = expected_improvement(10.0, pred(11.0, 0.5));
+        assert!(explore > exploit);
+    }
+
+    #[test]
+    fn feasibility_probability_matches_the_normal_cdf() {
+        assert!((feasibility_probability(pred(5.0, 1.0), 5.0) - 0.5).abs() < 1e-12);
+        assert!(feasibility_probability(pred(5.0, 1.0), 10.0) > 0.99);
+        assert!(feasibility_probability(pred(5.0, 1.0), 1.0) < 0.01);
+        // Degenerate prediction: deterministic outcome.
+        assert_eq!(feasibility_probability(pred(5.0, 0.0), 6.0), 1.0);
+        assert_eq!(feasibility_probability(pred(5.0, 0.0), 4.0), 0.0);
+    }
+
+    #[test]
+    fn constrained_ei_is_damped_by_infeasibility() {
+        let unconstrained = expected_improvement(10.0, pred(6.0, 1.0));
+        // A cap far above the mean barely dampens the EI...
+        let loose = constrained_ei(10.0, pred(6.0, 1.0), 100.0);
+        assert!((loose - unconstrained).abs() < 1e-9);
+        // ...while a cap far below it kills the score.
+        let tight = constrained_ei(10.0, pred(6.0, 1.0), 1.0);
+        assert!(tight < unconstrained * 0.01);
+    }
+
+    #[test]
+    fn incumbent_prefers_the_cheapest_feasible_configuration() {
+        let profiled = [(10.0, true), (4.0, false), (7.0, true)];
+        assert_eq!(incumbent_cost(&profiled, 2.0), 7.0);
+    }
+
+    #[test]
+    fn incumbent_falls_back_to_the_pessimistic_estimate() {
+        let profiled = [(10.0, false), (4.0, false)];
+        assert_eq!(incumbent_cost(&profiled, 2.0), 10.0 + 6.0);
+    }
+
+    #[test]
+    fn incumbent_of_an_empty_history_is_unbounded() {
+        assert_eq!(incumbent_cost(&[], 1.0), f64::INFINITY);
+    }
+}

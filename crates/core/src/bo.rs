@@ -1,0 +1,218 @@
+//! The classic Bayesian-optimization baseline (CherryPick / Arrow style).
+//!
+//! At every iteration the baseline fits the surrogate on the profiled
+//! configurations and greedily profiles the untested configuration with the
+//! highest *constrained Expected Improvement* `EIc` (Section 3). It is
+//! **cost-unaware** (it never looks at how expensive the next profiling run
+//! will be) and **short-sighted** (it maximizes a one-step reward) — the two
+//! limitations Lynceus addresses.
+
+use crate::acquisition::{constrained_ei, incumbent_cost};
+use crate::constraints::ConstraintModels;
+use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings};
+use crate::oracle::CostOracle;
+use crate::switching::{FreeSwitching, SwitchingCost};
+use lynceus_learners::Surrogate;
+use lynceus_math::rng::SeededRng;
+use lynceus_space::ConfigId;
+
+/// Greedy constrained-EI Bayesian optimization.
+pub struct BoOptimizer {
+    settings: OptimizerSettings,
+    switching: Box<dyn SwitchingCost>,
+}
+
+impl BoOptimizer {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the settings are invalid; use
+    /// [`OptimizerSettings::validate`] to check them first.
+    #[must_use]
+    pub fn new(settings: OptimizerSettings) -> Self {
+        settings.validate().expect("invalid optimizer settings");
+        Self {
+            settings,
+            switching: Box::new(FreeSwitching),
+        }
+    }
+
+    /// Uses a switching-cost model when charging profiling runs.
+    #[must_use]
+    pub fn with_switching_cost(mut self, switching: Box<dyn SwitchingCost>) -> Self {
+        self.switching = switching;
+        self
+    }
+
+    /// The settings in use.
+    #[must_use]
+    pub fn settings(&self) -> &OptimizerSettings {
+        &self.settings
+    }
+
+    /// Picks the untested configuration with the highest `EIc`.
+    fn next_config(&self, driver: &Driver<'_>, constraint_models: &ConstraintModels) -> Option<ConfigId> {
+        if driver.state.untested().is_empty() {
+            return None;
+        }
+        let model = driver.fit_cost_model();
+        if !model.is_fitted() {
+            return driver.state.untested().first().copied();
+        }
+
+        // Incumbent y*: cheapest feasible cost profiled so far, or the
+        // pessimistic fallback.
+        let max_untested_std = driver
+            .state
+            .untested()
+            .iter()
+            .map(|&id| model.predict(driver.features_of(id)).std)
+            .fold(0.0_f64, f64::max);
+        let y_star = incumbent_cost(&driver.state.profiled_pairs(), max_untested_std);
+
+        driver
+            .state
+            .untested()
+            .iter()
+            .map(|&id| {
+                let features = driver.features_of(id);
+                let prediction = model.predict(features);
+                let mut score =
+                    constrained_ei(y_star, prediction, driver.constraint_cost_cap(id));
+                if !constraint_models.is_empty() {
+                    score *= constraint_models.satisfaction_probability(features);
+                }
+                (id, score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(id, _)| id)
+    }
+}
+
+impl Optimizer for BoOptimizer {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport {
+        let mut rng = SeededRng::new(seed);
+        let mut driver = Driver::new(oracle, &self.settings, seed);
+        let mut constraint_models = ConstraintModels::new(
+            &self.settings.secondary_constraints,
+            self.settings.ensemble_size,
+            seed,
+        );
+        driver.bootstrap(&mut rng, self.switching.as_ref());
+        while driver.state.budget().has_remaining() {
+            if !constraint_models.is_empty() {
+                constraint_models.fit(oracle.space(), driver.observed_metrics());
+            }
+            let Some(id) = self.next_config(&driver, &constraint_models) else {
+                break;
+            };
+            driver.profile(id, false, self.switching.as_ref());
+        }
+        driver.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TableOracle;
+    use crate::random::RandomOptimizer;
+    use lynceus_space::SpaceBuilder;
+
+    /// A 2-d bowl-shaped cost surface with the optimum in the interior.
+    fn bowl_oracle() -> TableOracle {
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..12).map(f64::from))
+            .numeric("y", (0..6).map(f64::from))
+            .build();
+        TableOracle::from_fn(space, 1.0, |f| {
+            30.0 + (f[0] - 7.0).powi(2) * 3.0 + (f[1] - 2.0).powi(2) * 5.0
+        })
+    }
+
+    fn settings(budget: f64) -> OptimizerSettings {
+        OptimizerSettings {
+            budget,
+            tmax_seconds: 1e6,
+            bootstrap_samples: Some(6),
+            ..OptimizerSettings::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_near_optimal_configuration_on_a_smooth_surface() {
+        let oracle = bowl_oracle();
+        let optimizer = BoOptimizer::new(settings(2_000.0));
+        let report = optimizer.optimize(&oracle, 11);
+        let best = report.recommended_cost.unwrap();
+        // Optimum is 30; BO should land well within 2x with this budget.
+        assert!(best <= 60.0, "BO found {best}");
+    }
+
+    #[test]
+    fn outperforms_random_search_on_average() {
+        let oracle = bowl_oracle();
+        let budget = 800.0;
+        let bo = BoOptimizer::new(settings(budget));
+        let rnd = RandomOptimizer::new(settings(budget));
+        let seeds = [1, 2, 3, 4, 5, 6, 7, 8];
+        let avg = |reports: &[f64]| reports.iter().sum::<f64>() / reports.len() as f64;
+        let bo_costs: Vec<f64> = seeds
+            .iter()
+            .map(|&s| bo.optimize(&oracle, s).recommended_cost.unwrap())
+            .collect();
+        let rnd_costs: Vec<f64> = seeds
+            .iter()
+            .map(|&s| rnd.optimize(&oracle, s).recommended_cost.unwrap())
+            .collect();
+        assert!(
+            avg(&bo_costs) <= avg(&rnd_costs) + 1e-9,
+            "BO {:?} should beat RND {:?}",
+            avg(&bo_costs),
+            avg(&rnd_costs)
+        );
+    }
+
+    #[test]
+    fn respects_the_time_constraint_when_recommending() {
+        let space = SpaceBuilder::new().numeric("x", (0..20).map(f64::from)).build();
+        // Runtime grows as x shrinks; cheap configurations violate Tmax.
+        let oracle = TableOracle::from_fn(space, 1.0, |f| 100.0 - f[0] * 4.0);
+        let s = OptimizerSettings {
+            budget: 3_000.0,
+            tmax_seconds: 70.0,
+            bootstrap_samples: Some(4),
+            ..OptimizerSettings::default()
+        };
+        let report = BoOptimizer::new(s).optimize(&oracle, 3);
+        let id = report.recommended.unwrap();
+        assert!(oracle.runtime(id) <= 70.0);
+    }
+
+    #[test]
+    fn stops_once_the_budget_is_gone() {
+        let oracle = bowl_oracle();
+        let tight = BoOptimizer::new(settings(400.0));
+        let report = tight.optimize(&oracle, 2);
+        // 6 bootstrap runs at ~30-200 each: the loop must terminate early.
+        assert!(report.num_explorations() < 72);
+        assert!(report.budget_spent >= 400.0);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let oracle = bowl_oracle();
+        let optimizer = BoOptimizer::new(settings(600.0));
+        assert_eq!(optimizer.optimize(&oracle, 4), optimizer.optimize(&oracle, 4));
+    }
+
+    #[test]
+    fn name_is_bo() {
+        assert_eq!(BoOptimizer::new(settings(1.0)).name(), "BO");
+    }
+}

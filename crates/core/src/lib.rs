@@ -1,0 +1,78 @@
+//! Budget-aware, long-sighted Bayesian optimization for tuning and
+//! provisioning data analytic jobs — the **Lynceus** algorithm, plus the
+//! baselines it is evaluated against.
+//!
+//! The optimization problem (paper Section 2): find the configuration
+//! `x = ⟨N, H, P⟩` (cluster size, VM type, job parameters) that minimizes the
+//! monetary cost `C(x) = T(x)·U(x)` of running a job, subject to a runtime
+//! constraint `T(x) ≤ Tmax`, while keeping the *cumulative cost of all
+//! profiling runs* within a budget `B`.
+//!
+//! This crate provides:
+//!
+//! * [`CostOracle`] — the black-box environment the optimizers profile
+//!   (implemented by `lynceus-datasets` lookup tables or by any live system);
+//! * [`LynceusOptimizer`] — the paper's algorithm (Algorithms 1 & 2):
+//!   LHS bootstrap, budget-filtered candidates, Gauss–Hermite lookahead over
+//!   exploration paths, reward/cost selection;
+//! * [`BoOptimizer`] — the CherryPick/Arrow-style baseline (greedy
+//!   constrained Expected Improvement);
+//! * [`RandomOptimizer`] — the RND baseline;
+//! * [`disjoint`] — the "ideal disjoint optimization" analysis of Figure 1b;
+//! * extensions of Section 4.4: [`constraints`] (multiple constraints) and
+//!   [`switching`] (setup costs).
+//!
+//! # Example
+//!
+//! ```
+//! use lynceus_core::{LynceusOptimizer, Optimizer, OptimizerSettings, TableOracle};
+//! use lynceus_space::SpaceBuilder;
+//!
+//! // A toy 2-dimensional job: cost = runtime × a flat $1/s price.
+//! let space = SpaceBuilder::new()
+//!     .numeric("workers", (1..=6).map(f64::from))
+//!     .numeric("batch", [16.0, 256.0])
+//!     .build();
+//! let oracle = TableOracle::from_fn(space, 1.0, |features| {
+//!     let workers = features[0];
+//!     let batch = features[1];
+//!     20.0 / workers + workers + batch / 64.0
+//! });
+//!
+//! let settings = OptimizerSettings {
+//!     budget: 400.0,
+//!     tmax_seconds: 1_000.0,
+//!     ..OptimizerSettings::default()
+//! };
+//! let report = LynceusOptimizer::new(settings).optimize(&oracle, 7);
+//! assert!(report.recommended.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod bo;
+pub mod budget;
+pub mod constraints;
+pub mod disjoint;
+pub mod lynceus;
+pub mod optimizer;
+pub mod oracle;
+pub mod random;
+pub mod state;
+pub mod switching;
+
+pub use acquisition::{constrained_ei, expected_improvement, incumbent_cost};
+pub use bo::BoOptimizer;
+pub use budget::Budget;
+pub use constraints::SecondaryConstraint;
+pub use disjoint::{disjoint_optimization, DisjointOutcome};
+pub use lynceus::LynceusOptimizer;
+pub use optimizer::{
+    Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings,
+};
+pub use oracle::{CostOracle, Observation, TableOracle};
+pub use random::RandomOptimizer;
+pub use state::SearchState;
+pub use switching::SwitchingCost;

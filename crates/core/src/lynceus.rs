@@ -1,0 +1,437 @@
+//! The Lynceus optimizer: budget-aware, long-sighted Bayesian optimization
+//! (paper Section 4, Algorithms 1 and 2).
+//!
+//! At every iteration Lynceus:
+//!
+//! 1. filters the untested configurations down to `Γ`, those whose predicted
+//!    cost fits the remaining budget with probability ≥ 0.99 (budget
+//!    awareness);
+//! 2. for every `x ∈ Γ`, simulates an *exploration path* rooted at `x`: the
+//!    surrogate's predictive cost distribution at `x` is discretized with a
+//!    Gauss–Hermite rule, each speculated cost branches the path into a new
+//!    state (training set extended with the speculated sample, budget reduced
+//!    accordingly), the next step of the path is the EIc-maximizing
+//!    budget-feasible configuration under the refitted surrogate, and the
+//!    recursion continues up to the lookahead depth `LA` (long-sightedness);
+//! 3. profiles the first configuration of the path with the best
+//!    reward-to-cost ratio, where the reward aggregates the (discounted)
+//!    `EIc` of every step of the path and the cost aggregates the predicted
+//!    profiling costs.
+//!
+//! With `LA = 0` the algorithm degenerates into the cost-aware but myopic
+//! `argmax EIc(x)/E[cost(x)]` baseline the paper uses in its breakdown
+//! analysis, and with `LA = 0` *and* no budget filter it would be classic BO.
+
+use crate::acquisition::{constrained_ei, feasibility_probability, incumbent_cost};
+use crate::constraints::ConstraintModels;
+use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings};
+use crate::oracle::CostOracle;
+use crate::state::SearchState;
+use crate::switching::{FreeSwitching, SwitchingCost};
+use lynceus_learners::{BaggingEnsemble, Surrogate};
+use lynceus_math::quadrature::discretize_normal_clamped;
+use lynceus_math::rng::SeededRng;
+use lynceus_space::ConfigId;
+
+/// Smallest cost used when predictions collapse to zero, so reward/cost
+/// ratios stay finite.
+const MIN_STEP_COST: f64 = 1e-9;
+
+/// The Lynceus optimizer.
+pub struct LynceusOptimizer {
+    settings: OptimizerSettings,
+    switching: Box<dyn SwitchingCost>,
+}
+
+impl LynceusOptimizer {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the settings are invalid; use
+    /// [`OptimizerSettings::validate`] to check them first.
+    #[must_use]
+    pub fn new(settings: OptimizerSettings) -> Self {
+        settings.validate().expect("invalid optimizer settings");
+        Self {
+            settings,
+            switching: Box::new(FreeSwitching),
+        }
+    }
+
+    /// Convenience constructor that overrides the lookahead window.
+    #[must_use]
+    pub fn with_lookahead(settings: OptimizerSettings, lookahead: usize) -> Self {
+        Self::new(OptimizerSettings {
+            lookahead,
+            ..settings
+        })
+    }
+
+    /// Uses a switching-cost model: the model's cost is charged on every real
+    /// profiling run and added to the predicted cost of simulated steps.
+    #[must_use]
+    pub fn with_switching_cost(mut self, switching: Box<dyn SwitchingCost>) -> Self {
+        self.switching = switching;
+        self
+    }
+
+    /// The settings in use.
+    #[must_use]
+    pub fn settings(&self) -> &OptimizerSettings {
+        &self.settings
+    }
+
+    /// Fits a fresh surrogate on an arbitrary (possibly speculative) state.
+    fn fit_model(&self, driver: &Driver<'_>, state: &SearchState) -> BaggingEnsemble {
+        let mut model =
+            BaggingEnsemble::with_seed(self.settings.ensemble_size, driver.model_seed());
+        let data = state.training_set(driver.oracle.space());
+        if !data.is_empty() {
+            model.fit(&data);
+        }
+        model
+    }
+
+    /// The incumbent `y*` for a state under a fitted model.
+    fn incumbent(&self, driver: &Driver<'_>, state: &SearchState, model: &BaggingEnsemble) -> f64 {
+        let profiled = state.profiled_pairs();
+        if profiled.iter().any(|(_, feasible)| *feasible) {
+            incumbent_cost(&profiled, 0.0)
+        } else {
+            let max_std = state
+                .untested()
+                .iter()
+                .map(|&id| model.predict(driver.features_of(id)).std)
+                .fold(0.0_f64, f64::max);
+            incumbent_cost(&profiled, max_std)
+        }
+    }
+
+    /// Budget filter `Γ`: the untested configurations whose predicted cost
+    /// fits the remaining budget with the configured confidence.
+    fn budget_feasible(
+        &self,
+        driver: &Driver<'_>,
+        state: &SearchState,
+        model: &BaggingEnsemble,
+    ) -> Vec<ConfigId> {
+        let beta = state.budget().remaining();
+        state
+            .untested()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let prediction = model.predict(driver.features_of(id));
+                feasibility_probability(prediction, beta) >= self.settings.budget_confidence
+            })
+            .collect()
+    }
+
+    /// `EIc(x)` under a given state/model, including the secondary-constraint
+    /// satisfaction probability when the extension is active.
+    fn eic(
+        &self,
+        driver: &Driver<'_>,
+        constraint_models: &ConstraintModels,
+        model: &BaggingEnsemble,
+        y_star: f64,
+        id: ConfigId,
+    ) -> f64 {
+        let features = driver.features_of(id);
+        let prediction = model.predict(features);
+        let mut score = constrained_ei(y_star, prediction, driver.constraint_cost_cap(id));
+        if !constraint_models.is_empty() {
+            score *= constraint_models.satisfaction_probability(features);
+        }
+        score
+    }
+
+    /// `NextStep` (Algorithm 2, lines 21–25): the EIc-maximizing
+    /// budget-feasible configuration of a (speculative) state.
+    fn next_step(
+        &self,
+        driver: &Driver<'_>,
+        constraint_models: &ConstraintModels,
+        state: &SearchState,
+        model: &BaggingEnsemble,
+    ) -> Option<ConfigId> {
+        let gamma = self.budget_feasible(driver, state, model);
+        if gamma.is_empty() {
+            return None;
+        }
+        let y_star = self.incumbent(driver, state, model);
+        gamma
+            .into_iter()
+            .map(|id| (id, self.eic(driver, constraint_models, model, y_star, id)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(id, _)| id)
+    }
+
+    /// `ExplorePaths` (Algorithm 2): expected reward and cost of the
+    /// exploration path that starts by profiling `x` from `state`.
+    fn explore_path(
+        &self,
+        driver: &Driver<'_>,
+        constraint_models: &ConstraintModels,
+        state: &SearchState,
+        model: &BaggingEnsemble,
+        x: ConfigId,
+        depth_left: usize,
+    ) -> (f64, f64) {
+        let features = driver.features_of(x);
+        let prediction = model.predict(features);
+        let y_star = self.incumbent(driver, state, model);
+        let switch = self.switching.cost(state.current(), x);
+
+        let mut reward = self.eic(driver, constraint_models, model, y_star, x);
+        let mut cost = (prediction.mean + switch).max(MIN_STEP_COST);
+
+        if depth_left == 0 {
+            return (reward, cost);
+        }
+
+        // Discretize the speculated cost of x with the Gauss–Hermite rule.
+        let nodes = discretize_normal_clamped(
+            prediction.mean,
+            prediction.std,
+            self.settings.gauss_hermite_nodes,
+            MIN_STEP_COST,
+        );
+        let constraint_cap = driver.constraint_cost_cap(x);
+        for node in nodes {
+            let speculated_feasible = node.value <= constraint_cap;
+            let next_state = state.speculate(x, node.value, speculated_feasible);
+            let next_model = self.fit_model(driver, &next_state);
+            let Some(next_x) =
+                self.next_step(driver, constraint_models, &next_state, &next_model)
+            else {
+                // Budget exhausted along this branch: the path ends here.
+                continue;
+            };
+            let (r, c) = self.explore_path(
+                driver,
+                constraint_models,
+                &next_state,
+                &next_model,
+                next_x,
+                depth_left - 1,
+            );
+            cost += node.weight * c;
+            reward += self.settings.discount * node.weight * r;
+        }
+        (reward, cost)
+    }
+
+    /// `NextConfig` (Algorithm 1, lines 22–28): the first configuration of
+    /// the exploration path with the best reward-to-cost ratio.
+    fn next_config(
+        &self,
+        driver: &Driver<'_>,
+        constraint_models: &ConstraintModels,
+    ) -> Option<ConfigId> {
+        let model = self.fit_model(driver, &driver.state);
+        if !model.is_fitted() {
+            return driver.state.untested().first().copied();
+        }
+        let gamma = self.budget_feasible(driver, &driver.state, &model);
+        if gamma.is_empty() {
+            return None;
+        }
+
+        let score_of = |id: ConfigId| -> (ConfigId, f64) {
+            let (reward, cost) = self.explore_path(
+                driver,
+                constraint_models,
+                &driver.state,
+                &model,
+                id,
+                self.settings.lookahead,
+            );
+            (id, reward / cost.max(MIN_STEP_COST))
+        };
+
+        let scored: Vec<(ConfigId, f64)> = if self.settings.parallel_paths && gamma.len() > 8 {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+                .min(gamma.len());
+            let chunk_size = gamma.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = gamma
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            chunk.iter().map(|&id| score_of(id)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("path worker panicked"))
+                    .collect()
+            })
+            .expect("path evaluation scope panicked")
+        } else {
+            gamma.into_iter().map(score_of).collect()
+        };
+
+        scored
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(id, _)| id)
+    }
+}
+
+impl Optimizer for LynceusOptimizer {
+    fn name(&self) -> &str {
+        match self.settings.lookahead {
+            0 => "Lynceus[LA=0]",
+            1 => "Lynceus[LA=1]",
+            2 => "Lynceus",
+            _ => "Lynceus[LA>2]",
+        }
+    }
+
+    fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport {
+        let mut rng = SeededRng::new(seed);
+        let mut driver = Driver::new(oracle, &self.settings, seed);
+        let mut constraint_models = ConstraintModels::new(
+            &self.settings.secondary_constraints,
+            self.settings.ensemble_size,
+            seed,
+        );
+        driver.bootstrap(&mut rng, self.switching.as_ref());
+        loop {
+            if !constraint_models.is_empty() {
+                constraint_models.fit(oracle.space(), driver.observed_metrics());
+            }
+            let Some(id) = self.next_config(&driver, &constraint_models) else {
+                break;
+            };
+            driver.profile(id, false, self.switching.as_ref());
+        }
+        driver.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TableOracle;
+    use lynceus_space::SpaceBuilder;
+
+    /// A small 2-d cost surface with a narrow valley.
+    fn valley_oracle() -> TableOracle {
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..10).map(f64::from))
+            .numeric("y", (0..4).map(f64::from))
+            .build();
+        TableOracle::from_fn(space, 1.0, |f| {
+            20.0 + (f[0] - 6.0).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 8.0
+        })
+    }
+
+    fn settings(budget: f64, lookahead: usize) -> OptimizerSettings {
+        OptimizerSettings {
+            budget,
+            tmax_seconds: 1e6,
+            bootstrap_samples: Some(5),
+            lookahead,
+            gauss_hermite_nodes: 3,
+            ..OptimizerSettings::default()
+        }
+    }
+
+    #[test]
+    fn finds_a_near_optimal_configuration() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(1_500.0, 1));
+        let report = optimizer.optimize(&oracle, 3);
+        let best = report.recommended_cost.unwrap();
+        assert!(best <= 40.0, "Lynceus found {best} (optimum is 20)");
+    }
+
+    #[test]
+    fn never_exceeds_the_budget_after_the_bootstrap_phase() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(600.0, 1));
+        let report = optimizer.optimize(&oracle, 7);
+        // The bootstrap can overshoot a tiny budget, but every post-bootstrap
+        // exploration is filtered to fit the remaining budget with 99%
+        // confidence; on this noiseless oracle that means no overdraw beyond
+        // the bootstrap.
+        let bootstrap_cost: f64 = report
+            .explorations
+            .iter()
+            .filter(|e| e.bootstrap)
+            .map(|e| e.observation.cost)
+            .sum();
+        assert!(report.budget_spent <= 600.0_f64.max(bootstrap_cost) + 1e-9);
+    }
+
+    #[test]
+    fn lookahead_zero_is_the_cost_aware_myopic_variant() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(800.0, 0));
+        assert_eq!(optimizer.name(), "Lynceus[LA=0]");
+        let report = optimizer.optimize(&oracle, 5);
+        assert!(report.feasible_found());
+    }
+
+    #[test]
+    fn lookahead_two_uses_the_default_name() {
+        let optimizer = LynceusOptimizer::new(settings(100.0, 2));
+        assert_eq!(optimizer.name(), "Lynceus");
+        let optimizer = LynceusOptimizer::with_lookahead(settings(100.0, 2), 1);
+        assert_eq!(optimizer.name(), "Lynceus[LA=1]");
+        assert_eq!(optimizer.settings().lookahead, 1);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(500.0, 1));
+        assert_eq!(optimizer.optimize(&oracle, 9), optimizer.optimize(&oracle, 9));
+    }
+
+    #[test]
+    fn parallel_and_sequential_path_evaluation_agree() {
+        let oracle = valley_oracle();
+        let mut s = settings(500.0, 1);
+        s.parallel_paths = true;
+        let parallel = LynceusOptimizer::new(s.clone()).optimize(&oracle, 13);
+        s.parallel_paths = false;
+        let sequential = LynceusOptimizer::new(s).optimize(&oracle, 13);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn respects_the_time_constraint_when_recommending() {
+        let space = SpaceBuilder::new().numeric("x", (0..16).map(f64::from)).build();
+        // Runtime shrinks as x grows; cheap-but-slow configurations are
+        // infeasible.
+        let oracle = TableOracle::from_fn(space, 1.0, |f| 90.0 - f[0] * 5.0);
+        let s = OptimizerSettings {
+            budget: 2_000.0,
+            tmax_seconds: 60.0,
+            bootstrap_samples: Some(4),
+            lookahead: 1,
+            gauss_hermite_nodes: 3,
+            ..OptimizerSettings::default()
+        };
+        let report = LynceusOptimizer::new(s).optimize(&oracle, 2);
+        let id = report.recommended.unwrap();
+        assert!(oracle.runtime(id) <= 60.0);
+    }
+
+    #[test]
+    fn stops_when_no_configuration_fits_the_remaining_budget() {
+        let oracle = valley_oracle();
+        // Budget barely covers the bootstrap: the main loop must stop almost
+        // immediately rather than keep overdrawing.
+        let optimizer = LynceusOptimizer::new(settings(120.0, 1));
+        let report = optimizer.optimize(&oracle, 1);
+        assert!(report.num_explorations() <= 8);
+    }
+}

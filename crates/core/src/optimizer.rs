@@ -1,0 +1,516 @@
+//! The optimizer abstraction: settings, reports and the shared driver used by
+//! every search strategy.
+
+use crate::budget::Budget;
+use crate::constraints::SecondaryConstraint;
+use crate::oracle::{CostOracle, Observation};
+use crate::state::SearchState;
+use crate::switching::SwitchingCost;
+use lynceus_learners::{BaggingEnsemble, Surrogate};
+use lynceus_math::lhs::latin_hypercube_levels;
+use lynceus_math::rng::SeededRng;
+use lynceus_space::ConfigId;
+use serde::{Deserialize, Serialize};
+
+/// Settings shared by every optimizer.
+///
+/// The defaults follow the paper's default configuration (Section 5.2):
+/// lookahead 2, discount factor 0.9, an ensemble of 10 random trees, a
+/// bootstrap of `max(3%·|C|, dims)` configurations and a 0.99 confidence
+/// level for the budget filter. The Gauss–Hermite rule size is not stated in
+/// the paper; 4 nodes keeps the lookahead tractable and is configurable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerSettings {
+    /// Total profiling budget `B` in dollars.
+    pub budget: f64,
+    /// Runtime constraint `Tmax` in seconds.
+    pub tmax_seconds: f64,
+    /// Number of bootstrap configurations; `None` uses the paper's rule
+    /// `max(3%·|C|, dims)`.
+    pub bootstrap_samples: Option<usize>,
+    /// Lookahead window `LA` (0 = cost-aware but myopic, the paper's LA=0
+    /// baseline; ≥1 = long-sighted Lynceus).
+    pub lookahead: usize,
+    /// Number of Gauss–Hermite nodes `K` used to discretize speculated costs.
+    pub gauss_hermite_nodes: usize,
+    /// Discount factor `γ` applied to rewards of deeper exploration steps.
+    pub discount: f64,
+    /// Confidence level of the budget filter `P(c(x) ≤ β) ≥ confidence`.
+    pub budget_confidence: f64,
+    /// Number of trees in the bagging ensemble surrogate.
+    pub ensemble_size: usize,
+    /// Evaluate exploration paths in parallel across worker threads.
+    pub parallel_paths: bool,
+    /// Additional constraints (Section 4.4 extension); empty by default.
+    pub secondary_constraints: Vec<SecondaryConstraint>,
+}
+
+impl Default for OptimizerSettings {
+    fn default() -> Self {
+        Self {
+            budget: f64::INFINITY,
+            tmax_seconds: f64::INFINITY,
+            bootstrap_samples: None,
+            lookahead: 2,
+            gauss_hermite_nodes: 4,
+            discount: 0.9,
+            budget_confidence: 0.99,
+            ensemble_size: 10,
+            parallel_paths: true,
+            secondary_constraints: Vec::new(),
+        }
+    }
+}
+
+impl OptimizerSettings {
+    /// Checks the settings for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::InvalidSetting`] describing the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), OptimizerError> {
+        if !(self.budget > 0.0) {
+            return Err(OptimizerError::InvalidSetting(
+                "budget must be positive".into(),
+            ));
+        }
+        if !(self.tmax_seconds > 0.0) {
+            return Err(OptimizerError::InvalidSetting(
+                "tmax_seconds must be positive".into(),
+            ));
+        }
+        if self.gauss_hermite_nodes == 0 {
+            return Err(OptimizerError::InvalidSetting(
+                "gauss_hermite_nodes must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.discount) {
+            return Err(OptimizerError::InvalidSetting(
+                "discount must be within [0, 1]".into(),
+            ));
+        }
+        if !(self.budget_confidence > 0.0 && self.budget_confidence < 1.0) {
+            return Err(OptimizerError::InvalidSetting(
+                "budget_confidence must be within (0, 1)".into(),
+            ));
+        }
+        if self.ensemble_size == 0 {
+            return Err(OptimizerError::InvalidSetting(
+                "ensemble_size must be at least 1".into(),
+            ));
+        }
+        if let Some(0) = self.bootstrap_samples {
+            return Err(OptimizerError::InvalidSetting(
+                "bootstrap_samples must be at least 1 when specified".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The number of bootstrap samples for a problem with `candidates`
+    /// configurations and `dims` dimensions: the explicit setting if present,
+    /// otherwise the paper's `max(⌈3%·|C|⌉, dims)` rule, capped at the number
+    /// of candidates.
+    #[must_use]
+    pub fn bootstrap_count(&self, candidates: usize, dims: usize) -> usize {
+        let n = self
+            .bootstrap_samples
+            .unwrap_or_else(|| ((candidates as f64 * 0.03).ceil() as usize).max(dims));
+        n.clamp(1, candidates.max(1))
+    }
+}
+
+/// Errors reported by the optimizers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerError {
+    /// A settings field is out of range.
+    InvalidSetting(String),
+    /// The oracle exposes no candidate configurations.
+    NoCandidates,
+}
+
+impl std::fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerError::InvalidSetting(reason) => write!(f, "invalid setting: {reason}"),
+            OptimizerError::NoCandidates => write!(f, "the oracle has no candidate configurations"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}
+
+/// One profiling run performed during an optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exploration {
+    /// The configuration that was profiled.
+    pub id: ConfigId,
+    /// What the oracle reported.
+    pub observation: Observation,
+    /// True for the initial LHS bootstrap runs.
+    pub bootstrap: bool,
+}
+
+/// The outcome of one optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationReport {
+    /// Name of the optimizer that produced the report.
+    pub optimizer: String,
+    /// Every profiling run, in order.
+    pub explorations: Vec<Exploration>,
+    /// The recommended configuration: the cheapest profiled configuration
+    /// whose runtime satisfies `Tmax`. `None` when no profiled configuration
+    /// was feasible.
+    pub recommended: Option<ConfigId>,
+    /// Cost of the recommended configuration.
+    pub recommended_cost: Option<f64>,
+    /// The budget the run started with.
+    pub budget_initial: f64,
+    /// Total amount spent on profiling (can exceed the budget slightly for
+    /// budget-unaware baselines whose last run overshoots).
+    pub budget_spent: f64,
+    /// The runtime constraint used.
+    pub tmax_seconds: f64,
+}
+
+impl OptimizationReport {
+    /// Number of profiling runs performed (the paper's NEX metric).
+    #[must_use]
+    pub fn num_explorations(&self) -> usize {
+        self.explorations.len()
+    }
+
+    /// True when at least one feasible configuration was found.
+    #[must_use]
+    pub fn feasible_found(&self) -> bool {
+        self.recommended.is_some()
+    }
+
+    /// The cheapest *feasible* cost seen after each exploration, in order:
+    /// entry `i` covers explorations `0..=i`. `None` while nothing feasible
+    /// has been profiled yet. This is the data behind the paper's Figure 7.
+    #[must_use]
+    pub fn incumbent_trajectory(&self) -> Vec<Option<f64>> {
+        let mut best: Option<f64> = None;
+        self.explorations
+            .iter()
+            .map(|e| {
+                if e.observation.runtime_seconds <= self.tmax_seconds {
+                    best = Some(best.map_or(e.observation.cost, |b| b.min(e.observation.cost)));
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// The shared optimization driver: bootstrap, profiling, bookkeeping and
+/// report generation. Each optimizer plugs its own "pick the next
+/// configuration" policy into this scaffold.
+pub(crate) struct Driver<'a> {
+    pub(crate) oracle: &'a dyn CostOracle,
+    pub(crate) settings: &'a OptimizerSettings,
+    pub(crate) state: SearchState,
+    pub(crate) explorations: Vec<Exploration>,
+    /// Feature vectors of the whole grid, indexed by `ConfigId::index`.
+    features: Vec<Vec<f64>>,
+    /// Price rates `U(x)` in dollars/second, indexed by `ConfigId::index`.
+    price_rates: Vec<f64>,
+    /// Metric vectors of profiled configurations (for secondary constraints).
+    observed_metrics: Vec<(Vec<f64>, Vec<f64>)>,
+    model_seed: u64,
+}
+
+impl<'a> Driver<'a> {
+    pub(crate) fn new(
+        oracle: &'a dyn CostOracle,
+        settings: &'a OptimizerSettings,
+        seed: u64,
+    ) -> Self {
+        let space = oracle.space();
+        let candidates = oracle.candidates();
+        let features = space.ids().map(|id| space.features_of(id)).collect();
+        // Price rates are only defined for candidate configurations (the grid
+        // may be larger than the measured space); non-candidates are never
+        // queried.
+        let mut price_rates = vec![0.0; space.len()];
+        for &id in &candidates {
+            price_rates[id.index()] = oracle.price_rate(id);
+        }
+        let state = SearchState::new(candidates, Budget::new(settings.budget));
+        Self {
+            oracle,
+            settings,
+            state,
+            explorations: Vec::new(),
+            features,
+            price_rates,
+            observed_metrics: Vec::new(),
+            model_seed: seed,
+        }
+    }
+
+    /// Feature vector of a configuration (cached).
+    pub(crate) fn features_of(&self, id: ConfigId) -> &[f64] {
+        &self.features[id.index()]
+    }
+
+    /// `Tmax·U(x)`: the cost cap that encodes the runtime constraint.
+    pub(crate) fn constraint_cost_cap(&self, id: ConfigId) -> f64 {
+        self.settings.tmax_seconds * self.price_rates[id.index()]
+    }
+
+    /// Seed used to build surrogate models for this run.
+    pub(crate) fn model_seed(&self) -> u64 {
+        self.model_seed
+    }
+
+    /// Metric vectors observed so far (for the multi-constraint extension).
+    pub(crate) fn observed_metrics(&self) -> &[(Vec<f64>, Vec<f64>)] {
+        &self.observed_metrics
+    }
+
+    /// Profiles the job on a configuration, charging the observation cost and
+    /// any switching cost, and recording the exploration.
+    pub(crate) fn profile(
+        &mut self,
+        id: ConfigId,
+        bootstrap: bool,
+        switching: &dyn SwitchingCost,
+    ) -> &Observation {
+        let switch_cost = switching.cost(self.state.current(), id);
+        let observation = self.oracle.run(id);
+        let feasible = observation.runtime_seconds <= self.settings.tmax_seconds;
+        self.state.record(id, observation.cost, feasible);
+        if switch_cost > 0.0 {
+            self.state.charge_extra(switch_cost);
+        }
+        self.observed_metrics
+            .push((self.features[id.index()].clone(), observation.metrics.clone()));
+        self.explorations.push(Exploration {
+            id,
+            observation,
+            bootstrap,
+        });
+        &self.explorations.last().expect("just pushed").observation
+    }
+
+    /// Runs the LHS bootstrap phase (Algorithm 1, lines 6–8).
+    pub(crate) fn bootstrap(&mut self, rng: &mut SeededRng, switching: &dyn SwitchingCost) {
+        let space = self.oracle.space();
+        let n = self
+            .settings
+            .bootstrap_count(self.state.untested().len(), space.dims());
+        let levels = space.cardinalities();
+        let samples = latin_hypercube_levels(n, &levels, rng);
+        for sample in samples {
+            let config = lynceus_space::Config::new(sample);
+            let id = space.id_of(&config).map(ConfigId);
+            // Fall back to a random untested candidate when the LHS point is
+            // outside the candidate set (irregular spaces) or already chosen.
+            let id = match id {
+                Some(id) if self.state.untested().contains(&id) => id,
+                _ => {
+                    if self.state.untested().is_empty() {
+                        break;
+                    }
+                    *rng.choose(self.state.untested()).expect("non-empty")
+                }
+            };
+            self.profile(id, true, switching);
+        }
+    }
+
+    /// Fits the cost surrogate on the current training set.
+    pub(crate) fn fit_cost_model(&self) -> BaggingEnsemble {
+        let mut model =
+            BaggingEnsemble::with_seed(self.settings.ensemble_size, self.model_seed);
+        let data = self.state.training_set(self.oracle.space());
+        if !data.is_empty() {
+            model.fit(&data);
+        }
+        model
+    }
+
+    /// Builds the final report (Algorithm 1, line 12: return the cheapest
+    /// configuration tried whose runtime satisfies `Tmax` and whose observed
+    /// metrics satisfy every secondary constraint).
+    pub(crate) fn finish(self, optimizer: &str) -> OptimizationReport {
+        let satisfies_secondary = |e: &Exploration| {
+            self.settings.secondary_constraints.iter().all(|c| {
+                e.observation
+                    .metrics
+                    .get(c.metric_index)
+                    .is_some_and(|&value| value <= c.threshold)
+            })
+        };
+        let recommended = self
+            .explorations
+            .iter()
+            .filter(|e| e.observation.runtime_seconds <= self.settings.tmax_seconds)
+            .filter(|e| satisfies_secondary(e))
+            .min_by(|a, b| {
+                a.observation
+                    .cost
+                    .partial_cmp(&b.observation.cost)
+                    .expect("costs are finite")
+            });
+        OptimizationReport {
+            optimizer: optimizer.to_owned(),
+            recommended: recommended.map(|e| e.id),
+            recommended_cost: recommended.map(|e| e.observation.cost),
+            budget_initial: self.settings.budget,
+            budget_spent: self.state.budget().spent(),
+            explorations: self.explorations,
+            tmax_seconds: self.settings.tmax_seconds,
+        }
+    }
+}
+
+/// A search strategy that can be run against any [`CostOracle`].
+pub trait Optimizer: Send + Sync {
+    /// Short name used in reports and figures (e.g. `"Lynceus"`, `"BO"`).
+    fn name(&self) -> &str;
+
+    /// Runs one full optimization with the given random seed (the seed drives
+    /// the bootstrap sampling and any stochastic choice of the strategy).
+    fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TableOracle;
+    use crate::switching::FreeSwitching;
+    use lynceus_space::SpaceBuilder;
+
+    fn toy_oracle() -> TableOracle {
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..8).map(f64::from))
+            .numeric("y", [0.0, 1.0])
+            .build();
+        TableOracle::from_fn(space, 1.0, |f| 10.0 + f[0] + 5.0 * f[1])
+    }
+
+    #[test]
+    fn default_settings_are_valid_and_match_the_paper() {
+        let settings = OptimizerSettings::default();
+        assert!(settings.validate().is_ok());
+        assert_eq!(settings.lookahead, 2);
+        assert_eq!(settings.ensemble_size, 10);
+        assert!((settings.discount - 0.9).abs() < 1e-12);
+        assert!((settings.budget_confidence - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut s = OptimizerSettings::default();
+        s.budget = 0.0;
+        assert!(matches!(s.validate(), Err(OptimizerError::InvalidSetting(_))));
+        let mut s = OptimizerSettings::default();
+        s.discount = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = OptimizerSettings::default();
+        s.budget_confidence = 1.0;
+        assert!(s.validate().is_err());
+        let mut s = OptimizerSettings::default();
+        s.gauss_hermite_nodes = 0;
+        assert!(s.validate().is_err());
+        let mut s = OptimizerSettings::default();
+        s.ensemble_size = 0;
+        assert!(s.validate().is_err());
+        let mut s = OptimizerSettings::default();
+        s.bootstrap_samples = Some(0);
+        assert!(s.validate().is_err());
+        assert!(OptimizerError::NoCandidates.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn bootstrap_count_follows_the_paper_rule() {
+        let settings = OptimizerSettings::default();
+        // max(3% of 384 = 11.52 → 12, 5 dims) = 12
+        assert_eq!(settings.bootstrap_count(384, 5), 12);
+        // max(3% of 69 = 2.07 → 3, 3 dims) = 3
+        assert_eq!(settings.bootstrap_count(69, 3), 3);
+        // Dimensions dominate tiny spaces.
+        assert_eq!(settings.bootstrap_count(40, 5), 5);
+        // Explicit override wins, but is capped at the number of candidates.
+        let explicit = OptimizerSettings {
+            bootstrap_samples: Some(100),
+            ..OptimizerSettings::default()
+        };
+        assert_eq!(explicit.bootstrap_count(30, 3), 30);
+    }
+
+    #[test]
+    fn driver_bootstrap_profiles_distinct_configurations() {
+        let oracle = toy_oracle();
+        let settings = OptimizerSettings {
+            budget: 1_000.0,
+            tmax_seconds: 100.0,
+            bootstrap_samples: Some(6),
+            ..OptimizerSettings::default()
+        };
+        let mut driver = Driver::new(&oracle, &settings, 3);
+        let mut rng = SeededRng::new(3);
+        driver.bootstrap(&mut rng, &FreeSwitching);
+        assert_eq!(driver.explorations.len(), 6);
+        let distinct: std::collections::HashSet<_> =
+            driver.explorations.iter().map(|e| e.id).collect();
+        assert_eq!(distinct.len(), 6);
+        assert!(driver.explorations.iter().all(|e| e.bootstrap));
+        assert!(driver.state.budget().spent() > 0.0);
+    }
+
+    #[test]
+    fn finish_recommends_the_cheapest_feasible_configuration() {
+        let oracle = toy_oracle();
+        let settings = OptimizerSettings {
+            budget: 1_000.0,
+            // Only configurations with runtime <= 13 are feasible.
+            tmax_seconds: 13.0,
+            ..OptimizerSettings::default()
+        };
+        let mut driver = Driver::new(&oracle, &settings, 0);
+        // Profile a feasible config (runtime 11) and an infeasible one (16).
+        driver.profile(ConfigId(1), false, &FreeSwitching); // x=0? id 1 → x=0,y=1 → 15 infeasible
+        driver.profile(ConfigId(2), false, &FreeSwitching); // x=1,y=0 → 11 feasible
+        driver.profile(ConfigId(6), false, &FreeSwitching); // x=3,y=0 → 13 feasible
+        let report = driver.finish("test");
+        assert_eq!(report.recommended, Some(ConfigId(2)));
+        assert_eq!(report.recommended_cost, Some(11.0));
+        assert!(report.feasible_found());
+        assert_eq!(report.num_explorations(), 3);
+        let trajectory = report.incumbent_trajectory();
+        assert_eq!(trajectory, vec![None, Some(11.0), Some(11.0)]);
+    }
+
+    #[test]
+    fn finish_with_no_feasible_configuration_recommends_nothing() {
+        let oracle = toy_oracle();
+        let settings = OptimizerSettings {
+            budget: 1_000.0,
+            tmax_seconds: 1.0,
+            ..OptimizerSettings::default()
+        };
+        let mut driver = Driver::new(&oracle, &settings, 0);
+        driver.profile(ConfigId(0), false, &FreeSwitching);
+        let report = driver.finish("test");
+        assert!(report.recommended.is_none());
+        assert!(!report.feasible_found());
+        assert_eq!(report.incumbent_trajectory(), vec![None]);
+    }
+
+    #[test]
+    fn constraint_cost_cap_combines_tmax_and_price() {
+        let oracle = toy_oracle();
+        let settings = OptimizerSettings {
+            tmax_seconds: 20.0,
+            ..OptimizerSettings::default()
+        };
+        let driver = Driver::new(&oracle, &settings, 0);
+        assert!((driver.constraint_cost_cap(ConfigId(0)) - 20.0).abs() < 1e-12);
+        assert_eq!(driver.features_of(ConfigId(3)).len(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! The RND baseline: random exploration until the budget runs out.
+//!
+//! The paper uses random search "to establish a baseline on the complexity of
+//! the optimization task" (Section 5.2): RND tries as many configurations as
+//! possible given the budget and finally suggests the best configuration it
+//! tried.
+
+use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings};
+use crate::oracle::CostOracle;
+use crate::switching::{FreeSwitching, SwitchingCost};
+use lynceus_math::rng::SeededRng;
+
+/// Random search over the candidate configurations.
+pub struct RandomOptimizer {
+    settings: OptimizerSettings,
+    switching: Box<dyn SwitchingCost>,
+}
+
+impl RandomOptimizer {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the settings are invalid; use
+    /// [`OptimizerSettings::validate`] to check them first.
+    #[must_use]
+    pub fn new(settings: OptimizerSettings) -> Self {
+        settings.validate().expect("invalid optimizer settings");
+        Self {
+            settings,
+            switching: Box::new(FreeSwitching),
+        }
+    }
+
+    /// Uses a switching-cost model when charging profiling runs.
+    #[must_use]
+    pub fn with_switching_cost(mut self, switching: Box<dyn SwitchingCost>) -> Self {
+        self.switching = switching;
+        self
+    }
+
+    /// The settings in use.
+    #[must_use]
+    pub fn settings(&self) -> &OptimizerSettings {
+        &self.settings
+    }
+}
+
+impl Optimizer for RandomOptimizer {
+    fn name(&self) -> &str {
+        "RND"
+    }
+
+    fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport {
+        let mut rng = SeededRng::new(seed);
+        let mut driver = Driver::new(oracle, &self.settings, seed);
+        driver.bootstrap(&mut rng, self.switching.as_ref());
+        while driver.state.budget().has_remaining() && !driver.state.untested().is_empty() {
+            let id = *rng
+                .choose(driver.state.untested())
+                .expect("untested set is non-empty");
+            driver.profile(id, false, self.switching.as_ref());
+        }
+        driver.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TableOracle;
+    use lynceus_space::SpaceBuilder;
+
+    fn toy_oracle() -> TableOracle {
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..10).map(f64::from))
+            .numeric("y", (0..4).map(f64::from))
+            .build();
+        TableOracle::from_fn(space, 1.0, |f| 5.0 + f[0] * 2.0 + f[1])
+    }
+
+    fn settings(budget: f64) -> OptimizerSettings {
+        OptimizerSettings {
+            budget,
+            tmax_seconds: 1_000.0,
+            bootstrap_samples: Some(3),
+            ..OptimizerSettings::default()
+        }
+    }
+
+    #[test]
+    fn explores_until_the_budget_is_exhausted() {
+        let oracle = toy_oracle();
+        let optimizer = RandomOptimizer::new(settings(100.0));
+        let report = optimizer.optimize(&oracle, 5);
+        assert!(report.num_explorations() > 3);
+        assert!(report.budget_spent >= 100.0);
+        assert!(report.feasible_found());
+    }
+
+    #[test]
+    fn huge_budget_explores_the_whole_space_and_finds_the_optimum() {
+        let oracle = toy_oracle();
+        let optimizer = RandomOptimizer::new(settings(1e9));
+        let report = optimizer.optimize(&oracle, 1);
+        assert_eq!(report.num_explorations(), 40);
+        assert_eq!(report.recommended_cost, Some(5.0));
+    }
+
+    #[test]
+    fn never_profiles_the_same_configuration_twice() {
+        let oracle = toy_oracle();
+        let optimizer = RandomOptimizer::new(settings(500.0));
+        let report = optimizer.optimize(&oracle, 9);
+        let distinct: std::collections::HashSet<_> =
+            report.explorations.iter().map(|e| e.id).collect();
+        assert_eq!(distinct.len(), report.num_explorations());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let oracle = toy_oracle();
+        let optimizer = RandomOptimizer::new(settings(80.0));
+        let a = optimizer.optimize(&oracle, 17);
+        let b = optimizer.optimize(&oracle, 17);
+        assert_eq!(a, b);
+        let c = optimizer.optimize(&oracle, 18);
+        assert_ne!(
+            a.explorations.iter().map(|e| e.id).collect::<Vec<_>>(),
+            c.explorations.iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn name_is_rnd() {
+        assert_eq!(RandomOptimizer::new(settings(1.0)).name(), "RND");
+        assert_eq!(RandomOptimizer::new(settings(1.0)).settings().budget, 1.0);
+    }
+}

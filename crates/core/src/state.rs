@@ -1,0 +1,216 @@
+//! The optimizer state `Σ = ⟨S, T, β, χ⟩` (paper Section 4.3).
+
+use crate::budget::Budget;
+use lynceus_learners::TrainingSet;
+use lynceus_space::{ConfigId, ConfigSpace};
+use serde::{Deserialize, Serialize};
+
+/// One profiled (or speculated) configuration in the training set `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestedConfig {
+    /// Which configuration was run.
+    pub id: ConfigId,
+    /// Its (measured or speculated) cost in dollars.
+    pub cost: f64,
+    /// Whether it satisfies the runtime constraint `T(x) ≤ Tmax`.
+    pub feasible: bool,
+}
+
+/// The optimizer state: the training set `S`, the untested configurations
+/// `T`, the remaining budget `β` and the currently deployed configuration
+/// `χ`.
+///
+/// The same structure is used for the real optimization loop and for the
+/// speculative states built while simulating exploration paths; the only
+/// difference is whether [`SearchState::record`] is fed measured or
+/// Gauss–Hermite-speculated costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchState {
+    tested: Vec<TestedConfig>,
+    untested: Vec<ConfigId>,
+    budget: Budget,
+    current: Option<ConfigId>,
+}
+
+impl SearchState {
+    /// Creates the initial state: nothing tested, every candidate untested,
+    /// the full budget available, no configuration deployed.
+    #[must_use]
+    pub fn new(candidates: Vec<ConfigId>, budget: Budget) -> Self {
+        Self {
+            tested: Vec::new(),
+            untested: candidates,
+            budget,
+            current: None,
+        }
+    }
+
+    /// The profiled configurations (the training set `S`).
+    #[must_use]
+    pub fn tested(&self) -> &[TestedConfig] {
+        &self.tested
+    }
+
+    /// The configurations not yet profiled (`T`).
+    #[must_use]
+    pub fn untested(&self) -> &[ConfigId] {
+        &self.untested
+    }
+
+    /// The remaining budget `β`.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The configuration currently deployed (`χ`), if any.
+    #[must_use]
+    pub fn current(&self) -> Option<ConfigId> {
+        self.current
+    }
+
+    /// True if the configuration has already been profiled.
+    #[must_use]
+    pub fn is_tested(&self, id: ConfigId) -> bool {
+        self.tested.iter().any(|t| t.id == id)
+    }
+
+    /// Records the outcome of running (or simulating) the job on `id`:
+    /// appends it to `S`, removes it from `T`, charges the budget and marks
+    /// it as the deployed configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not in the untested set.
+    pub fn record(&mut self, id: ConfigId, cost: f64, feasible: bool) {
+        let position = self
+            .untested
+            .iter()
+            .position(|&u| u == id)
+            .expect("configuration was already tested or is not a candidate");
+        self.untested.swap_remove(position);
+        self.tested.push(TestedConfig { id, cost, feasible });
+        self.budget.charge(cost);
+        self.current = Some(id);
+    }
+
+    /// Returns a copy of the state in which the job was (speculatively) run
+    /// on `id` with the given cost: the speculative counterpart of
+    /// [`SearchState::record`], used by the exploration-path simulation.
+    #[must_use]
+    pub fn speculate(&self, id: ConfigId, cost: f64, feasible: bool) -> Self {
+        let mut next = self.clone();
+        next.record(id, cost, feasible);
+        next
+    }
+
+    /// Charges an additional amount (e.g. a cluster switching cost) against
+    /// the budget without adding a training observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amount is negative or not finite.
+    pub fn charge_extra(&mut self, amount: f64) {
+        self.budget.charge(amount);
+    }
+
+    /// `(cost, feasible)` pairs of the training set, in profiling order
+    /// (the shape consumed by [`crate::acquisition::incumbent_cost`]).
+    #[must_use]
+    pub fn profiled_pairs(&self) -> Vec<(f64, bool)> {
+        self.tested.iter().map(|t| (t.cost, t.feasible)).collect()
+    }
+
+    /// The cheapest feasible configuration profiled so far, if any.
+    #[must_use]
+    pub fn best_feasible(&self) -> Option<&TestedConfig> {
+        self.tested
+            .iter()
+            .filter(|t| t.feasible)
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+    }
+
+    /// Builds the surrogate training set (configuration features → cost) for
+    /// the given space.
+    #[must_use]
+    pub fn training_set(&self, space: &ConfigSpace) -> TrainingSet {
+        let mut data = TrainingSet::new(space.dims());
+        for t in &self.tested {
+            data.push(space.features_of(t.id), t.cost);
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lynceus_space::SpaceBuilder;
+
+    fn candidates(n: usize) -> Vec<ConfigId> {
+        (0..n).map(ConfigId).collect()
+    }
+
+    #[test]
+    fn recording_moves_configs_from_untested_to_tested() {
+        let mut state = SearchState::new(candidates(5), Budget::new(100.0));
+        assert_eq!(state.untested().len(), 5);
+        state.record(ConfigId(2), 10.0, true);
+        assert_eq!(state.untested().len(), 4);
+        assert_eq!(state.tested().len(), 1);
+        assert!(state.is_tested(ConfigId(2)));
+        assert!(!state.is_tested(ConfigId(3)));
+        assert_eq!(state.current(), Some(ConfigId(2)));
+        assert!((state.budget().remaining() - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_does_not_mutate_the_original_state() {
+        let state = SearchState::new(candidates(4), Budget::new(50.0));
+        let speculated = state.speculate(ConfigId(1), 5.0, false);
+        assert_eq!(state.tested().len(), 0);
+        assert_eq!(speculated.tested().len(), 1);
+        assert!((speculated.budget().remaining() - 45.0).abs() < 1e-12);
+        assert!((state.budget().remaining() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_feasible_ignores_infeasible_configurations() {
+        let mut state = SearchState::new(candidates(5), Budget::new(100.0));
+        state.record(ConfigId(0), 2.0, false);
+        state.record(ConfigId(1), 8.0, true);
+        state.record(ConfigId(2), 5.0, true);
+        let best = state.best_feasible().unwrap();
+        assert_eq!(best.id, ConfigId(2));
+        assert_eq!(best.cost, 5.0);
+        assert_eq!(state.profiled_pairs(), vec![(2.0, false), (8.0, true), (5.0, true)]);
+    }
+
+    #[test]
+    fn best_feasible_is_none_when_everything_violates_the_constraint() {
+        let mut state = SearchState::new(candidates(2), Budget::new(10.0));
+        state.record(ConfigId(0), 1.0, false);
+        assert!(state.best_feasible().is_none());
+    }
+
+    #[test]
+    fn training_set_uses_space_features() {
+        let space = SpaceBuilder::new()
+            .numeric("a", [1.0, 2.0])
+            .numeric("b", [10.0, 20.0])
+            .build();
+        let mut state = SearchState::new(space.ids().collect(), Budget::new(10.0));
+        state.record(ConfigId(3), 4.0, true);
+        let data = state.training_set(&space);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data.observation(0), (&[2.0, 20.0][..], 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already tested or is not a candidate")]
+    fn recording_the_same_configuration_twice_panics() {
+        let mut state = SearchState::new(candidates(3), Budget::new(10.0));
+        state.record(ConfigId(0), 1.0, true);
+        state.record(ConfigId(0), 1.0, true);
+    }
+}

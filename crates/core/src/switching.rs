@@ -1,0 +1,73 @@
+//! Setup / switching-cost extension (paper Section 4.4).
+//!
+//! Trying the same configurations in different orders can cost different
+//! amounts because switching the deployed cluster takes time (booting VMs,
+//! reloading data, warming up the framework). The optimizer can account for
+//! that by adding a switching cost to every profiling step — both to the
+//! *actual* charge against the budget and to the *predicted* cost of steps
+//! inside simulated exploration paths.
+
+use lynceus_space::ConfigId;
+
+/// A model of the cost of switching the deployed configuration.
+pub trait SwitchingCost: Send + Sync {
+    /// Cost, in dollars, of moving from the currently deployed configuration
+    /// (`None` when nothing is deployed yet) to `next`.
+    fn cost(&self, from: Option<ConfigId>, to: ConfigId) -> f64;
+}
+
+/// The default model: switching is free (the paper's main experiments ignore
+/// setup costs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreeSwitching;
+
+impl SwitchingCost for FreeSwitching {
+    fn cost(&self, _from: Option<ConfigId>, _to: ConfigId) -> f64 {
+        0.0
+    }
+}
+
+/// A switching-cost model backed by a user-provided function.
+///
+/// This is how `lynceus-cloud::SetupCostModel` (or any analytic or learned
+/// model) plugs into the optimizer without the optimizer depending on the
+/// cloud substrate.
+pub struct FnSwitching<F>(pub F)
+where
+    F: Fn(Option<ConfigId>, ConfigId) -> f64 + Send + Sync;
+
+impl<F> SwitchingCost for FnSwitching<F>
+where
+    F: Fn(Option<ConfigId>, ConfigId) -> f64 + Send + Sync,
+{
+    fn cost(&self, from: Option<ConfigId>, to: ConfigId) -> f64 {
+        (self.0)(from, to).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_switching_costs_nothing() {
+        let model = FreeSwitching;
+        assert_eq!(model.cost(None, ConfigId(3)), 0.0);
+        assert_eq!(model.cost(Some(ConfigId(1)), ConfigId(2)), 0.0);
+    }
+
+    #[test]
+    fn fn_switching_delegates_and_clamps_to_non_negative() {
+        let model = FnSwitching(|from: Option<ConfigId>, to: ConfigId| {
+            if from == Some(to) {
+                -1.0
+            } else {
+                0.5
+            }
+        });
+        assert_eq!(model.cost(Some(ConfigId(1)), ConfigId(2)), 0.5);
+        // Negative values from careless callers are clamped.
+        assert_eq!(model.cost(Some(ConfigId(2)), ConfigId(2)), 0.0);
+        assert_eq!(model.cost(None, ConfigId(0)), 0.5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Convenience constructors for the full dataset collections used by the
+//! evaluation harness.
+
+use crate::cherrypick;
+use crate::lookup::LookupDataset;
+use crate::scout;
+use crate::tensorflow;
+use lynceus_sim::NetworkKind;
+
+/// The default seed used to generate the published datasets. Fixing it makes
+/// every figure in `EXPERIMENTS.md` reproducible bit-for-bit.
+pub const DEFAULT_SEED: u64 = 20_190_506; // the arXiv submission date of the paper
+
+/// The three TensorFlow datasets (CNN, RNN, Multilayer), in the order the
+/// paper's figures list them.
+#[must_use]
+pub fn tensorflow_datasets() -> Vec<LookupDataset> {
+    [NetworkKind::Cnn, NetworkKind::Rnn, NetworkKind::Multilayer]
+        .into_iter()
+        .map(|kind| tensorflow::dataset(kind, DEFAULT_SEED))
+        .collect()
+}
+
+/// The 18 Scout datasets.
+#[must_use]
+pub fn scout_datasets() -> Vec<LookupDataset> {
+    scout::all_datasets(DEFAULT_SEED)
+}
+
+/// The 5 CherryPick datasets.
+#[must_use]
+pub fn cherrypick_datasets() -> Vec<LookupDataset> {
+    cherrypick::all_datasets(DEFAULT_SEED)
+}
+
+/// Every dataset of the evaluation (3 TensorFlow + 18 Scout + 5 CherryPick =
+/// 26 heterogeneous jobs).
+#[must_use]
+pub fn all_datasets() -> Vec<LookupDataset> {
+    let mut all = tensorflow_datasets();
+    all.extend(scout_datasets());
+    all.extend(cherrypick_datasets());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_collection_counts_match_the_paper() {
+        assert_eq!(tensorflow_datasets().len(), 3);
+        assert_eq!(scout_datasets().len(), 18);
+        assert_eq!(cherrypick_datasets().len(), 5);
+        assert_eq!(all_datasets().len(), 26);
+    }
+
+    #[test]
+    fn dataset_names_are_unique() {
+        let names: std::collections::HashSet<_> = all_datasets()
+            .iter()
+            .map(|d| d.name().to_owned())
+            .collect();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn every_dataset_has_a_feasible_optimum() {
+        for d in all_datasets() {
+            assert!(d.optimum().is_some(), "{} has no feasible optimum", d.name());
+            assert!(d.mean_cost() > 0.0);
+        }
+    }
+}

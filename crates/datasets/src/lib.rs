@@ -1,0 +1,47 @@
+//! Deterministic lookup datasets mirroring the paper's evaluation datasets.
+//!
+//! The paper evaluates the optimizers by *simulation over measured lookup
+//! tables*: each job was profiled once on every configuration of its search
+//! space, and the optimizers replay those measurements (Section 5.2). This
+//! crate regenerates equivalent lookup tables from the analytic simulators of
+//! `lynceus-sim` (see `DESIGN.md` for the substitution rationale):
+//!
+//! * [`tensorflow`] — the 3 TensorFlow jobs (CNN, RNN, Multilayer), 384
+//!   configurations over 5 dimensions (Tables 1 and 2);
+//! * [`scout`] — 18 Hadoop/Spark jobs over the `{C4,R4,M4}` ×
+//!   `{large,xlarge,2xlarge}` × cluster-size grid;
+//! * [`cherrypick`] — the 5 CherryPick jobs over the `{C4,M4,R3,I2}` grid;
+//! * [`lookup`] — the [`LookupDataset`] type itself, which implements
+//!   [`lynceus_core::CostOracle`] so any optimizer can run against it
+//!   directly;
+//! * [`catalog`] — convenience constructors for "all TensorFlow datasets",
+//!   "all Scout datasets", etc.
+//!
+//! Every dataset also fixes its runtime constraint `Tmax` so that roughly
+//! half of its configurations satisfy it, following the paper's methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use lynceus_datasets::catalog;
+//! use lynceus_core::CostOracle;
+//!
+//! let datasets = catalog::tensorflow_datasets();
+//! assert_eq!(datasets.len(), 3);
+//! let cnn = &datasets[0];
+//! assert_eq!(cnn.candidates().len(), 384);
+//! let (best, cost) = cnn.optimum().expect("some configuration is feasible");
+//! assert!(cost > 0.0);
+//! assert!(cnn.outcome(best).runtime_seconds <= cnn.tmax_seconds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cherrypick;
+pub mod lookup;
+pub mod scout;
+pub mod tensorflow;
+
+pub use lookup::{ConfigOutcome, LookupDataset};

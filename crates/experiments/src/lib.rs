@@ -1,0 +1,34 @@
+//! Experiment harness reproducing the Lynceus paper's evaluation.
+//!
+//! The paper evaluates the optimizers by running each of them at least 100
+//! times per job (each run bootstrapped with a different LHS sample, the
+//! *same* samples across optimizers for fairness) and reporting the
+//! distribution of two metrics:
+//!
+//! * **CNO** — the cost of the recommended configuration normalized by the
+//!   cost of the true optimum (1.0 = the optimizer found the optimum);
+//! * **NEX** — the number of configurations explored before the budget ran
+//!   out.
+//!
+//! This crate provides:
+//!
+//! * [`runner`] — seeded, multi-threaded repetition of optimization runs and
+//!   the CNO/NEX bookkeeping;
+//! * [`figures`] — one function per figure/table of the paper (Figures 1a,
+//!   1b, 4–9 and Table 3), each returning printable series/rows;
+//! * [`report`] — plain-text rendering used by the bench harness and the
+//!   `repro` binary.
+//!
+//! The number of runs is configurable: the defaults keep the full
+//! reproduction affordable on a laptop, and `EXPERIMENTS.md` documents the
+//! settings used for the recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use figures::{FigureData, Series, Table};
+pub use runner::{evaluate, run_many, ExperimentConfig, OptimizerKind, RunMetrics};

@@ -1,0 +1,137 @@
+//! Plain-text rendering of figures and tables.
+
+use crate::figures::{FigureData, Table};
+
+/// Renders a table with aligned columns.
+#[must_use]
+pub fn render_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.headers.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{:width$}", cell, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&format!("== {} [{}] ==\n", table.title, table.id));
+    out.push_str(&render_row(&table.headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a figure as text: one line per series with a few representative
+/// points (quartiles of the series), which is enough to compare the shape
+/// against the paper's plots.
+#[must_use]
+pub fn render_figure(figure: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} [{}] ==\n", figure.title, figure.id));
+    out.push_str(&format!("   x: {}   y: {}\n", figure.x_label, figure.y_label));
+    for series in &figure.series {
+        let n = series.points.len();
+        if n == 0 {
+            out.push_str(&format!("  {:<16} (no data)\n", series.label));
+            continue;
+        }
+        let picks = [0, n / 4, n / 2, 3 * n / 4, n - 1];
+        let mut shown = Vec::new();
+        let mut last = usize::MAX;
+        for &i in &picks {
+            if i != last {
+                let (x, y) = series.points[i];
+                shown.push(format!("({x:.3}, {y:.3})"));
+                last = i;
+            }
+        }
+        out.push_str(&format!("  {:<16} {}\n", series.label, shown.join(" ")));
+    }
+    out
+}
+
+/// Renders a full-resolution CSV of a figure (one row per point), for
+/// plotting with external tools.
+#[must_use]
+pub fn figure_to_csv(figure: &FigureData) -> String {
+    let mut out = String::from("series,x,y\n");
+    for series in &figure.series {
+        for (x, y) in &series.points {
+            out.push_str(&format!("{},{x},{y}\n", series.label));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample_table() -> Table {
+        Table {
+            id: "t".to_owned(),
+            title: "Sample".to_owned(),
+            headers: vec!["a".to_owned(), "b".to_owned()],
+            rows: vec![
+                vec!["1".to_owned(), "long cell".to_owned()],
+                vec!["22".to_owned(), "x".to_owned()],
+            ],
+        }
+    }
+
+    fn sample_figure() -> FigureData {
+        FigureData {
+            id: "f".to_owned(),
+            title: "Sample figure".to_owned(),
+            x_label: "x".to_owned(),
+            y_label: "y".to_owned(),
+            series: vec![
+                Series {
+                    label: "s1".to_owned(),
+                    points: (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+                },
+                Series {
+                    label: "empty".to_owned(),
+                    points: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_rendering_contains_every_cell() {
+        let text = render_table(&sample_table());
+        for needle in ["Sample", "a", "b", "long cell", "22"] {
+            assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn figure_rendering_mentions_every_series() {
+        let text = render_figure(&sample_figure());
+        assert!(text.contains("s1"));
+        assert!(text.contains("empty"));
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_point_plus_header() {
+        let csv = figure_to_csv(&sample_figure());
+        assert_eq!(csv.lines().count(), 1 + 10);
+        assert!(csv.starts_with("series,x,y"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Bootstrap-aggregated (bagging) ensembles of regression trees.
+//!
+//! This is the surrogate model the Lynceus paper uses: an ensemble of 10
+//! random regression trees, each fitted on a bootstrap resample of the
+//! training set. The prediction mean is the average of the member
+//! predictions; the predictive standard deviation is the spread of the member
+//! predictions, which is how SMAC-style systems (and the paper, per its
+//! references [29, 50]) obtain an uncertainty estimate from tree ensembles.
+
+use crate::model::{Prediction, Surrogate, TrainingSet};
+use crate::tree::RegressionTree;
+use lynceus_math::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// A bagging ensemble of random regression trees.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_learners::{BaggingEnsemble, Surrogate, TrainingSet};
+///
+/// let mut data = TrainingSet::new(1);
+/// for i in 0..30 {
+///     data.push(vec![i as f64], (i as f64).sqrt());
+/// }
+/// let mut model = BaggingEnsemble::with_seed(10, 1);
+/// model.fit(&data);
+/// // Uncertainty exists away from dense training data.
+/// let p = model.predict(&[29.0]);
+/// assert!(p.std >= 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaggingEnsemble {
+    n_estimators: usize,
+    seed: u64,
+    min_samples_leaf: usize,
+    max_depth: usize,
+    trees: Vec<RegressionTree>,
+    fitted: bool,
+}
+
+impl Default for BaggingEnsemble {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl BaggingEnsemble {
+    /// Creates an ensemble of `n_estimators` trees with seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_estimators == 0`.
+    #[must_use]
+    pub fn new(n_estimators: usize) -> Self {
+        Self::with_seed(n_estimators, 0)
+    }
+
+    /// Creates an ensemble with an explicit seed for the bootstrap resampling
+    /// and the per-tree randomization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_estimators == 0`.
+    #[must_use]
+    pub fn with_seed(n_estimators: usize, seed: u64) -> Self {
+        assert!(n_estimators > 0, "an ensemble needs at least one tree");
+        Self {
+            n_estimators,
+            seed,
+            min_samples_leaf: 1,
+            max_depth: 32,
+            trees: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Sets the minimum number of samples per leaf of every member tree.
+    #[must_use]
+    pub fn with_min_samples_leaf(mut self, min: usize) -> Self {
+        self.min_samples_leaf = min.max(1);
+        self
+    }
+
+    /// Sets the maximum depth of every member tree.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// Number of member trees.
+    #[must_use]
+    pub fn n_estimators(&self) -> usize {
+        self.n_estimators
+    }
+
+    /// Per-member predictions at a point (useful for diagnostics and tests).
+    #[must_use]
+    pub fn member_predictions(&self, features: &[f64]) -> Vec<f64> {
+        self.trees
+            .iter()
+            .map(|t| t.predict(features).mean)
+            .collect()
+    }
+}
+
+impl Surrogate for BaggingEnsemble {
+    fn fit(&mut self, data: &TrainingSet) {
+        self.trees.clear();
+        self.fitted = false;
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = SeededRng::new(self.seed);
+        let n = data.len();
+        // Randomize the features examined per split like Weka's RandomTree:
+        // examine ceil(sqrt(dims)) + 1 features (all of them for tiny spaces).
+        let feature_subsample = ((data.dims() as f64).sqrt().ceil() as usize + 1).min(data.dims());
+        for i in 0..self.n_estimators {
+            // Bootstrap resample with replacement.
+            let mut resample = TrainingSet::new(data.dims());
+            for _ in 0..n {
+                let idx = rng.below(n);
+                let (f, t) = data.observation(idx);
+                resample.push(f.to_vec(), t);
+            }
+            let mut tree = RegressionTree::new()
+                .with_max_depth(self.max_depth)
+                .with_min_samples_leaf(self.min_samples_leaf)
+                .with_feature_subsample(feature_subsample)
+                .with_seed(self.seed.wrapping_add(i as u64 * 7919 + 1));
+            tree.fit(&resample);
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        if !self.fitted || self.trees.is_empty() {
+            return Prediction::certain(0.0);
+        }
+        let preds = self.member_predictions(features);
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        Prediction {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn fresh_clone(&self) -> Box<dyn Surrogate> {
+        let mut clone = self.clone();
+        clone.trees.clear();
+        clone.fitted = false;
+        Box::new(clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_quadratic(n: usize) -> TrainingSet {
+        let mut data = TrainingSet::new(1);
+        let mut rng = SeededRng::new(3);
+        for i in 0..n {
+            let x = i as f64 / n as f64 * 10.0;
+            data.push(vec![x], x * x + rng.gaussian(0.0, 0.5));
+        }
+        data
+    }
+
+    #[test]
+    fn ensemble_tracks_the_underlying_function() {
+        let mut model = BaggingEnsemble::with_seed(10, 42);
+        model.fit(&noisy_quadratic(60));
+        for x in [1.0, 3.0, 7.0, 9.0] {
+            let p = model.predict(&[x]);
+            assert!(
+                (p.mean - x * x).abs() < 8.0,
+                "prediction at {x} was {} (expected ~{})",
+                p.mean,
+                x * x
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_have_nonnegative_std() {
+        let mut model = BaggingEnsemble::with_seed(8, 1);
+        model.fit(&noisy_quadratic(40));
+        for x in [0.0, 2.5, 5.0, 12.0] {
+            assert!(model.predict(&[x]).std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_the_seed() {
+        let data = noisy_quadratic(30);
+        let mut a = BaggingEnsemble::with_seed(10, 7);
+        let mut b = BaggingEnsemble::with_seed(10, 7);
+        a.fit(&data);
+        b.fit(&data);
+        for x in [0.5, 4.5, 8.5] {
+            assert_eq!(a.predict(&[x]), b.predict(&[x]));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let data = noisy_quadratic(30);
+        let mut a = BaggingEnsemble::with_seed(10, 1);
+        let mut b = BaggingEnsemble::with_seed(10, 2);
+        a.fit(&data);
+        b.fit(&data);
+        let differs = [0.5, 2.5, 4.5, 6.5, 8.5]
+            .iter()
+            .any(|&x| a.predict(&[x]) != b.predict(&[x]));
+        assert!(differs);
+    }
+
+    #[test]
+    fn unfitted_ensemble_predicts_zero() {
+        let model = BaggingEnsemble::new(5);
+        assert!(!model.is_fitted());
+        assert_eq!(model.predict(&[1.0]).mean, 0.0);
+    }
+
+    #[test]
+    fn member_count_matches_configuration() {
+        let mut model = BaggingEnsemble::with_seed(7, 0);
+        model.fit(&noisy_quadratic(20));
+        assert_eq!(model.n_estimators(), 7);
+        assert_eq!(model.member_predictions(&[1.0]).len(), 7);
+    }
+
+    #[test]
+    fn fitting_on_empty_data_leaves_the_model_unfitted() {
+        let mut model = BaggingEnsemble::new(3);
+        model.fit(&TrainingSet::new(2));
+        assert!(!model.is_fitted());
+    }
+
+    #[test]
+    fn fresh_clone_preserves_hyperparameters_but_not_the_fit() {
+        let mut model = BaggingEnsemble::with_seed(6, 9).with_max_depth(5);
+        model.fit(&noisy_quadratic(25));
+        let clone = model.fresh_clone();
+        assert!(!clone.is_fitted());
+        assert!(model.is_fitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_estimators_panics() {
+        let _ = BaggingEnsemble::new(0);
+    }
+}

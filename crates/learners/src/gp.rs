@@ -1,0 +1,341 @@
+//! Gaussian-process regression.
+//!
+//! The paper's footnote 1 notes that Lynceus can operate with Gaussian
+//! Processes instead of the bagging ensemble (CherryPick itself uses a GP).
+//! This module provides exact GP regression with RBF or Matérn-5/2 kernels,
+//! input normalization to the unit hypercube and target standardization, so
+//! the ablation benchmarks can swap surrogates.
+
+use crate::linalg::{cholesky_solve, solve_lower, Matrix};
+use crate::model::{Prediction, Surrogate, TrainingSet};
+use serde::{Deserialize, Serialize};
+
+/// Covariance kernels supported by [`GaussianProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Squared-exponential (RBF) kernel `exp(-r²/2ℓ²)`.
+    Rbf {
+        /// Length-scale `ℓ` in normalized input units.
+        length_scale: f64,
+    },
+    /// Matérn-5/2 kernel, the usual choice for performance modelling
+    /// (CherryPick uses it).
+    Matern52 {
+        /// Length-scale `ℓ` in normalized input units.
+        length_scale: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel at (scaled) distance `r >= 0`.
+    #[must_use]
+    pub fn eval(&self, r: f64) -> f64 {
+        match self {
+            Kernel::Rbf { length_scale } => {
+                let s = r / length_scale;
+                (-0.5 * s * s).exp()
+            }
+            Kernel::Matern52 { length_scale } => {
+                let s = (5.0_f64).sqrt() * r / length_scale;
+                (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+}
+
+/// Exact Gaussian-process regression with a constant (zero, after
+/// standardization) mean function.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_learners::{GaussianProcess, Kernel, Surrogate, TrainingSet};
+///
+/// let mut data = TrainingSet::new(1);
+/// for i in 0..12 {
+///     let x = i as f64;
+///     data.push(vec![x], (x / 3.0).sin());
+/// }
+/// let mut gp = GaussianProcess::new(Kernel::Matern52 { length_scale: 0.3 }, 1e-6);
+/// gp.fit(&data);
+/// let p = gp.predict(&[5.0]);
+/// assert!((p.mean - (5.0f64 / 3.0).sin()).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    // Fitted state.
+    train_inputs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Option<Matrix>,
+    // Normalization state.
+    input_min: Vec<f64>,
+    input_range: Vec<f64>,
+    target_mean: f64,
+    target_std: f64,
+    fitted: bool,
+}
+
+impl GaussianProcess {
+    /// Creates a GP with the given kernel and observation-noise variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative or not finite.
+    #[must_use]
+    pub fn new(kernel: Kernel, noise: f64) -> Self {
+        assert!(noise >= 0.0 && noise.is_finite(), "noise must be >= 0");
+        Self {
+            kernel,
+            noise,
+            train_inputs: Vec::new(),
+            alpha: Vec::new(),
+            chol: None,
+            input_min: Vec::new(),
+            input_range: Vec::new(),
+            target_mean: 0.0,
+            target_std: 1.0,
+            fitted: false,
+        }
+    }
+
+    /// A GP with the defaults used by the ablation benchmarks: Matérn-5/2
+    /// kernel with length-scale 0.3 (normalized inputs) and a small noise
+    /// term.
+    #[must_use]
+    pub fn default_matern() -> Self {
+        Self::new(Kernel::Matern52 { length_scale: 0.3 }, 1e-4)
+    }
+
+    fn normalize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(d, &x)| {
+                let min = self.input_min.get(d).copied().unwrap_or(0.0);
+                let range = self.input_range.get(d).copied().unwrap_or(1.0);
+                (x - min) / range
+            })
+            .collect()
+    }
+
+    fn distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn fit(&mut self, data: &TrainingSet) {
+        self.fitted = false;
+        self.train_inputs.clear();
+        self.alpha.clear();
+        self.chol = None;
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len();
+        let dims = data.dims();
+
+        // Input normalization to [0, 1] per dimension.
+        self.input_min = vec![f64::INFINITY; dims];
+        let mut input_max = vec![f64::NEG_INFINITY; dims];
+        for row in data.features() {
+            for d in 0..dims {
+                self.input_min[d] = self.input_min[d].min(row[d]);
+                input_max[d] = input_max[d].max(row[d]);
+            }
+        }
+        self.input_range = self
+            .input_min
+            .iter()
+            .zip(&input_max)
+            .map(|(lo, hi)| {
+                let r = hi - lo;
+                if r.abs() < 1e-12 {
+                    1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+
+        // Target standardization.
+        self.target_mean = data.target_mean();
+        let var = data
+            .targets()
+            .iter()
+            .map(|t| (t - self.target_mean) * (t - self.target_mean))
+            .sum::<f64>()
+            / n as f64;
+        self.target_std = if var.sqrt() < 1e-12 { 1.0 } else { var.sqrt() };
+
+        self.train_inputs = data.features().iter().map(|f| self.normalize(f)).collect();
+        let y: Vec<f64> = data
+            .targets()
+            .iter()
+            .map(|t| (t - self.target_mean) / self.target_std)
+            .collect();
+
+        // Covariance matrix with noise/jitter on the diagonal. If the
+        // factorization fails (duplicated points with tiny noise), increase
+        // the jitter until it succeeds.
+        let mut jitter = self.noise.max(1e-10);
+        let chol = loop {
+            let mut k = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = self
+                        .kernel
+                        .eval(Self::distance(&self.train_inputs[i], &self.train_inputs[j]));
+                    k.set(i, j, v);
+                    k.set(j, i, v);
+                }
+                k.set(i, i, k.get(i, i) + jitter);
+            }
+            match k.cholesky() {
+                Ok(l) => break l,
+                Err(_) => {
+                    jitter *= 10.0;
+                    assert!(
+                        jitter < 1e3,
+                        "covariance matrix could not be factorized even with large jitter"
+                    );
+                }
+            }
+        };
+        self.alpha = cholesky_solve(&chol, &y).expect("factor and targets have matching sizes");
+        self.chol = Some(chol);
+        self.fitted = true;
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        let Some(chol) = &self.chol else {
+            return Prediction::certain(0.0);
+        };
+        let x = self.normalize(features);
+        let k_star: Vec<f64> = self
+            .train_inputs
+            .iter()
+            .map(|xi| self.kernel.eval(Self::distance(&x, xi)))
+            .collect();
+        let mean_std = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = solve_lower(chol, &k_star).expect("factor and k* have matching sizes");
+        let prior = self.kernel.eval(0.0);
+        let var = (prior - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);
+        Prediction {
+            mean: mean_std * self.target_std + self.target_mean,
+            std: var.sqrt() * self.target_std,
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn fresh_clone(&self) -> Box<dyn Surrogate> {
+        Box::new(Self::new(self.kernel, self.noise))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> TrainingSet {
+        let mut data = TrainingSet::new(1);
+        for i in 0..n {
+            let x = i as f64 / n as f64 * 10.0;
+            data.push(vec![x], (x).sin() * 5.0 + 20.0);
+        }
+        data
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let mut gp = GaussianProcess::new(Kernel::Rbf { length_scale: 0.2 }, 1e-8);
+        let data = sine_data(15);
+        gp.fit(&data);
+        for i in 0..data.len() {
+            let (f, t) = data.observation(i);
+            let p = gp.predict(f);
+            assert!(
+                (p.mean - t).abs() < 0.05,
+                "prediction at training point {i}: {} vs {t}",
+                p.mean
+            );
+            assert!(p.std < 0.5);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&sine_data(10));
+        let near = gp.predict(&[5.0]).std;
+        let far = gp.predict(&[40.0]).std;
+        assert!(far > near, "far std {far} should exceed near std {near}");
+    }
+
+    #[test]
+    fn matern_and_rbf_kernels_decay_with_distance() {
+        for kernel in [
+            Kernel::Rbf { length_scale: 1.0 },
+            Kernel::Matern52 { length_scale: 1.0 },
+        ] {
+            assert!((kernel.eval(0.0) - 1.0).abs() < 1e-12);
+            assert!(kernel.eval(0.5) > kernel.eval(1.0));
+            assert!(kernel.eval(1.0) > kernel.eval(3.0));
+            assert!(kernel.eval(3.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_the_fit() {
+        let mut data = TrainingSet::new(2);
+        for _ in 0..4 {
+            data.push(vec![1.0, 2.0], 10.0);
+        }
+        data.push(vec![3.0, 4.0], 20.0);
+        let mut gp = GaussianProcess::new(Kernel::Rbf { length_scale: 0.5 }, 0.0);
+        gp.fit(&data);
+        assert!(gp.is_fitted());
+        let p = gp.predict(&[1.0, 2.0]);
+        assert!((p.mean - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constant_targets_predict_the_constant() {
+        let mut data = TrainingSet::new(1);
+        for i in 0..6 {
+            data.push(vec![i as f64], 3.5);
+        }
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&data);
+        assert!((gp.predict(&[2.5]).mean - 3.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn unfitted_gp_predicts_zero() {
+        let gp = GaussianProcess::default_matern();
+        assert!(!gp.is_fitted());
+        assert_eq!(gp.predict(&[1.0]).mean, 0.0);
+    }
+
+    #[test]
+    fn fresh_clone_is_unfitted() {
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&sine_data(8));
+        assert!(!gp.fresh_clone().is_fitted());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be >= 0")]
+    fn negative_noise_panics() {
+        let _ = GaussianProcess::new(Kernel::Rbf { length_scale: 1.0 }, -1.0);
+    }
+}

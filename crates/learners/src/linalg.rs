@@ -1,0 +1,311 @@
+//! Minimal dense linear algebra for the Gaussian-process surrogate.
+//!
+//! The GP only needs a symmetric positive-definite solve (Cholesky), so this
+//! module provides a small row-major [`Matrix`] type, the Cholesky
+//! factorization and triangular solves. Training sets in this problem are tiny
+//! (at most a few hundred profiled configurations), so a straightforward
+//! `O(n³)` implementation is more than fast enough.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinalgError {
+    /// The matrix is not square where a square matrix is required.
+    NotSquare,
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite,
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::DimensionMismatch => write!(f, "operand dimensions do not match"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.get(r, c) * v[c])
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix, returning the lower-triangular factor `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
+    /// encountered.
+    pub fn cholesky(&self) -> Result<Matrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare);
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+}
+
+/// Solves `L·x = b` for lower-triangular `L` (forward substitution).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if l.rows() != l.cols() || b.len() != l.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l.get(i, j) * x[j];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solves `Lᵀ·x = b` for lower-triangular `L` (backward substitution).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if l.rows() != l.cols() || b.len() != l.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in (i + 1)..n {
+            sum -= l.get(j, i) * x[j];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` given the Cholesky
+/// factor `L` of `A` (i.e. computes `A⁻¹·b`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let y = solve_lower(l, b)?;
+    solve_lower_transpose(l, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_matrix() -> Matrix {
+        // A = M·Mᵀ + I is symmetric positive definite.
+        Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn cholesky_reconstructs_the_matrix() {
+        let a = spd_matrix();
+        let l = a.cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += l.get(i, k) * l.get(j, k);
+                }
+                assert!((sum - a.get(i, j)).abs() < 1e-10, "mismatch at ({i},{j})");
+            }
+        }
+        // L is lower-triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn cholesky_solve_inverts_the_system() {
+        let a = spd_matrix();
+        let l = a.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = cholesky_solve(&l, &b).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (lhs, rhs) in back.iter().zip(&b) {
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd_and_non_square() {
+        let not_spd = Matrix::from_rows(2, 2, vec![1.0, 5.0, 5.0, 1.0]);
+        assert_eq!(
+            not_spd.cholesky().unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        let not_square = Matrix::zeros(2, 3);
+        assert_eq!(not_square.cholesky().unwrap_err(), LinalgError::NotSquare);
+    }
+
+    #[test]
+    fn triangular_solves_match_manual_solution() {
+        let l = Matrix::from_rows(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let x = solve_lower(&l, &[4.0, 10.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - (10.0 - 2.0) / 3.0).abs() < 1e-12);
+        let y = solve_lower_transpose(&l, &[4.0, 9.0]).unwrap();
+        // L^T = [[2,1],[0,3]] so y[1] = 3, y[0] = (4 - 1*3)/2 = 0.5
+        assert!((y[1] - 3.0).abs() < 1e-12);
+        assert!((y[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_and_mul_vec() {
+        let i = Matrix::identity(3);
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(i.mul_vec(&v).unwrap(), v);
+        assert_eq!(
+            i.mul_vec(&[1.0]).unwrap_err(),
+            LinalgError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_errors_are_reported() {
+        let l = Matrix::identity(2);
+        assert!(solve_lower(&l, &[1.0]).is_err());
+        assert!(solve_lower_transpose(&l, &[1.0, 2.0, 3.0]).is_err());
+        assert!(LinalgError::NotSquare.to_string().contains("square"));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_access_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The surrogate-model abstraction and its training data.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled training set: one feature vector (the encoded configuration)
+/// and one target (the measured cost) per profiled configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSet {
+    dims: usize,
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl TrainingSet {
+    /// Creates an empty training set for feature vectors of length `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "feature vectors need at least one dimension");
+        Self {
+            dims,
+            features: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vector has the wrong length or contains
+    /// non-finite values, or if the target is not finite.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        assert_eq!(
+            features.len(),
+            self.dims,
+            "expected {} features, got {}",
+            self.dims,
+            features.len()
+        );
+        assert!(
+            features.iter().all(|f| f.is_finite()),
+            "features must be finite"
+        );
+        assert!(target.is_finite(), "target must be finite");
+        self.features.push(features);
+        self.targets.push(target);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if no observation has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Dimensionality of the feature vectors.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The feature vectors, in insertion order.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The targets, in insertion order.
+    #[must_use]
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// The observation at `index` as a `(features, target)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn observation(&self, index: usize) -> (&[f64], f64) {
+        (&self.features[index], self.targets[index])
+    }
+
+    /// Mean of the targets; 0 for an empty set.
+    #[must_use]
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+
+    /// Minimum of the targets, if any observation exists.
+    #[must_use]
+    pub fn target_min(&self) -> Option<f64> {
+        self.targets
+            .iter()
+            .copied()
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Maximum of the targets, if any observation exists.
+    #[must_use]
+    pub fn target_max(&self) -> Option<f64> {
+        self.targets
+            .iter()
+            .copied()
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+}
+
+/// A Gaussian predictive distribution produced by a surrogate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted mean.
+    pub mean: f64,
+    /// Predictive standard deviation (0 when the model is certain).
+    pub std: f64,
+}
+
+impl Prediction {
+    /// A point prediction with no uncertainty.
+    #[must_use]
+    pub fn certain(mean: f64) -> Self {
+        Self { mean, std: 0.0 }
+    }
+}
+
+/// A regression model that maps feature vectors to Gaussian predictive
+/// distributions.
+///
+/// Implementations must tolerate repeated refitting (the optimizer refits
+/// after every profiled configuration and inside every simulated exploration
+/// step) and must be `Send + Sync` so path simulations can run in parallel.
+pub trait Surrogate: Send + Sync {
+    /// Fits the model to the training set, replacing any previous fit.
+    fn fit(&mut self, data: &TrainingSet);
+
+    /// Predicts the target distribution at a feature vector.
+    ///
+    /// Calling `predict` before the first `fit` returns an uninformative
+    /// prediction (`mean = 0`, `std = 0`); the optimizer never does this, but
+    /// implementations must not panic.
+    fn predict(&self, features: &[f64]) -> Prediction;
+
+    /// True once `fit` has been called with at least one observation.
+    fn is_fitted(&self) -> bool;
+
+    /// Creates an unfitted clone of this model (same hyper-parameters, no
+    /// training data). Used by the lookahead simulation, which must refit the
+    /// surrogate on speculated training sets without disturbing the real one.
+    fn fresh_clone(&self) -> Box<dyn Surrogate>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_set_accumulates_observations() {
+        let mut data = TrainingSet::new(2);
+        assert!(data.is_empty());
+        data.push(vec![1.0, 2.0], 10.0);
+        data.push(vec![3.0, 4.0], 20.0);
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.dims(), 2);
+        assert_eq!(data.observation(1), (&[3.0, 4.0][..], 20.0));
+        assert_eq!(data.target_mean(), 15.0);
+        assert_eq!(data.target_min(), Some(10.0));
+        assert_eq!(data.target_max(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_training_set_statistics() {
+        let data = TrainingSet::new(3);
+        assert_eq!(data.target_mean(), 0.0);
+        assert_eq!(data.target_min(), None);
+        assert_eq!(data.target_max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn wrong_dimensionality_panics() {
+        let mut data = TrainingSet::new(2);
+        data.push(vec![1.0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be finite")]
+    fn non_finite_target_panics() {
+        let mut data = TrainingSet::new(1);
+        data.push(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    fn certain_prediction_has_zero_std() {
+        let p = Prediction::certain(4.2);
+        assert_eq!(p.mean, 4.2);
+        assert_eq!(p.std, 0.0);
+    }
+}

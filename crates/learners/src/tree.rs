@@ -1,0 +1,381 @@
+//! CART-style regression trees.
+//!
+//! The bagging ensemble used as Lynceus' default surrogate is built out of
+//! *random* regression trees: each tree is trained on a bootstrap resample of
+//! the training set and, optionally, considers only a random subset of the
+//! features at every split (the Weka `RandomTree` behaviour). The splitting
+//! criterion is variance reduction, the standard CART criterion for
+//! regression.
+
+use crate::model::{Prediction, Surrogate, TrainingSet};
+use lynceus_math::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: go left when `features[feature] <= threshold`.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf: predict the mean of the samples that reached it.
+    Leaf { value: f64, count: usize },
+}
+
+/// A regression tree with variance-reduction splits.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_learners::{RegressionTree, Surrogate, TrainingSet};
+///
+/// let mut data = TrainingSet::new(1);
+/// for i in 0..16 {
+///     let x = i as f64;
+///     data.push(vec![x], if x < 8.0 { 1.0 } else { 100.0 });
+/// }
+/// let mut tree = RegressionTree::new();
+/// tree.fit(&data);
+/// assert!(tree.predict(&[2.0]).mean < 10.0);
+/// assert!(tree.predict(&[14.0]).mean > 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    max_depth: usize,
+    min_samples_leaf: usize,
+    /// Number of features examined at each split; `None` means all of them.
+    feature_subsample: Option<usize>,
+    seed: u64,
+    nodes: Vec<Node>,
+    fitted: bool,
+}
+
+impl Default for RegressionTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegressionTree {
+    /// Creates a tree with the default hyper-parameters (unbounded depth
+    /// capped at 32, leaves of at least one sample, all features considered at
+    /// every split).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            max_depth: 32,
+            min_samples_leaf: 1,
+            feature_subsample: None,
+            seed: 0,
+            nodes: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Sets the maximum tree depth.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the minimum number of samples per leaf.
+    #[must_use]
+    pub fn with_min_samples_leaf(mut self, min: usize) -> Self {
+        self.min_samples_leaf = min.max(1);
+        self
+    }
+
+    /// Considers only `k` randomly chosen features at each split (the
+    /// "random tree" behaviour used inside bagging ensembles).
+    #[must_use]
+    pub fn with_feature_subsample(mut self, k: usize) -> Self {
+        self.feature_subsample = Some(k.max(1));
+        self
+    }
+
+    /// Sets the seed driving the random feature selection.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build(
+        &mut self,
+        data: &TrainingSet,
+        indices: &[usize],
+        depth: usize,
+        rng: &mut SeededRng,
+    ) -> usize {
+        let targets: Vec<f64> = indices.iter().map(|&i| data.targets()[i]).collect();
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                value: mean,
+                count: indices.len(),
+            });
+            nodes.len() - 1
+        };
+
+        if depth >= self.max_depth
+            || indices.len() < 2 * self.min_samples_leaf
+            || targets.iter().all(|&t| (t - targets[0]).abs() < 1e-12)
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let dims = data.dims();
+        let candidate_features: Vec<usize> = match self.feature_subsample {
+            Some(k) if k < dims => rng.sample_indices(dims, k),
+            _ => (0..dims).collect(),
+        };
+
+        let parent_sse = sse(&targets, mean);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &feature in &candidate_features {
+            let mut values: Vec<(f64, f64)> = indices
+                .iter()
+                .map(|&i| (data.features()[i][feature], data.targets()[i]))
+                .collect();
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features are finite"));
+
+            // Prefix sums over the sorted order let us evaluate every split in
+            // O(n) per feature.
+            let n = values.len();
+            let mut prefix_sum = vec![0.0; n + 1];
+            let mut prefix_sq = vec![0.0; n + 1];
+            for (i, &(_, t)) in values.iter().enumerate() {
+                prefix_sum[i + 1] = prefix_sum[i] + t;
+                prefix_sq[i + 1] = prefix_sq[i] + t * t;
+            }
+            for split in self.min_samples_leaf..=(n - self.min_samples_leaf) {
+                if split == 0 || split == n {
+                    continue;
+                }
+                // Only split between distinct feature values.
+                if (values[split - 1].0 - values[split].0).abs() < 1e-12 {
+                    continue;
+                }
+                let left_n = split as f64;
+                let right_n = (n - split) as f64;
+                let left_sum = prefix_sum[split];
+                let right_sum = prefix_sum[n] - left_sum;
+                let left_sq = prefix_sq[split];
+                let right_sq = prefix_sq[n] - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n;
+                let right_sse = right_sq - right_sum * right_sum / right_n;
+                let total = left_sse + right_sse;
+                if best.map_or(total < parent_sse - 1e-12, |(_, _, b)| total < b) {
+                    let threshold = 0.5 * (values[split - 1].0 + values[split].0);
+                    best = Some((feature, threshold, total));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| data.features()[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Reserve this node's slot before recursing so children indices are
+        // stable.
+        self.nodes.push(Node::Leaf {
+            value: mean,
+            count: indices.len(),
+        });
+        let me = self.nodes.len() - 1;
+        let left = self.build(data, &left_idx, depth + 1, rng);
+        let right = self.build(data, &right_idx, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+fn sse(values: &[f64], mean: f64) -> f64 {
+    values.iter().map(|v| (v - mean) * (v - mean)).sum()
+}
+
+impl Surrogate for RegressionTree {
+    fn fit(&mut self, data: &TrainingSet) {
+        self.nodes.clear();
+        self.fitted = false;
+        if data.is_empty() {
+            return;
+        }
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut rng = SeededRng::new(self.seed);
+        let root = self.build(data, &indices, 0, &mut rng);
+        debug_assert_eq!(root, 0, "the root must be the first node");
+        self.fitted = true;
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        if !self.fitted {
+            return Prediction::certain(0.0);
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, .. } => return Prediction::certain(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn fresh_clone(&self) -> Box<dyn Surrogate> {
+        let mut clone = self.clone();
+        clone.nodes.clear();
+        clone.fitted = false;
+        Box::new(clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> TrainingSet {
+        let mut data = TrainingSet::new(2);
+        for i in 0..20 {
+            let x = i as f64;
+            let y = if x < 10.0 { 5.0 } else { 50.0 };
+            data.push(vec![x, 0.0], y);
+        }
+        data
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let mut tree = RegressionTree::new();
+        tree.fit(&step_data());
+        assert!(tree.is_fitted());
+        assert!((tree.predict(&[3.0, 0.0]).mean - 5.0).abs() < 1e-9);
+        assert!((tree.predict(&[15.0, 0.0]).mean - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_training_points_exactly_with_deep_tree() {
+        let mut data = TrainingSet::new(1);
+        for i in 0..10 {
+            data.push(vec![i as f64], (i * i) as f64);
+        }
+        let mut tree = RegressionTree::new();
+        tree.fit(&data);
+        for i in 0..10 {
+            let p = tree.predict(&[i as f64]);
+            assert!(
+                (p.mean - (i * i) as f64).abs() < 1e-9,
+                "prediction at {i} was {}",
+                p.mean
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_produces_a_stump() {
+        let mut tree = RegressionTree::new().with_max_depth(1);
+        tree.fit(&step_data());
+        // A depth-1 tree has at most 3 nodes: root + two leaves.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let mut tree = RegressionTree::new().with_min_samples_leaf(10);
+        let data = step_data();
+        tree.fit(&data);
+        // With 20 samples and 10 per leaf, only one split is possible.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn unfitted_and_empty_fits_predict_zero() {
+        let tree = RegressionTree::new();
+        assert!(!tree.is_fitted());
+        assert_eq!(tree.predict(&[1.0]).mean, 0.0);
+        let mut tree = RegressionTree::new();
+        tree.fit(&TrainingSet::new(1));
+        assert!(!tree.is_fitted());
+    }
+
+    #[test]
+    fn constant_targets_yield_a_single_leaf() {
+        let mut data = TrainingSet::new(1);
+        for i in 0..8 {
+            data.push(vec![i as f64], 7.0);
+        }
+        let mut tree = RegressionTree::new();
+        tree.fit(&data);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[3.0]).mean, 7.0);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let mut data = TrainingSet::new(3);
+        for i in 0..30 {
+            let x = i as f64;
+            data.push(vec![x, -x, x * 2.0], if x < 15.0 { 0.0 } else { 10.0 });
+        }
+        let mut tree = RegressionTree::new().with_feature_subsample(1).with_seed(5);
+        tree.fit(&data);
+        let low = tree.predict(&[2.0, -2.0, 4.0]).mean;
+        let high = tree.predict(&[25.0, -25.0, 50.0]).mean;
+        assert!(high > low);
+    }
+
+    #[test]
+    fn fresh_clone_is_unfitted_but_keeps_hyperparameters() {
+        let mut tree = RegressionTree::new().with_max_depth(4);
+        tree.fit(&step_data());
+        let clone = tree.fresh_clone();
+        assert!(!clone.is_fitted());
+    }
+
+    #[test]
+    fn single_sample_fit_is_a_leaf() {
+        let mut data = TrainingSet::new(2);
+        data.push(vec![1.0, 2.0], 42.0);
+        let mut tree = RegressionTree::new();
+        tree.fit(&data);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[9.0, 9.0]).mean, 42.0);
+    }
+}

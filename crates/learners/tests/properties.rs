@@ -1,0 +1,73 @@
+//! Property-based tests for the surrogate models.
+
+use lynceus_learners::{BaggingEnsemble, GaussianProcess, RegressionTree, Surrogate, TrainingSet};
+use proptest::prelude::*;
+
+/// Strategy producing a small one-dimensional regression problem.
+fn arb_dataset() -> impl Strategy<Value = TrainingSet> {
+    proptest::collection::vec((-50.0f64..50.0, -100.0f64..100.0), 2..40).prop_map(|pairs| {
+        let mut data = TrainingSet::new(1);
+        for (x, y) in pairs {
+            data.push(vec![x], y);
+        }
+        data
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range(data in arb_dataset(), x in -60.0f64..60.0) {
+        let mut tree = RegressionTree::new();
+        tree.fit(&data);
+        let p = tree.predict(&[x]);
+        let min = data.target_min().unwrap();
+        let max = data.target_max().unwrap();
+        prop_assert!(p.mean >= min - 1e-9 && p.mean <= max + 1e-9);
+        prop_assert_eq!(p.std, 0.0);
+    }
+
+    #[test]
+    fn ensemble_predictions_stay_within_target_range(data in arb_dataset(), x in -60.0f64..60.0) {
+        let mut model = BaggingEnsemble::with_seed(8, 11);
+        model.fit(&data);
+        let p = model.predict(&[x]);
+        let min = data.target_min().unwrap();
+        let max = data.target_max().unwrap();
+        prop_assert!(p.mean >= min - 1e-9 && p.mean <= max + 1e-9);
+        prop_assert!(p.std >= 0.0);
+        prop_assert!(p.std <= (max - min).abs() + 1e-9);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic(data in arb_dataset(), x in -60.0f64..60.0, seed in any::<u64>()) {
+        let mut a = BaggingEnsemble::with_seed(5, seed);
+        let mut b = BaggingEnsemble::with_seed(5, seed);
+        a.fit(&data);
+        b.fit(&data);
+        prop_assert_eq!(a.predict(&[x]), b.predict(&[x]));
+    }
+
+    #[test]
+    fn gp_predictions_are_finite(data in arb_dataset(), x in -60.0f64..60.0) {
+        let mut gp = GaussianProcess::default_matern();
+        gp.fit(&data);
+        let p = gp.predict(&[x]);
+        prop_assert!(p.mean.is_finite());
+        prop_assert!(p.std.is_finite());
+        prop_assert!(p.std >= 0.0);
+    }
+
+    #[test]
+    fn surrogates_survive_refitting(data in arb_dataset()) {
+        // The optimizer refits after every observation; make sure repeated
+        // fits do not accumulate state.
+        let mut model = BaggingEnsemble::with_seed(4, 3);
+        model.fit(&data);
+        let first = model.predict(&[0.0]);
+        model.fit(&data);
+        let second = model.predict(&[0.0]);
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,174 @@
+//! Latin Hypercube Sampling (LHS).
+//!
+//! Lynceus bootstraps its surrogate model by profiling `N` configurations
+//! selected with LHS (Algorithm 1, line 7): the sampled points are stratified
+//! so that every dimension is covered evenly, which improves over plain
+//! uniform sampling when `N` is small relative to the size of the space.
+//!
+//! Two entry points are provided:
+//!
+//! * [`latin_hypercube`] — continuous samples in the unit hypercube, the
+//!   textbook formulation (McKay, Beckman & Conover 1979).
+//! * [`latin_hypercube_levels`] — the discrete variant used by the optimizer:
+//!   each dimension has a finite number of levels, and the stratified unit
+//!   samples are mapped onto level indices.
+
+use crate::rng::SeededRng;
+
+/// Draws `n` points from the `dims`-dimensional unit hypercube using Latin
+/// Hypercube Sampling.
+///
+/// Each of the `n` equal-width strata of every dimension contains exactly one
+/// sample; the pairing of strata across dimensions is random.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dims == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_math::lhs::latin_hypercube;
+/// use lynceus_math::rng::SeededRng;
+///
+/// let mut rng = SeededRng::new(1);
+/// let points = latin_hypercube(8, 3, &mut rng);
+/// assert_eq!(points.len(), 8);
+/// assert!(points.iter().all(|p| p.len() == 3));
+/// ```
+#[must_use]
+pub fn latin_hypercube(n: usize, dims: usize, rng: &mut SeededRng) -> Vec<Vec<f64>> {
+    assert!(n > 0, "cannot draw zero LHS samples");
+    assert!(dims > 0, "cannot sample a zero-dimensional space");
+
+    // For each dimension: a random permutation of the strata, plus jitter
+    // within each stratum.
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut strata: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut strata);
+        let column: Vec<f64> = strata
+            .into_iter()
+            .map(|s| (s as f64 + rng.next_f64()) / n as f64)
+            .collect();
+        columns.push(column);
+    }
+
+    (0..n)
+        .map(|i| columns.iter().map(|col| col[i]).collect())
+        .collect()
+}
+
+/// Draws `n` stratified samples from a discrete grid described by the number
+/// of levels of each dimension, returning level indices.
+///
+/// This is the form used to pick bootstrap configurations out of a
+/// [`lynceus-space`] configuration grid: dimension `d` of sample `i` is an
+/// index in `0..levels[d]`.
+///
+/// Samples are **not** guaranteed to be distinct configurations when `n`
+/// exceeds the number of levels of some dimension (inevitable: LHS stratifies
+/// per-dimension, not jointly); callers that need distinct configurations
+/// should deduplicate against the enclosing space, which
+/// `lynceus_core::bootstrap` does.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `levels` is empty, or any dimension has zero levels.
+#[must_use]
+pub fn latin_hypercube_levels(n: usize, levels: &[usize], rng: &mut SeededRng) -> Vec<Vec<usize>> {
+    assert!(!levels.is_empty(), "levels must describe at least one dimension");
+    assert!(
+        levels.iter().all(|&l| l > 0),
+        "every dimension needs at least one level"
+    );
+    latin_hypercube(n, levels.len(), rng)
+        .into_iter()
+        .map(|point| {
+            point
+                .iter()
+                .zip(levels)
+                .map(|(&u, &l)| ((u * l as f64) as usize).min(l - 1))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stratum_is_hit_exactly_once() {
+        let mut rng = SeededRng::new(42);
+        let n = 16;
+        let points = latin_hypercube(n, 4, &mut rng);
+        for d in 0..4 {
+            let mut counts = vec![0usize; n];
+            for p in &points {
+                let stratum = ((p[d] * n as f64) as usize).min(n - 1);
+                counts[stratum] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "dimension {d} strata counts: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_inside_the_unit_cube() {
+        let mut rng = SeededRng::new(7);
+        for p in latin_hypercube(20, 5, &mut rng) {
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn level_samples_respect_cardinalities() {
+        let mut rng = SeededRng::new(3);
+        let levels = [3, 2, 8, 4, 2];
+        let samples = latin_hypercube_levels(12, &levels, &mut rng);
+        assert_eq!(samples.len(), 12);
+        for s in &samples {
+            assert_eq!(s.len(), levels.len());
+            for (value, &bound) in s.iter().zip(&levels) {
+                assert!(*value < bound, "level {value} out of bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_samples_cover_small_dimensions_evenly() {
+        let mut rng = SeededRng::new(11);
+        // A dimension with 2 levels sampled 10 times must see both levels
+        // roughly 5/5 thanks to the stratification.
+        let samples = latin_hypercube_levels(10, &[2, 6], &mut rng);
+        let zeros = samples.iter().filter(|s| s[0] == 0).count();
+        assert_eq!(zeros, 5);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let mut a = SeededRng::new(1234);
+        let mut b = SeededRng::new(1234);
+        assert_eq!(
+            latin_hypercube(6, 3, &mut a),
+            latin_hypercube(6, 3, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero LHS samples")]
+    fn zero_samples_panics() {
+        let mut rng = SeededRng::new(0);
+        let _ = latin_hypercube(0, 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let mut rng = SeededRng::new(0);
+        let _ = latin_hypercube_levels(3, &[4, 0], &mut rng);
+    }
+}

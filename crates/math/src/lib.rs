@@ -1,0 +1,47 @@
+//! Numerical substrate for the Lynceus reproduction.
+//!
+//! This crate bundles the small, dependency-light numerical building blocks
+//! needed by the Lynceus optimizer and its evaluation harness:
+//!
+//! * [`normal`] — the standard normal distribution (pdf, cdf, quantile) used
+//!   by the constrained Expected Improvement acquisition function.
+//! * [`quadrature`] — Gauss–Hermite quadrature nodes and weights, used to
+//!   discretize the surrogate's predictive distribution when simulating
+//!   exploration paths (Section 4.2 of the paper).
+//! * [`lhs`] — Latin Hypercube Sampling, used to bootstrap the optimizer
+//!   (Algorithm 1, line 7).
+//! * [`stats`] — descriptive statistics (means, variances, percentiles,
+//!   empirical CDFs) used to report CNO/NEX metrics.
+//! * [`rng`] — a tiny deterministic PRNG wrapper so that every experiment in
+//!   the repository is reproducible from a single `u64` seed.
+//!
+//! # Example
+//!
+//! ```
+//! use lynceus_math::normal::StandardNormal;
+//! use lynceus_math::quadrature::gauss_hermite;
+//!
+//! // Probability that a N(2.0, 1.5²) variable is below 3.0.
+//! let p = StandardNormal::cdf((3.0 - 2.0) / 1.5);
+//! assert!(p > 0.5 && p < 1.0);
+//!
+//! // Five-point Gauss–Hermite rule: weights sum to sqrt(pi).
+//! let rule = gauss_hermite(5);
+//! let total: f64 = rule.iter().map(|node| node.weight).sum();
+//! assert!((total - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lhs;
+pub mod normal;
+pub mod quadrature;
+pub mod rng;
+pub mod stats;
+
+pub use lhs::latin_hypercube;
+pub use normal::StandardNormal;
+pub use quadrature::{gauss_hermite, GaussHermiteNode};
+pub use rng::SeededRng;
+pub use stats::{empirical_cdf, mean, percentile, std_dev, variance, Summary};

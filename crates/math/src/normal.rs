@@ -1,0 +1,322 @@
+//! The standard normal distribution.
+//!
+//! The constrained Expected Improvement acquisition used by Lynceus and by the
+//! CherryPick-style baseline needs the pdf `φ`, the cdf `Φ` and (for tests and
+//! sampling) the quantile function of the standard normal distribution. The
+//! error function is evaluated with a Taylor series near the origin and the
+//! Lentz continued fraction of the upper incomplete gamma function in the
+//! tails, which gives close to double precision everywhere the optimizer
+//! operates.
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// All methods are associated functions; the type carries no state.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_math::normal::StandardNormal;
+///
+/// assert!((StandardNormal::cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((StandardNormal::pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Probability density function `φ(z)`.
+    #[must_use]
+    pub fn pdf(z: f64) -> f64 {
+        const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+        INV_SQRT_2PI * (-0.5 * z * z).exp()
+    }
+
+    /// Cumulative distribution function `Φ(z)`.
+    #[must_use]
+    pub fn cdf(z: f64) -> f64 {
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Survival function `1 - Φ(z)`, computed without cancellation.
+    #[must_use]
+    pub fn sf(z: f64) -> f64 {
+        0.5 * erfc(z / std::f64::consts::SQRT_2)
+    }
+
+    /// Quantile (inverse cdf) of the standard normal distribution.
+    ///
+    /// Implemented with the Acklam rational approximation refined by one
+    /// Halley step against the high-accuracy [`cdf`](Self::cdf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly between 0 and 1.
+    #[must_use]
+    pub fn quantile(p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+        let x = acklam_quantile(p);
+        // One Halley refinement step using the high-accuracy cdf.
+        let e = Self::cdf(x) - p;
+        let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+        x - u / (1.0 + 0.5 * x * u)
+    }
+
+    /// Expected Improvement helper: `E[max(y_best - Y, 0)]` for
+    /// `Y ~ N(mean, std²)` (we minimize, so improvement means being *below*
+    /// `y_best`).
+    ///
+    /// Returns 0 when `std` is not strictly positive and the mean does not
+    /// improve on `y_best`.
+    #[must_use]
+    pub fn expected_improvement(y_best: f64, mean: f64, std: f64) -> f64 {
+        if std <= 0.0 {
+            return (y_best - mean).max(0.0);
+        }
+        let z = (y_best - mean) / std;
+        (y_best - mean) * Self::cdf(z) + std * Self::pdf(z)
+    }
+}
+
+/// Error function `erf(x)`.
+///
+/// Taylor series for `|x| <= 2.5`, complementary continued fraction otherwise.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x.abs() <= 2.5 {
+        erf_series(x)
+    } else if x > 0.0 {
+        1.0 - erfc_cf(x)
+    } else {
+        erfc_cf(-x) - 1.0
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Accurate in the positive tail (no cancellation), which is what the
+/// feasibility probabilities of the optimizer rely on.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x > 2.5 {
+        erfc_cf(x)
+    } else if x < -2.5 {
+        2.0 - erfc_cf(-x)
+    } else {
+        1.0 - erf_series(x)
+    }
+}
+
+/// Taylor series for `erf` on `|x| <= 2.5`.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1))
+    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    let x2 = x * x;
+    let mut power = x; // x^(2n+1) / n! with alternating sign folded in
+    let mut sum = x;
+    let mut n = 1.0_f64;
+    loop {
+        power *= -x2 / n;
+        let term = power / (2.0 * n + 1.0);
+        sum += term;
+        n += 1.0;
+        if term.abs() < 1e-17 * sum.abs().max(1e-300) || n > 80.0 {
+            break;
+        }
+    }
+    TWO_OVER_SQRT_PI * sum
+}
+
+/// Continued-fraction evaluation of `erfc(x)` for `x > 0` via the upper
+/// incomplete gamma function: `erfc(x) = Q(1/2, x²)` (modified Lentz).
+fn erfc_cf(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    if x > 26.5 {
+        // exp(-x^2) underflows; the probability is zero at double precision.
+        return 0.0;
+    }
+    const A: f64 = 0.5;
+    const FPMIN: f64 = 1e-300;
+    const EPS: f64 = 1e-16;
+    let xx = x * x;
+    let ln_gamma_half = std::f64::consts::PI.sqrt().ln();
+
+    let mut b = xx + 1.0 - A;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..200 {
+        let an = -(i as f64) * (i as f64 - A);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-xx + A * xx.ln() - ln_gamma_half).exp() * h
+}
+
+/// Acklam's rational approximation of the normal quantile.
+fn acklam_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((StandardNormal::pdf(1.3) - StandardNormal::pdf(-1.3)).abs() < 1e-15);
+        assert!(StandardNormal::pdf(0.0) > StandardNormal::pdf(0.1));
+    }
+
+    #[test]
+    fn cdf_matches_known_values() {
+        // Reference values from standard normal tables.
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_068_542_9),
+            (-1.0, 0.158_655_253_931_457_05),
+            (1.959_963_984_540_054, 0.975),
+            (-2.575_829_303_548_901, 0.005),
+            (3.0, 0.998_650_101_968_369_9),
+        ];
+        for (z, expected) in cases {
+            let got = StandardNormal::cdf(z);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "cdf({z}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        for z in [-4.0, -1.5, 0.0, 0.7, 2.3, 5.0] {
+            let total = StandardNormal::cdf(z) + StandardNormal::sf(z);
+            assert!((total - 1.0).abs() < 1e-12, "cdf+sf at {z} = {total}");
+        }
+    }
+
+    #[test]
+    fn deep_tail_is_tiny_but_positive() {
+        let p = StandardNormal::sf(8.0);
+        assert!(p > 0.0 && p < 1e-14);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let z = StandardNormal::quantile(p);
+            let back = StandardNormal::cdf(z);
+            assert!((back - p).abs() < 1e-10, "round-trip of {p} gave {back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0, 1)")]
+    fn quantile_rejects_out_of_range() {
+        let _ = StandardNormal::quantile(1.0);
+    }
+
+    #[test]
+    fn erf_and_erfc_are_complementary() {
+        for x in [-6.0, -3.0, -1.0, -0.3, 0.0, 0.2, 1.0, 2.5, 2.6, 6.0] {
+            let total = erf(x) + erfc(x);
+            assert!((total - 1.0).abs() < 1e-12, "erf+erfc at {x} = {total}");
+        }
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        let cases = [
+            (0.5, 0.520_499_877_813_046_5),
+            (1.0, 0.842_700_792_949_714_9),
+            (2.0, 0.995_322_265_018_952_7),
+            (3.0, 0.999_977_909_503_001_4),
+        ];
+        for (x, expected) in cases {
+            assert!(
+                (erf(x) - expected).abs() < 1e-9,
+                "erf({x}) = {}, expected {expected}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.9, 1.7, 3.3, 5.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_improvement_behaves_at_extremes() {
+        // No uncertainty, mean already below the incumbent: deterministic gain.
+        assert!((StandardNormal::expected_improvement(10.0, 7.0, 0.0) - 3.0).abs() < 1e-12);
+        // No uncertainty and no improvement: zero.
+        assert_eq!(StandardNormal::expected_improvement(5.0, 9.0, 0.0), 0.0);
+        // Uncertainty always yields strictly positive EI.
+        assert!(StandardNormal::expected_improvement(5.0, 9.0, 2.0) > 0.0);
+        // EI grows with the uncertainty when the mean is unfavourable.
+        let low = StandardNormal::expected_improvement(5.0, 9.0, 1.0);
+        let high = StandardNormal::expected_improvement(5.0, 9.0, 4.0);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,290 @@
+//! Gauss–Hermite quadrature.
+//!
+//! Lynceus discretizes the predictive cost distribution of an untested
+//! configuration with a Gauss–Hermite rule (Section 4.2, approximation 3 of
+//! the paper): each node becomes a speculated cost, each (normalized) weight
+//! the likelihood of that cost. The nodes and weights are computed with the
+//! classical Newton iteration on the orthonormal Hermite recurrence, so any
+//! rule size can be requested.
+
+use crate::normal::StandardNormal;
+
+/// A single node of a Gauss–Hermite rule for `∫ f(x)·e^{-x²} dx`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussHermiteNode {
+    /// Abscissa `x_i`.
+    pub node: f64,
+    /// Weight `w_i` (the raw weights sum to `√π`).
+    pub weight: f64,
+}
+
+/// A speculated value of a normally distributed quantity together with its
+/// likelihood, as used by the exploration-path simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedValue {
+    /// Speculated value (e.g. a cost in dollars).
+    pub value: f64,
+    /// Probability mass assigned to this value; the masses of one expansion
+    /// sum to 1.
+    pub weight: f64,
+}
+
+/// Computes the `n`-point Gauss–Hermite rule for `∫ f(x)·e^{-x²} dx`.
+///
+/// The raw weights sum to `√π`. Nodes are returned in increasing order.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64` (larger rules are never needed by the
+/// optimizer and would start to lose accuracy in this simple implementation).
+///
+/// # Example
+///
+/// ```
+/// use lynceus_math::quadrature::gauss_hermite;
+///
+/// let rule = gauss_hermite(3);
+/// // The 3-point rule integrates x^2 e^{-x^2} exactly: result = sqrt(pi)/2.
+/// let integral: f64 = rule.iter().map(|p| p.weight * p.node * p.node).sum();
+/// assert!((integral - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-10);
+/// ```
+#[must_use]
+pub fn gauss_hermite(n: usize) -> Vec<GaussHermiteNode> {
+    assert!(n >= 1, "a Gauss-Hermite rule needs at least one node");
+    assert!(n <= 64, "rules above 64 nodes are not supported");
+    const EPS: f64 = 3e-14;
+    const PIM4: f64 = 0.751_125_544_464_942_5; // pi^(-1/4)
+    const MAX_ITER: usize = 100;
+
+    let mut nodes = vec![0.0_f64; n];
+    let mut weights = vec![0.0_f64; n];
+    let m = n.div_ceil(2);
+    let nf = n as f64;
+
+    let mut z = 0.0_f64;
+    for i in 0..m {
+        // Initial guesses for the roots, largest first (Numerical Recipes).
+        z = match i {
+            0 => (2.0 * nf + 1.0).sqrt() - 1.855_75 * (2.0 * nf + 1.0).powf(-1.0 / 6.0),
+            1 => z - 1.14 * nf.powf(0.426) / z,
+            2 => 1.86 * z - 0.86 * nodes[0],
+            3 => 1.91 * z - 0.91 * nodes[1],
+            _ => 2.0 * z - nodes[i - 2],
+        };
+        let mut pp = 0.0;
+        for _ in 0..MAX_ITER {
+            // Evaluate the orthonormal Hermite polynomial of degree n at z.
+            let mut p1 = PIM4;
+            let mut p2 = 0.0;
+            for j in 1..=n {
+                let p3 = p2;
+                p2 = p1;
+                let jf = j as f64;
+                p1 = z * (2.0 / jf).sqrt() * p2 - ((jf - 1.0) / jf).sqrt() * p3;
+            }
+            pp = (2.0 * nf).sqrt() * p2;
+            let z1 = z;
+            z = z1 - p1 / pp;
+            if (z - z1).abs() <= EPS {
+                break;
+            }
+        }
+        nodes[i] = z;
+        nodes[n - 1 - i] = -z;
+        weights[i] = 2.0 / (pp * pp);
+        weights[n - 1 - i] = weights[i];
+    }
+
+    let mut rule: Vec<GaussHermiteNode> = nodes
+        .into_iter()
+        .zip(weights)
+        .map(|(node, weight)| GaussHermiteNode { node, weight })
+        .collect();
+    rule.sort_by(|a, b| a.node.partial_cmp(&b.node).expect("nodes are finite"));
+    rule
+}
+
+/// Discretizes a normal distribution `N(mean, std²)` into `k` weighted values.
+///
+/// This is the operation Lynceus performs on the surrogate's predictive
+/// distribution before branching an exploration path: `E[g(Y)] ≈ Σ wᵢ·g(vᵢ)`
+/// with the returned `(vᵢ, wᵢ)` pairs, whose weights sum to 1.
+///
+/// When `std` is zero (or negative, which some degenerate surrogate states can
+/// produce), a single node carrying the mean with weight 1 is returned.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lynceus_math::quadrature::discretize_normal;
+///
+/// let nodes = discretize_normal(10.0, 2.0, 7);
+/// let mean: f64 = nodes.iter().map(|p| p.weight * p.value).sum();
+/// assert!((mean - 10.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn discretize_normal(mean: f64, std: f64, k: usize) -> Vec<WeightedValue> {
+    assert!(k >= 1, "discretization needs at least one node");
+    if std <= 0.0 || !std.is_finite() {
+        return vec![WeightedValue {
+            value: mean,
+            weight: 1.0,
+        }];
+    }
+    let inv_sqrt_pi = 1.0 / std::f64::consts::PI.sqrt();
+    gauss_hermite(k)
+        .into_iter()
+        .map(|p| WeightedValue {
+            value: mean + std::f64::consts::SQRT_2 * std * p.node,
+            weight: p.weight * inv_sqrt_pi,
+        })
+        .collect()
+}
+
+/// Discretizes a normal distribution but never returns values below `floor`.
+///
+/// Costs and runtimes are non-negative; speculated values produced by the
+/// Gauss–Hermite expansion of a wide predictive distribution can dip below
+/// zero, which would corrupt the budget bookkeeping of simulated paths. The
+/// clamped variant preserves the weights and clamps the values.
+#[must_use]
+pub fn discretize_normal_clamped(mean: f64, std: f64, k: usize, floor: f64) -> Vec<WeightedValue> {
+    discretize_normal(mean, std, k)
+        .into_iter()
+        .map(|p| WeightedValue {
+            value: p.value.max(floor),
+            weight: p.weight,
+        })
+        .collect()
+}
+
+/// Estimates `P(Y <= threshold)` for `Y ~ N(mean, std²)`.
+///
+/// Thin convenience wrapper used when deciding whether a configuration fits
+/// the remaining budget; exposed here so quadrature users and closed-form
+/// users agree on the degenerate (`std == 0`) semantics.
+#[must_use]
+pub fn normal_below(mean: f64, std: f64, threshold: f64) -> f64 {
+    if std <= 0.0 || !std.is_finite() {
+        if mean <= threshold {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        StandardNormal::cdf((threshold - mean) / std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt_pi() -> f64 {
+        std::f64::consts::PI.sqrt()
+    }
+
+    #[test]
+    fn weights_sum_to_sqrt_pi_for_all_small_rules() {
+        for n in 1..=20 {
+            let rule = gauss_hermite(n);
+            let total: f64 = rule.iter().map(|p| p.weight).sum();
+            assert!(
+                (total - sqrt_pi()).abs() < 1e-10,
+                "rule of size {n} has weight sum {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        for n in [2, 3, 5, 8, 13] {
+            let rule = gauss_hermite(n);
+            for w in rule.windows(2) {
+                assert!(w[0].node < w[1].node);
+            }
+            for i in 0..n {
+                let mirrored = rule[n - 1 - i].node;
+                assert!(
+                    (rule[i].node + mirrored).abs() < 1e-10,
+                    "nodes of rule {n} are not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integrates_even_moments_exactly() {
+        // ∫ x^2 e^{-x²} dx = √π/2, ∫ x^4 e^{-x²} dx = 3√π/4.
+        let rule = gauss_hermite(6);
+        let m2: f64 = rule.iter().map(|p| p.weight * p.node.powi(2)).sum();
+        let m4: f64 = rule.iter().map(|p| p.weight * p.node.powi(4)).sum();
+        assert!((m2 - sqrt_pi() / 2.0).abs() < 1e-9);
+        assert!((m4 - 3.0 * sqrt_pi() / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_moments_vanish() {
+        let rule = gauss_hermite(7);
+        let m1: f64 = rule.iter().map(|p| p.weight * p.node).sum();
+        let m3: f64 = rule.iter().map(|p| p.weight * p.node.powi(3)).sum();
+        assert!(m1.abs() < 1e-10);
+        assert!(m3.abs() < 1e-10);
+    }
+
+    #[test]
+    fn single_node_rule_is_at_origin() {
+        let rule = gauss_hermite(1);
+        assert_eq!(rule.len(), 1);
+        assert!(rule[0].node.abs() < 1e-12);
+        assert!((rule[0].weight - sqrt_pi()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_rule_panics() {
+        let _ = gauss_hermite(0);
+    }
+
+    #[test]
+    fn discretization_preserves_mean_and_variance() {
+        let mean = 42.0;
+        let std = 5.5;
+        let nodes = discretize_normal(mean, std, 9);
+        let total_w: f64 = nodes.iter().map(|p| p.weight).sum();
+        let m: f64 = nodes.iter().map(|p| p.weight * p.value).sum();
+        let v: f64 = nodes.iter().map(|p| p.weight * (p.value - m).powi(2)).sum();
+        assert!((total_w - 1.0).abs() < 1e-10);
+        assert!((m - mean).abs() < 1e-9);
+        assert!((v - std * std).abs() < 1e-7);
+    }
+
+    #[test]
+    fn discretization_of_degenerate_distribution_is_a_point_mass() {
+        let nodes = discretize_normal(3.0, 0.0, 5);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].value, 3.0);
+        assert_eq!(nodes[0].weight, 1.0);
+    }
+
+    #[test]
+    fn clamped_discretization_never_goes_below_floor() {
+        let nodes = discretize_normal_clamped(1.0, 10.0, 11, 0.0);
+        assert!(nodes.iter().all(|p| p.value >= 0.0));
+        let total_w: f64 = nodes.iter().map(|p| p.weight).sum();
+        assert!((total_w - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_below_handles_degenerate_and_regular_cases() {
+        assert_eq!(normal_below(5.0, 0.0, 6.0), 1.0);
+        assert_eq!(normal_below(5.0, 0.0, 4.0), 0.0);
+        let p = normal_below(5.0, 1.0, 6.0);
+        assert!(p > 0.8 && p < 0.9);
+        assert!((normal_below(0.0, 1.0, 0.0) - 0.5).abs() < 1e-12);
+    }
+}

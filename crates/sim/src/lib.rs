@@ -1,0 +1,36 @@
+//! Analytic job-performance simulators.
+//!
+//! The paper evaluates Lynceus on *measured* datasets: every configuration of
+//! every job was actually run on EC2 and its runtime recorded, and the
+//! optimizers are then evaluated by replaying those lookup tables. The
+//! measured traces are not available to this reproduction, so this crate
+//! provides analytic performance models that generate equivalent lookup
+//! tables with the same qualitative structure (documented in `DESIGN.md`):
+//!
+//! * [`tensorflow`] — a parameter-server model of distributed training
+//!   (compute, communication, convergence as a function of the
+//!   hyper-parameters of Table 1), used for the CNN / RNN / Multilayer jobs;
+//! * [`analytics`] — a batch-analytics model (Amdahl fraction, shuffle,
+//!   memory pressure, disk) used for the 18 Scout jobs and the 5 CherryPick
+//!   jobs;
+//! * [`noise`] — multiplicative measurement noise, so datasets can model
+//!   cloud performance variability;
+//! * [`execution`] — the common result type (`runtime`, `cost`, timeout
+//!   flag).
+//!
+//! The optimizers never see these models: they only observe the resulting
+//! `configuration → (runtime, cost)` tables, exactly as they would observe
+//! measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod execution;
+pub mod noise;
+pub mod tensorflow;
+
+pub use analytics::{AnalyticsJobProfile, AnalyticsModel};
+pub use execution::Execution;
+pub use noise::NoiseModel;
+pub use tensorflow::{NetworkKind, TensorflowModel, TfHyperParams, TrainingMode};

@@ -1,0 +1,117 @@
+//! Ergonomic construction of configuration spaces.
+
+use crate::domain::Domain;
+use crate::space::ConfigSpace;
+
+/// Builder for [`ConfigSpace`].
+///
+/// # Example
+///
+/// ```
+/// use lynceus_space::SpaceBuilder;
+///
+/// let space = SpaceBuilder::new()
+///     .numeric("learning_rate", [1e-3, 1e-4, 1e-5])
+///     .numeric("batch_size", [16.0, 256.0])
+///     .categorical("training_mode", ["sync", "async"])
+///     .build();
+/// assert_eq!(space.len(), 12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpaceBuilder {
+    dimensions: Vec<Domain>,
+}
+
+impl SpaceBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a discrete numeric dimension.
+    #[must_use]
+    pub fn numeric(mut self, name: impl Into<String>, levels: impl IntoIterator<Item = f64>) -> Self {
+        self.dimensions.push(Domain::numeric(name, levels));
+        self
+    }
+
+    /// Adds a categorical dimension.
+    #[must_use]
+    pub fn categorical<S: Into<String>>(
+        mut self,
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.dimensions.push(Domain::categorical(name, labels));
+        self
+    }
+
+    /// Adds an already-constructed dimension.
+    #[must_use]
+    pub fn dimension(mut self, domain: Domain) -> Self {
+        self.dimensions.push(domain);
+        self
+    }
+
+    /// Builds the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dimension was added or two dimensions share a name; use
+    /// [`SpaceBuilder::try_build`] to handle these cases as errors.
+    #[must_use]
+    pub fn build(self) -> ConfigSpace {
+        self.try_build().expect("invalid configuration space")
+    }
+
+    /// Builds the space, reporting construction problems as errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigSpace::new`].
+    pub fn try_build(self) -> Result<ConfigSpace, crate::space::SpaceError> {
+        ConfigSpace::new(self.dimensions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceError;
+
+    #[test]
+    fn builder_constructs_the_expected_grid() {
+        let space = SpaceBuilder::new()
+            .numeric("a", [1.0, 2.0])
+            .categorical("b", ["x", "y", "z"])
+            .build();
+        assert_eq!(space.len(), 6);
+        assert_eq!(space.dimensions()[1].name(), "b");
+    }
+
+    #[test]
+    fn builder_accepts_prebuilt_dimensions() {
+        let space = SpaceBuilder::new()
+            .dimension(Domain::numeric("a", [1.0]))
+            .dimension(Domain::categorical("b", ["u"]))
+            .build();
+        assert_eq!(space.len(), 1);
+    }
+
+    #[test]
+    fn try_build_reports_duplicates() {
+        let err = SpaceBuilder::new()
+            .numeric("a", [1.0])
+            .numeric("a", [2.0])
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateDimension("a".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration space")]
+    fn build_panics_on_empty_builder() {
+        let _ = SpaceBuilder::new().build();
+    }
+}

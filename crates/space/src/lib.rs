@@ -1,0 +1,45 @@
+//! Configuration-space abstraction for the Lynceus reproduction.
+//!
+//! A *configuration* in the paper is a tuple `x = ⟨N, H, P⟩`: the number of
+//! rented VMs, the VM hardware type, and the job-specific parameter settings
+//! (e.g. hyper-parameters of a learning algorithm). The optimizer treats the
+//! configuration space as a finite Cartesian grid of a handful of dimensions
+//! (5 for the TensorFlow jobs, 3 for the Scout/CherryPick jobs).
+//!
+//! This crate provides:
+//!
+//! * [`Domain`] — one dimension of the grid (discrete numeric levels or
+//!   categorical labels);
+//! * [`Config`] — a point of the grid, stored as per-dimension level indices;
+//! * [`ConfigSpace`] — the grid itself, with id ↔ config ↔ feature-vector
+//!   conversions, enumeration and restriction;
+//! * [`SpaceBuilder`] — ergonomic construction.
+//!
+//! # Example
+//!
+//! ```
+//! use lynceus_space::SpaceBuilder;
+//!
+//! let space = SpaceBuilder::new()
+//!     .numeric("workers", [8.0, 16.0, 32.0])
+//!     .categorical("vm_type", ["t2.small", "t2.xlarge"])
+//!     .numeric("batch_size", [16.0, 256.0])
+//!     .build();
+//! assert_eq!(space.len(), 12);
+//! let config = space.config(7);
+//! assert_eq!(space.id_of(&config), Some(7));
+//! assert_eq!(space.features(&config).len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod config;
+mod domain;
+mod space;
+
+pub use builder::SpaceBuilder;
+pub use config::{Config, ConfigId};
+pub use domain::{Domain, Value};
+pub use space::{ConfigSpace, SpaceError};

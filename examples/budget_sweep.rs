@@ -1,0 +1,34 @@
+//! Budget sensitivity (the experiment behind Figures 8 and 9): how the
+//! quality of the recommendation and the number of explorations change with
+//! the profiling budget b ∈ {1, 3, 5}.
+//!
+//! Run with `cargo run --release --example budget_sweep`.
+
+use lynceus::prelude::*;
+use lynceus::datasets::scout;
+use lynceus::experiments::runner::run_metrics;
+use lynceus::math::stats::mean;
+
+fn main() {
+    let job = scout::dataset(&scout::job_profiles()[5], catalog::DEFAULT_SEED);
+    println!("job: {} ({} configurations)", job.name(), job.len());
+    println!("{:>4} {:>12} {:>12} {:>10}", "b", "optimizer", "avg CNO", "avg NEX");
+
+    for b in [1.0, 3.0, 5.0] {
+        let config = ExperimentConfig::default()
+            .with_runs(5)
+            .with_budget_multiplier(b);
+        for kind in [OptimizerKind::Lynceus { lookahead: 1 }, OptimizerKind::Bo] {
+            let metrics = run_metrics(&job, kind, &config);
+            let cnos: Vec<f64> = metrics.iter().filter_map(|m| m.cno).collect();
+            let nex: Vec<f64> = metrics.iter().map(|m| m.nex as f64).collect();
+            println!(
+                "{:>4} {:>12} {:>12.3} {:>10.1}",
+                b,
+                kind.label(),
+                mean(&cnos),
+                mean(&nex)
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Bringing your own job: implement `CostOracle` for a workload simulated
+//! with the bundled cloud + performance-model substrates, and account for
+//! cluster switching costs (paper Section 4.4, "Setup costs").
+//!
+//! Run with `cargo run --example custom_job`.
+
+use lynceus::cloud::{Catalog, ClusterSpec, SetupCostModel};
+use lynceus::core::switching::FnSwitching;
+use lynceus::prelude::*;
+use lynceus::sim::{AnalyticsJobProfile, AnalyticsModel};
+use lynceus::space::ConfigSpace;
+
+/// A nightly ETL job simulated with the analytic batch-analytics model.
+struct NightlyEtl {
+    space: ConfigSpace,
+    model: AnalyticsModel,
+    catalog: Catalog,
+}
+
+impl NightlyEtl {
+    fn new() -> Self {
+        let mut profile = AnalyticsJobProfile::shuffle_bound("nightly-etl", 150.0);
+        profile.compute_core_seconds = 25_000.0;
+        Self {
+            space: SpaceBuilder::new()
+                .categorical("vm", ["m4.large", "m4.xlarge", "c4.xlarge", "r4.xlarge"])
+                .numeric("nodes", [4.0, 8.0, 12.0, 16.0, 24.0, 32.0])
+                .build(),
+            model: AnalyticsModel::new(profile),
+            catalog: Catalog::aws(),
+        }
+    }
+
+    fn cluster(&self, id: ConfigId) -> ClusterSpec {
+        let config = self.space.config_of(id);
+        let values = self.space.values(&config);
+        let vm = self
+            .catalog
+            .get(values[0].1.as_label().unwrap())
+            .unwrap()
+            .clone();
+        ClusterSpec::new(vm, values[1].1.as_number().unwrap() as u32)
+    }
+}
+
+impl CostOracle for NightlyEtl {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn candidates(&self) -> Vec<ConfigId> {
+        self.space.ids().collect()
+    }
+
+    fn run(&self, id: ConfigId) -> Observation {
+        let cluster = self.cluster(id);
+        let runtime = self.model.runtime_seconds(&cluster);
+        Observation::new(runtime, runtime * cluster.price_per_second())
+    }
+
+    fn price_rate(&self, id: ConfigId) -> f64 {
+        self.cluster(id).price_per_second()
+    }
+}
+
+fn main() {
+    let job = NightlyEtl::new();
+    let setup = SetupCostModel::default();
+
+    // Charge cluster-switching time at the new cluster's price on every
+    // profiling run, so the optimizer prefers exploration orders that reuse
+    // the deployed cluster.
+    let space_for_switch = job.space.clone();
+    let catalog = Catalog::aws();
+    let switching = FnSwitching(move |from: Option<ConfigId>, to: ConfigId| {
+        let cluster_of = |id: ConfigId| {
+            let values = space_for_switch.values(&space_for_switch.config_of(id));
+            let vm = catalog.get(values[0].1.as_label().unwrap()).unwrap().clone();
+            ClusterSpec::new(vm, values[1].1.as_number().unwrap() as u32)
+        };
+        setup.setup_cost(from.map(&cluster_of).as_ref(), &cluster_of(to))
+    });
+
+    let settings = OptimizerSettings {
+        budget: 5.0,
+        tmax_seconds: 1_200.0, // the nightly window
+        lookahead: 1,
+        ..OptimizerSettings::default()
+    };
+    let report = LynceusOptimizer::new(settings)
+        .with_switching_cost(Box::new(switching))
+        .optimize(&job, 2024);
+
+    let id = report.recommended.expect("a feasible cluster exists");
+    println!(
+        "recommended cluster: {:?} — ${:.3} per nightly run ({} profiling runs, ${:.2} spent)",
+        job.space.values(&job.space.config_of(id)),
+        report.recommended_cost.unwrap(),
+        report.num_explorations(),
+        report.budget_spent,
+    );
+}

@@ -1,0 +1,68 @@
+//! The multiple-constraints extension (paper Section 4.4): besides the
+//! deadline, the job must also keep a secondary metric (here, simulated
+//! energy consumption) under a threshold.
+//!
+//! Run with `cargo run --example multi_constraint`.
+
+use lynceus::prelude::*;
+use lynceus::space::ConfigSpace;
+
+/// A toy oracle that also reports energy: big clusters are fast but burn
+/// more energy.
+struct EnergyAwareJob {
+    space: ConfigSpace,
+}
+
+impl CostOracle for EnergyAwareJob {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn candidates(&self) -> Vec<ConfigId> {
+        self.space.ids().collect()
+    }
+
+    fn run(&self, id: ConfigId) -> Observation {
+        let features = self.space.features_of(id);
+        let workers = features[0];
+        let runtime = 30.0 + 500.0 / workers;
+        let cost = runtime * 0.002 * workers;
+        let energy = workers * runtime * 0.8; // watt-hours, say
+        Observation::new(runtime, cost).with_metrics(vec![energy])
+    }
+
+    fn price_rate(&self, id: ConfigId) -> f64 {
+        0.002 * self.space.features_of(id)[0]
+    }
+}
+
+fn main() {
+    let job = EnergyAwareJob {
+        space: SpaceBuilder::new()
+            .numeric("workers", (1..=16).map(f64::from))
+            .build(),
+    };
+
+    let unconstrained = OptimizerSettings {
+        budget: 30.0,
+        tmax_seconds: 200.0,
+        lookahead: 1,
+        ..OptimizerSettings::default()
+    };
+    let mut energy_capped = unconstrained.clone();
+    // Metric 0 (energy) must stay below 2_500 Wh.
+    energy_capped.secondary_constraints = vec![SecondaryConstraint::new(0, 2_500.0)];
+
+    for (label, settings) in [("deadline only", unconstrained), ("deadline + energy cap", energy_capped)] {
+        let report = LynceusOptimizer::new(settings).optimize(&job, 11);
+        let id = report.recommended.expect("feasible configuration found");
+        let obs = job.run(id);
+        println!(
+            "{label:<22}: workers = {:>2}, runtime = {:>5.1}s, cost = ${:.3}, energy = {:>6.0} Wh",
+            job.space.features_of(id)[0],
+            obs.runtime_seconds,
+            obs.cost,
+            obs.metrics[0]
+        );
+    }
+}

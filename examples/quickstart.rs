@@ -1,0 +1,38 @@
+//! Quickstart: tune a toy job with Lynceus in a dozen lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lynceus::prelude::*;
+
+fn main() {
+    // A synthetic job over a 2-dimensional grid: more workers make it faster
+    // (up to a point), the "batch" parameter shifts the sweet spot.
+    let space = SpaceBuilder::new()
+        .numeric("workers", (1..=8).map(f64::from))
+        .numeric("batch", [16.0, 64.0, 256.0])
+        .build();
+    let oracle = TableOracle::from_fn(space, 0.01, |features| {
+        let workers = features[0];
+        let batch = features[1];
+        40.0 + 600.0 / (workers * (1.0 + batch / 512.0)) + workers * 6.0
+    });
+
+    let settings = OptimizerSettings {
+        budget: 15.0,          // dollars available for profiling runs
+        tmax_seconds: 400.0,   // the job must finish within 400 s
+        lookahead: 1,
+        ..OptimizerSettings::default()
+    };
+    let report = LynceusOptimizer::new(settings).optimize(&oracle, 42);
+
+    println!("explored {} configurations", report.num_explorations());
+    println!("spent ${:.2} of the profiling budget", report.budget_spent);
+    match report.recommended {
+        Some(id) => {
+            let config = oracle.space().config_of(id);
+            println!("recommended configuration: {:?}", oracle.space().values(&config));
+            println!("its cost per run: ${:.3}", report.recommended_cost.unwrap());
+        }
+        None => println!("no configuration satisfied the deadline"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Cluster provisioning for Spark/Hadoop analytics (the Scout and CherryPick
+//! scenario): only the cloud configuration is tuned.
+//!
+//! Run with `cargo run --release --example spark_provisioning`.
+
+use lynceus::prelude::*;
+use lynceus::datasets::scout;
+
+fn main() {
+    for profile in scout::job_profiles().iter().take(3) {
+        let job = scout::dataset(profile, catalog::DEFAULT_SEED);
+        let (_, optimal_cost) = job.optimum().expect("feasible optimum");
+
+        let bootstrap = OptimizerSettings::default().bootstrap_count(job.len(), job.space().dims());
+        let settings = OptimizerSettings {
+            budget: job.budget_for(bootstrap, 3.0),
+            tmax_seconds: job.tmax_seconds(),
+            lookahead: 2,
+            ..OptimizerSettings::default()
+        };
+        let report = LynceusOptimizer::new(settings).optimize(&job, 3);
+        let id = report.recommended.expect("a feasible configuration was found");
+        let cluster = job.space().values(&job.space().config_of(id));
+        println!(
+            "{:<22} -> {:?}  (CNO {:.2}, {} runs profiled)",
+            job.name(),
+            cluster,
+            report.recommended_cost.unwrap() / optimal_cost,
+            report.num_explorations()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Joint hyper-parameter + cloud tuning of a TensorFlow training job: the
+//! paper's headline scenario (Section 5.1.1).
+//!
+//! Lynceus and the CherryPick-style BO baseline are given the same budget on
+//! the CNN dataset (384 configurations over 5 dimensions) and their
+//! recommendations are compared against the true optimum.
+//!
+//! Run with `cargo run --release --example tensorflow_tuning`.
+
+use lynceus::prelude::*;
+use lynceus::datasets::tensorflow;
+use lynceus::sim::NetworkKind;
+
+fn main() {
+    let job = tensorflow::dataset(NetworkKind::Cnn, catalog::DEFAULT_SEED);
+    let (optimal_id, optimal_cost) = job.optimum().expect("the dataset has feasible configurations");
+    println!(
+        "CNN dataset: {} configurations, Tmax = {:.0} s, optimal cost ${:.4} at {:?}",
+        job.len(),
+        job.tmax_seconds(),
+        optimal_cost,
+        job.space().values(&job.space().config_of(optimal_id)),
+    );
+
+    let bootstrap = OptimizerSettings::default().bootstrap_count(job.len(), job.space().dims());
+    let settings = OptimizerSettings {
+        budget: job.budget_for(bootstrap, 3.0), // the paper's medium budget
+        tmax_seconds: job.tmax_seconds(),
+        lookahead: 1, // use 2 for the paper's default (slower)
+        ..OptimizerSettings::default()
+    };
+
+    for (name, report) in [
+        ("Lynceus", LynceusOptimizer::new(settings.clone()).optimize(&job, 7)),
+        ("BO (CherryPick-style)", BoOptimizer::new(settings.clone()).optimize(&job, 7)),
+    ] {
+        let cno = report
+            .recommended_cost
+            .map(|c| c / optimal_cost)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{name:>22}: {} explorations, ${:.3} spent, CNO = {:.2}",
+            report.num_explorations(),
+            report.budget_spent,
+            cno
+        );
+    }
+}

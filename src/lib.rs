@@ -1,0 +1,60 @@
+//! # Lynceus — budget-aware tuning and provisioning of data analytic jobs
+//!
+//! This is the facade crate of the Lynceus reproduction workspace. It
+//! re-exports every sub-crate under a short module name so applications can
+//! depend on a single crate:
+//!
+//! | Module | Contents |
+//! | --- | --- |
+//! | [`core`] | The optimizers: [`core::LynceusOptimizer`], [`core::BoOptimizer`], [`core::RandomOptimizer`], the [`core::CostOracle`] trait and the Section 4.4 extensions. |
+//! | [`datasets`] | The TensorFlow / Scout / CherryPick lookup datasets used by the paper's evaluation. |
+//! | [`experiments`] | The harness that reproduces every figure and table. |
+//! | [`learners`] | Surrogate models (bagging ensembles of regression trees, Gaussian processes). |
+//! | [`space`] | Configuration-space abstraction. |
+//! | [`cloud`] | VM catalog, clusters, pricing, setup costs. |
+//! | [`sim`] | Analytic job-performance simulators. |
+//! | [`math`] | Normal distribution, Gauss–Hermite quadrature, LHS, statistics. |
+//!
+//! # Quick start
+//!
+//! ```
+//! use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings};
+//! use lynceus::datasets::scout;
+//!
+//! // Pick one of the bundled datasets (a Spark job on an AWS grid)…
+//! let job = scout::dataset(&scout::job_profiles()[0], 1);
+//! // …give Lynceus a profiling budget of 3x the bootstrap cost…
+//! let settings = OptimizerSettings {
+//!     budget: job.budget_for(3, 3.0),
+//!     tmax_seconds: job.tmax_seconds(),
+//!     lookahead: 1,
+//!     ..OptimizerSettings::default()
+//! };
+//! // …and let it find a cheap configuration that meets the deadline.
+//! let report = LynceusOptimizer::new(settings).optimize(&job, 7);
+//! assert!(report.recommended.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lynceus_cloud as cloud;
+pub use lynceus_core as core;
+pub use lynceus_datasets as datasets;
+pub use lynceus_experiments as experiments;
+pub use lynceus_learners as learners;
+pub use lynceus_math as math;
+pub use lynceus_sim as sim;
+pub use lynceus_space as space;
+
+/// The most commonly used items, for glob import in examples and
+/// applications.
+pub mod prelude {
+    pub use crate::core::{
+        BoOptimizer, CostOracle, LynceusOptimizer, Observation, OptimizationReport, Optimizer,
+        OptimizerSettings, RandomOptimizer, SecondaryConstraint, TableOracle,
+    };
+    pub use crate::datasets::{catalog, LookupDataset};
+    pub use crate::experiments::{ExperimentConfig, OptimizerKind};
+    pub use crate::space::{Config, ConfigId, ConfigSpace, SpaceBuilder};
+}

@@ -1,0 +1,126 @@
+//! Integration tests spanning datasets, optimizers and the experiment
+//! harness: the full pipeline the paper's evaluation exercises.
+
+use lynceus::prelude::*;
+use lynceus::datasets::{cherrypick, scout, tensorflow};
+use lynceus::experiments::runner::{cno_sample, run_metrics};
+use lynceus::math::stats::mean;
+use lynceus::sim::NetworkKind;
+
+fn scout_job(index: usize) -> LookupDataset {
+    scout::dataset(&scout::job_profiles()[index], 11)
+}
+
+fn medium_settings(job: &LookupDataset, lookahead: usize) -> OptimizerSettings {
+    let bootstrap = OptimizerSettings::default().bootstrap_count(job.len(), job.space().dims());
+    OptimizerSettings {
+        budget: job.budget_for(bootstrap, 3.0),
+        tmax_seconds: job.tmax_seconds(),
+        lookahead,
+        gauss_hermite_nodes: 3,
+        ..OptimizerSettings::default()
+    }
+}
+
+#[test]
+fn every_optimizer_recommends_a_feasible_configuration_on_a_scout_job() {
+    let job = scout_job(0);
+    let settings = medium_settings(&job, 1);
+    let optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(LynceusOptimizer::new(settings.clone())),
+        Box::new(BoOptimizer::new(settings.clone())),
+        Box::new(RandomOptimizer::new(settings)),
+    ];
+    for optimizer in optimizers {
+        let report = optimizer.optimize(&job, 5);
+        let id = report
+            .recommended
+            .unwrap_or_else(|| panic!("{} found nothing feasible", optimizer.name()));
+        assert!(job.is_feasible(id), "{} recommended an infeasible config", optimizer.name());
+        assert!(report.budget_spent > 0.0);
+        // The recommendation must be one of the explored configurations.
+        assert!(report.explorations.iter().any(|e| e.id == id));
+    }
+}
+
+#[test]
+fn lynceus_never_overdraws_the_budget_after_bootstrap_on_lookup_datasets() {
+    // Lookup datasets are deterministic, so the 0.99-confidence budget filter
+    // translates into a hard guarantee once the surrogate has seen the data.
+    let job = cherrypick::dataset(&cherrypick::jobs()[0], 3);
+    let settings = medium_settings(&job, 1);
+    let report = LynceusOptimizer::new(settings.clone()).optimize(&job, 9);
+    let bootstrap_cost: f64 = report
+        .explorations
+        .iter()
+        .filter(|e| e.bootstrap)
+        .map(|e| e.observation.cost)
+        .sum();
+    assert!(
+        report.budget_spent <= settings.budget.max(bootstrap_cost) * 1.05,
+        "spent {} of a budget of {}",
+        report.budget_spent,
+        settings.budget
+    );
+}
+
+#[test]
+fn optimizers_are_deterministic_across_identical_invocations() {
+    let job = scout_job(3);
+    let settings = medium_settings(&job, 1);
+    let a = LynceusOptimizer::new(settings.clone()).optimize(&job, 21);
+    let b = LynceusOptimizer::new(settings).optimize(&job, 21);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lynceus_matches_or_beats_random_search_on_average() {
+    let job = scout_job(5);
+    let config = ExperimentConfig::default().with_runs(6);
+    let lynceus = cno_sample(&run_metrics(&job, OptimizerKind::Lynceus { lookahead: 1 }, &config));
+    let random = cno_sample(&run_metrics(&job, OptimizerKind::Random, &config));
+    assert!(
+        mean(&lynceus) <= mean(&random) + 0.05,
+        "Lynceus CNO {} vs RND {}",
+        mean(&lynceus),
+        mean(&random)
+    );
+}
+
+#[test]
+fn the_tensorflow_grid_exposes_the_paper_documented_structure() {
+    let job = tensorflow::dataset(NetworkKind::Multilayer, 1);
+    // 5 dimensions, 384 points, both feasible and infeasible regions.
+    assert_eq!(job.space().dims(), 5);
+    assert_eq!(job.len(), 384);
+    assert!(job.feasible_fraction() > 0.0 && job.feasible_fraction() < 1.0);
+    // The disjoint-optimization analysis runs over the same grid.
+    let outcomes = lynceus::core::disjoint::disjoint_optimization_all_references(
+        &job,
+        &tensorflow::CLOUD_DIMS,
+        &tensorflow::PARAM_DIMS,
+        job.tmax_seconds(),
+    );
+    assert_eq!(outcomes.len(), 32, "one disjoint outcome per cloud configuration");
+    let optimum = job.optimum().unwrap().1;
+    // The ideal disjoint optimizer never beats the joint optimum...
+    assert!(outcomes.iter().all(|o| o.cost >= optimum - 1e-9));
+    // ...and misses it for at least one reference configuration.
+    assert!(outcomes.iter().any(|o| o.cost > optimum * 1.01));
+}
+
+#[test]
+fn reports_expose_consistent_bookkeeping() {
+    let job = scout_job(7);
+    let settings = medium_settings(&job, 0);
+    let report = LynceusOptimizer::new(settings).optimize(&job, 2);
+    let total_cost: f64 = report.explorations.iter().map(|e| e.observation.cost).sum();
+    assert!((report.budget_spent - total_cost).abs() < 1e-9);
+    let trajectory = report.incumbent_trajectory();
+    assert_eq!(trajectory.len(), report.num_explorations());
+    // The incumbent can only improve over time.
+    let finite: Vec<f64> = trajectory.iter().filter_map(|t| *t).collect();
+    for pair in finite.windows(2) {
+        assert!(pair[1] <= pair[0] + 1e-12);
+    }
+}

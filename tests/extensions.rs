@@ -1,0 +1,161 @@
+//! Integration tests for the Section 4.4 extensions: multiple constraints and
+//! setup/switching costs.
+
+use lynceus::cloud::{Catalog, ClusterSpec, SetupCostModel};
+use lynceus::core::switching::FnSwitching;
+use lynceus::prelude::*;
+use lynceus::space::ConfigSpace;
+
+/// A job whose second metric (say, peak memory in GB) grows with the batch
+/// dimension; bigger batches are cheaper but blow the memory cap.
+struct MemoryHungryJob {
+    space: ConfigSpace,
+}
+
+impl MemoryHungryJob {
+    fn new() -> Self {
+        Self {
+            space: SpaceBuilder::new()
+                .numeric("workers", (1..=6).map(f64::from))
+                .numeric("batch", [16.0, 64.0, 256.0, 1024.0])
+                .build(),
+        }
+    }
+}
+
+impl CostOracle for MemoryHungryJob {
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn candidates(&self) -> Vec<ConfigId> {
+        self.space.ids().collect()
+    }
+
+    fn run(&self, id: ConfigId) -> Observation {
+        let f = self.space.features_of(id);
+        let (workers, batch) = (f[0], f[1]);
+        let runtime = 50.0 + 800.0 / (workers * (batch / 16.0).sqrt());
+        let cost = runtime * 0.001 * workers;
+        let peak_memory_gb = 1.0 + batch / 64.0;
+        Observation::new(runtime, cost).with_metrics(vec![peak_memory_gb])
+    }
+
+    fn price_rate(&self, id: ConfigId) -> f64 {
+        0.001 * self.space.features_of(id)[0]
+    }
+}
+
+#[test]
+fn secondary_constraints_steer_the_recommendation_away_from_violations() {
+    let job = MemoryHungryJob::new();
+    let base = OptimizerSettings {
+        budget: 8.0,
+        tmax_seconds: 1_000.0,
+        lookahead: 1,
+        ..OptimizerSettings::default()
+    };
+
+    let unconstrained = LynceusOptimizer::new(base.clone()).optimize(&job, 3);
+    let unconstrained_memory =
+        job.run(unconstrained.recommended.unwrap()).metrics[0];
+
+    let mut capped_settings = base;
+    capped_settings.secondary_constraints = vec![SecondaryConstraint::new(0, 6.0)];
+    let capped = LynceusOptimizer::new(capped_settings).optimize(&job, 3);
+    let capped_memory = job.run(capped.recommended.unwrap()).metrics[0];
+
+    // Without the cap the cheapest configurations use the biggest batch and
+    // exceed 6 GB; with the cap the recommendation must respect it.
+    assert!(unconstrained_memory > 6.0, "test premise: {unconstrained_memory}");
+    assert!(capped_memory <= 6.0 + 1e-9, "capped run used {capped_memory} GB");
+}
+
+#[test]
+fn bo_baseline_also_honours_secondary_constraints() {
+    let job = MemoryHungryJob::new();
+    let mut settings = OptimizerSettings {
+        budget: 8.0,
+        tmax_seconds: 1_000.0,
+        ..OptimizerSettings::default()
+    };
+    settings.secondary_constraints = vec![SecondaryConstraint::new(0, 6.0)];
+    let report = BoOptimizer::new(settings).optimize(&job, 5);
+    let memory = job.run(report.recommended.unwrap()).metrics[0];
+    assert!(memory <= 6.0 + 1e-9, "BO recommended a {memory} GB configuration");
+}
+
+#[test]
+fn switching_costs_are_charged_against_the_budget() {
+    let space = SpaceBuilder::new()
+        .categorical("vm", ["m4.large", "c4.xlarge"])
+        .numeric("nodes", [2.0, 4.0, 8.0])
+        .build();
+    let oracle = TableOracle::from_fn(space, 0.01, |f| 100.0 + 200.0 / f[1]);
+
+    let settings = OptimizerSettings {
+        budget: 20.0,
+        tmax_seconds: 1_000.0,
+        lookahead: 0,
+        ..OptimizerSettings::default()
+    };
+
+    let free = LynceusOptimizer::new(settings.clone()).optimize(&oracle, 1);
+
+    // A flat $0.50 charge for every cluster switch.
+    let charged = LynceusOptimizer::new(settings)
+        .with_switching_cost(Box::new(FnSwitching(|from: Option<ConfigId>, to: ConfigId| {
+            if from == Some(to) {
+                0.0
+            } else {
+                0.5
+            }
+        })))
+        .optimize(&oracle, 1);
+
+    // Same oracle, same seed: the switching charges must show up as extra
+    // spend (or fewer explorations within the same budget).
+    assert!(
+        charged.budget_spent > free.budget_spent - 1e-9
+            || charged.num_explorations() < free.num_explorations(),
+        "switching costs had no effect: free spent {} in {} runs, charged spent {} in {} runs",
+        free.budget_spent,
+        free.num_explorations(),
+        charged.budget_spent,
+        charged.num_explorations()
+    );
+}
+
+#[test]
+fn cloud_setup_cost_model_integrates_with_the_optimizer() {
+    let space = SpaceBuilder::new()
+        .categorical("vm", ["m4.large", "r4.large"])
+        .numeric("nodes", [2.0, 4.0])
+        .build();
+    let oracle = TableOracle::from_fn(space.clone(), 0.01, |f| 80.0 + 100.0 / f[1]);
+
+    let catalog = Catalog::aws();
+    let setup = SetupCostModel::default();
+    let cluster_of = move |id: ConfigId| {
+        let values = space.values(&space.config_of(id));
+        let vm = catalog.get(values[0].1.as_label().unwrap()).unwrap().clone();
+        ClusterSpec::new(vm, values[1].1.as_number().unwrap() as u32)
+    };
+    let switching = FnSwitching(move |from: Option<ConfigId>, to: ConfigId| {
+        setup.setup_cost(from.map(&cluster_of).as_ref(), &cluster_of(to))
+    });
+
+    let settings = OptimizerSettings {
+        budget: 10.0,
+        tmax_seconds: 1_000.0,
+        lookahead: 1,
+        ..OptimizerSettings::default()
+    };
+    let report = LynceusOptimizer::new(settings)
+        .with_switching_cost(Box::new(switching))
+        .optimize(&oracle, 4);
+    assert!(report.recommended.is_some());
+    // Switching costs are extra spend on top of the observation costs.
+    let observation_cost: f64 = report.explorations.iter().map(|e| e.observation.cost).sum();
+    assert!(report.budget_spent >= observation_cost);
+}
