@@ -44,19 +44,18 @@ fn parse_args() -> Options {
     if targets.is_empty() {
         targets.push("all".to_owned());
     }
-    Options { runs, full, targets }
+    Options {
+        runs,
+        full,
+        targets,
+    }
 }
 
 fn main() {
     let options = parse_args();
     let config = ExperimentConfig::default().with_runs(options.runs);
     let tf = catalog::tensorflow_datasets();
-    let wants = |name: &str| {
-        options
-            .targets
-            .iter()
-            .any(|t| t == name || t == "all")
-    };
+    let wants = |name: &str| options.targets.iter().any(|t| t == name || t == "all");
 
     if wants("fig1a") {
         println!("{}", render_figure(&figures::fig1a(&tf)));

@@ -34,7 +34,9 @@ pub fn bench_runs() -> usize {
 /// representative subset.
 #[must_use]
 pub fn full_fidelity() -> bool {
-    std::env::var("LYNCEUS_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LYNCEUS_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The experiment configuration used by the bench targets: the default run

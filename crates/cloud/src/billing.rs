@@ -67,20 +67,14 @@ mod tests {
 
     #[test]
     fn per_minute_billing_rounds_up() {
-        assert_eq!(
-            BillingGranularity::PerMinute.billable_seconds(61.0),
-            120.0
-        );
+        assert_eq!(BillingGranularity::PerMinute.billable_seconds(61.0), 120.0);
         assert_eq!(BillingGranularity::PerMinute.billable_seconds(60.0), 60.0);
         assert_eq!(BillingGranularity::PerMinute.billable_seconds(0.0), 0.0);
     }
 
     #[test]
     fn per_hour_billing_rounds_up() {
-        assert_eq!(
-            BillingGranularity::PerHour.billable_seconds(3601.0),
-            7200.0
-        );
+        assert_eq!(BillingGranularity::PerHour.billable_seconds(3601.0), 7200.0);
         let cost = cost_for(10.0, 1.0, BillingGranularity::PerHour);
         assert!((cost - 1.0).abs() < 1e-12);
     }

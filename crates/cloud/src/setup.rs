@@ -148,8 +148,6 @@ mod tests {
         let cheap = cluster("t2.small", 2);
         let pricey = cluster("i2.2xlarge", 2);
         let from = cluster("m4.large", 4);
-        assert!(
-            model.setup_cost(Some(&from), &pricey) > model.setup_cost(Some(&from), &cheap)
-        );
+        assert!(model.setup_cost(Some(&from), &pricey) > model.setup_cost(Some(&from), &cheap));
     }
 }

@@ -36,11 +36,59 @@ pub fn feasibility_probability(prediction: Prediction, cost_cap: f64) -> f64 {
     normal_below(prediction.mean, prediction.std, cost_cap)
 }
 
+/// Precomputed threshold for the budget filter: `z` such that
+/// `P(C(x) ≤ β) ≥ confidence ⟺ µ(x) + z·σ(x) ≤ β` for a Gaussian
+/// prediction.
+///
+/// The budget filter runs once per untested configuration per (real or
+/// speculated) optimizer state; phrasing it as a linear comparison against a
+/// once-per-decision quantile removes a normal-cdf evaluation from that
+/// inner loop.
+///
+/// # Panics
+///
+/// Panics if `confidence` is not strictly between 0 and 1.
+#[must_use]
+pub fn budget_filter_z(confidence: f64) -> f64 {
+    StandardNormal::quantile(confidence)
+}
+
+/// True when the predicted cost fits the budget `beta` at the confidence
+/// level encoded by `z` (see [`budget_filter_z`]): `µ + z·σ ≤ β`, with the
+/// degenerate `σ ≤ 0` prediction feasible iff `µ ≤ β`. NaN predictions are
+/// never feasible.
+#[must_use]
+pub fn fits_budget(prediction: Prediction, beta: f64, z: f64) -> bool {
+    if prediction.std <= 0.0 || !prediction.std.is_finite() {
+        prediction.mean <= beta
+    } else {
+        prediction.mean + z * prediction.std <= beta
+    }
+}
+
 /// Constrained expected improvement `EIc(x) = EI(x)·P(C(x) ≤ Tmax·U(x))`.
 #[must_use]
 pub fn constrained_ei(y_best: f64, prediction: Prediction, constraint_cost_cap: f64) -> f64 {
     expected_improvement(y_best, prediction)
         * feasibility_probability(prediction, constraint_cost_cap)
+}
+
+/// Total order over acquisition scores that treats NaN as the worst value.
+///
+/// `EIc` arithmetic can produce NaN in degenerate states (e.g. an infinite
+/// incumbent multiplied by a zero feasibility probability); the selection
+/// loops must *never* abort the whole optimization over one poisoned score,
+/// and must never pick it either. NaN (of either sign) compares below every
+/// real number, including `-inf`; apart from that the order is
+/// [`f64::total_cmp`].
+#[must_use]
+pub fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
 }
 
 /// The incumbent `y*` used by the acquisition function.
@@ -60,14 +108,18 @@ pub fn incumbent_cost(profiled: &[(f64, bool)], max_untested_std: f64) -> f64 {
         .iter()
         .filter(|(_, feasible)| *feasible)
         .map(|(cost, _)| *cost)
-        .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))));
+        .fold(None, |acc: Option<f64>, c| {
+            Some(acc.map_or(c, |a| a.min(c)))
+        });
     if let Some(best) = best_feasible {
         return best;
     }
     let max_cost = profiled
         .iter()
         .map(|(cost, _)| *cost)
-        .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.max(c))));
+        .fold(None, |acc: Option<f64>, c| {
+            Some(acc.map_or(c, |a| a.max(c)))
+        });
     match max_cost {
         Some(max) => max + 3.0 * max_untested_std,
         None => f64::INFINITY,
@@ -132,5 +184,41 @@ mod tests {
     #[test]
     fn incumbent_of_an_empty_history_is_unbounded() {
         assert_eq!(incumbent_cost(&[], 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn budget_filter_threshold_matches_the_cdf_formulation() {
+        let z = budget_filter_z(0.99);
+        let mut cases = 0;
+        for mean in [1.0, 40.0, 80.0, 119.0] {
+            for std in [0.0, 0.5, 5.0, 40.0] {
+                let p = pred(mean, std);
+                let by_threshold = fits_budget(p, 100.0, z);
+                let by_cdf = feasibility_probability(p, 100.0) >= 0.99;
+                assert_eq!(by_threshold, by_cdf, "mismatch at µ={mean}, σ={std}");
+                cases += 1;
+            }
+        }
+        assert_eq!(cases, 16);
+        // NaN predictions are never feasible.
+        assert!(!fits_budget(pred(f64::NAN, 1.0), 100.0, z));
+        assert!(!fits_budget(pred(f64::NAN, 0.0), 100.0, z));
+    }
+
+    #[test]
+    fn score_cmp_treats_nan_as_worst_and_orders_reals_totally() {
+        use std::cmp::Ordering;
+        assert_eq!(score_cmp(f64::NAN, -1e300), Ordering::Less);
+        assert_eq!(score_cmp(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(score_cmp(0.0, f64::NAN), Ordering::Greater);
+        assert_eq!(score_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(score_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(score_cmp(f64::INFINITY, 1.0), Ordering::Greater);
+        // An argmax over scores with a NaN member picks a real score.
+        let scores = [0.3, f64::NAN, 0.7, 0.1];
+        let best = (0..scores.len())
+            .max_by(|&a, &b| score_cmp(scores[a], scores[b]))
+            .unwrap();
+        assert_eq!(best, 2);
     }
 }

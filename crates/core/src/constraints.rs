@@ -8,7 +8,7 @@
 //! independent, as in the paper).
 
 use crate::acquisition::feasibility_probability;
-use lynceus_learners::{BaggingEnsemble, Surrogate, TrainingSet};
+use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Prediction, Surrogate, TrainingSet};
 use lynceus_space::ConfigSpace;
 use serde::{Deserialize, Serialize};
 
@@ -44,11 +44,17 @@ pub(crate) struct ConstraintModels {
 
 impl ConstraintModels {
     /// Creates (unfitted) models for the given constraints.
-    pub(crate) fn new(constraints: &[SecondaryConstraint], ensemble_size: usize, seed: u64) -> Self {
+    pub(crate) fn new(
+        constraints: &[SecondaryConstraint],
+        ensemble_size: usize,
+        seed: u64,
+    ) -> Self {
         let models = constraints
             .iter()
             .enumerate()
-            .map(|(i, _)| BaggingEnsemble::with_seed(ensemble_size, seed.wrapping_add(1000 + i as u64)))
+            .map(|(i, _)| {
+                BaggingEnsemble::with_seed(ensemble_size, seed.wrapping_add(1000 + i as u64))
+            })
             .collect();
         Self {
             constraints: constraints.to_vec(),
@@ -94,6 +100,33 @@ impl ConstraintModels {
             })
             .product()
     }
+
+    /// Joint satisfaction probabilities for a batch of rows, written into
+    /// `out` (cleared first, aligned with `rows`).
+    ///
+    /// Each constraint model is evaluated once per batch via
+    /// [`Surrogate::predict_rows`] (tree-major), and the per-row products
+    /// multiply in constraint order — element-wise bit-identical to
+    /// [`ConstraintModels::satisfaction_probability`].
+    pub(crate) fn satisfaction_rows(
+        &self,
+        features: &FeatureMatrix,
+        rows: &[usize],
+        out: &mut Vec<f64>,
+        scratch: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.resize(rows.len(), 1.0);
+        for (constraint, model) in self.constraints.iter().zip(&self.models) {
+            if !model.is_fitted() {
+                continue;
+            }
+            model.predict_rows(features, rows, scratch);
+            for (slot, prediction) in out.iter_mut().zip(scratch.iter()) {
+                *slot *= feasibility_probability(*prediction, constraint.threshold);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +135,9 @@ mod tests {
     use lynceus_space::SpaceBuilder;
 
     fn space() -> ConfigSpace {
-        SpaceBuilder::new().numeric("x", (0..10).map(f64::from)).build()
+        SpaceBuilder::new()
+            .numeric("x", (0..10).map(f64::from))
+            .build()
     }
 
     #[test]
@@ -130,7 +165,10 @@ mod tests {
         models.fit(&space, &observed);
         let low = models.satisfaction_probability(&[1.0]);
         let high = models.satisfaction_probability(&[9.0]);
-        assert!(low > high, "low-x {low} should satisfy more often than high-x {high}");
+        assert!(
+            low > high,
+            "low-x {low} should satisfy more often than high-x {high}"
+        );
         assert!(low > 0.5);
         assert!(high < 0.5);
     }
@@ -149,7 +187,10 @@ mod tests {
             .collect();
         models.fit(&space, &observed);
         let p = models.satisfaction_probability(&[4.0]);
-        assert!(p < 0.1, "joint probability {p} should be dominated by the violated constraint");
+        assert!(
+            p < 0.1,
+            "joint probability {p} should be dominated by the violated constraint"
+        );
     }
 
     #[test]

@@ -117,10 +117,7 @@ pub fn disjoint_optimization(
         })
         .collect();
     let best_on_reference = pick_best(&on_reference)?;
-    let best_params = sub_key(
-        space.config_of(best_on_reference).levels(),
-        param_dims,
-    );
+    let best_params = sub_key(space.config_of(best_on_reference).levels(), param_dims);
 
     // Phase 2: best cloud configuration for those parameters.
     let with_params: Vec<ConfigId> = candidates
@@ -195,21 +192,18 @@ mod tests {
         let oracle = interacting_oracle();
         // Reference cloud = 2 workers (level 0): best batch there is 16,
         // then the best cluster for batch 16 costs 50 — not the optimum 30.
-        let outcome =
-            disjoint_optimization(&oracle, &[0], &[1], &[0], f64::INFINITY).unwrap();
+        let outcome = disjoint_optimization(&oracle, &[0], &[1], &[0], f64::INFINITY).unwrap();
         assert_eq!(outcome.cost, 50.0);
         // Reference cloud = 8 workers (level 1): the disjoint procedure gets
         // lucky and finds the joint optimum.
-        let outcome =
-            disjoint_optimization(&oracle, &[0], &[1], &[1], f64::INFINITY).unwrap();
+        let outcome = disjoint_optimization(&oracle, &[0], &[1], &[1], f64::INFINITY).unwrap();
         assert_eq!(outcome.cost, 30.0);
     }
 
     #[test]
     fn all_references_produce_one_outcome_each() {
         let oracle = interacting_oracle();
-        let outcomes =
-            disjoint_optimization_all_references(&oracle, &[0], &[1], f64::INFINITY);
+        let outcomes = disjoint_optimization_all_references(&oracle, &[0], &[1], f64::INFINITY);
         assert_eq!(outcomes.len(), 2);
         let costs: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
         assert!(costs.contains(&50.0));

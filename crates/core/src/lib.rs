@@ -59,20 +59,21 @@ pub mod disjoint;
 pub mod lynceus;
 pub mod optimizer;
 pub mod oracle;
+pub mod pool;
 pub mod random;
 pub mod state;
 pub mod switching;
 
-pub use acquisition::{constrained_ei, expected_improvement, incumbent_cost};
+pub use acquisition::{constrained_ei, expected_improvement, incumbent_cost, score_cmp};
 pub use bo::BoOptimizer;
 pub use budget::Budget;
 pub use constraints::SecondaryConstraint;
 pub use disjoint::{disjoint_optimization, DisjointOutcome};
-pub use lynceus::LynceusOptimizer;
+pub use lynceus::{LynceusOptimizer, PathEngine};
 pub use optimizer::{
     Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings,
 };
 pub use oracle::{CostOracle, Observation, TableOracle};
 pub use random::RandomOptimizer;
-pub use state::SearchState;
+pub use state::{SearchState, SpeculativeCursor};
 pub use switching::SwitchingCost;

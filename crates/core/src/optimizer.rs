@@ -6,7 +6,7 @@ use crate::constraints::SecondaryConstraint;
 use crate::oracle::{CostOracle, Observation};
 use crate::state::SearchState;
 use crate::switching::SwitchingCost;
-use lynceus_learners::{BaggingEnsemble, Surrogate};
+use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Surrogate};
 use lynceus_math::lhs::latin_hypercube_levels;
 use lynceus_math::rng::SeededRng;
 use lynceus_space::ConfigId;
@@ -69,6 +69,8 @@ impl OptimizerSettings {
     ///
     /// Returns [`OptimizerError::InvalidSetting`] describing the first
     /// offending field.
+    // The negated comparisons deliberately treat NaN as invalid.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), OptimizerError> {
         if !(self.budget > 0.0) {
             return Err(OptimizerError::InvalidSetting(
@@ -213,8 +215,10 @@ pub(crate) struct Driver<'a> {
     pub(crate) settings: &'a OptimizerSettings,
     pub(crate) state: SearchState,
     pub(crate) explorations: Vec<Exploration>,
-    /// Feature vectors of the whole grid, indexed by `ConfigId::index`.
-    features: Vec<Vec<f64>>,
+    /// Row-major feature matrix of the whole grid: row `i` is the feature
+    /// vector of `ConfigId(i)`. Computed once per run so the surrogate's
+    /// batched prediction paths never re-slice or re-derive features.
+    features: FeatureMatrix,
     /// Price rates `U(x)` in dollars/second, indexed by `ConfigId::index`.
     price_rates: Vec<f64>,
     /// Metric vectors of profiled configurations (for secondary constraints).
@@ -230,7 +234,8 @@ impl<'a> Driver<'a> {
     ) -> Self {
         let space = oracle.space();
         let candidates = oracle.candidates();
-        let features = space.ids().map(|id| space.features_of(id)).collect();
+        let features =
+            FeatureMatrix::from_rows(space.dims(), space.ids().map(|id| space.features_of(id)));
         // Price rates are only defined for candidate configurations (the grid
         // may be larger than the measured space); non-candidates are never
         // queried.
@@ -253,7 +258,13 @@ impl<'a> Driver<'a> {
 
     /// Feature vector of a configuration (cached).
     pub(crate) fn features_of(&self, id: ConfigId) -> &[f64] {
-        &self.features[id.index()]
+        self.features.row(id.index())
+    }
+
+    /// The precomputed feature matrix of the whole grid (row `i` =
+    /// `ConfigId(i)`), the backing store of every batched prediction.
+    pub(crate) fn feature_matrix(&self) -> &FeatureMatrix {
+        &self.features
     }
 
     /// `Tmax·U(x)`: the cost cap that encodes the runtime constraint.
@@ -286,8 +297,10 @@ impl<'a> Driver<'a> {
         if switch_cost > 0.0 {
             self.state.charge_extra(switch_cost);
         }
-        self.observed_metrics
-            .push((self.features[id.index()].clone(), observation.metrics.clone()));
+        self.observed_metrics.push((
+            self.features.row(id.index()).to_vec(),
+            observation.metrics.clone(),
+        ));
         self.explorations.push(Exploration {
             id,
             observation,
@@ -324,8 +337,7 @@ impl<'a> Driver<'a> {
 
     /// Fits the cost surrogate on the current training set.
     pub(crate) fn fit_cost_model(&self) -> BaggingEnsemble {
-        let mut model =
-            BaggingEnsemble::with_seed(self.settings.ensemble_size, self.model_seed);
+        let mut model = BaggingEnsemble::with_seed(self.settings.ensemble_size, self.model_seed);
         let data = self.state.training_set(self.oracle.space());
         if !data.is_empty() {
             model.fit(&data);
@@ -405,25 +417,38 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        let mut s = OptimizerSettings::default();
-        s.budget = 0.0;
-        assert!(matches!(s.validate(), Err(OptimizerError::InvalidSetting(_))));
-        let mut s = OptimizerSettings::default();
-        s.discount = 1.5;
-        assert!(s.validate().is_err());
-        let mut s = OptimizerSettings::default();
-        s.budget_confidence = 1.0;
-        assert!(s.validate().is_err());
-        let mut s = OptimizerSettings::default();
-        s.gauss_hermite_nodes = 0;
-        assert!(s.validate().is_err());
-        let mut s = OptimizerSettings::default();
-        s.ensemble_size = 0;
-        assert!(s.validate().is_err());
-        let mut s = OptimizerSettings::default();
-        s.bootstrap_samples = Some(0);
-        assert!(s.validate().is_err());
-        assert!(OptimizerError::NoCandidates.to_string().contains("candidate"));
+        let invalid = |s: OptimizerSettings| s.validate().is_err();
+        assert!(matches!(
+            OptimizerSettings {
+                budget: 0.0,
+                ..OptimizerSettings::default()
+            }
+            .validate(),
+            Err(OptimizerError::InvalidSetting(_))
+        ));
+        assert!(invalid(OptimizerSettings {
+            discount: 1.5,
+            ..OptimizerSettings::default()
+        }));
+        assert!(invalid(OptimizerSettings {
+            budget_confidence: 1.0,
+            ..OptimizerSettings::default()
+        }));
+        assert!(invalid(OptimizerSettings {
+            gauss_hermite_nodes: 0,
+            ..OptimizerSettings::default()
+        }));
+        assert!(invalid(OptimizerSettings {
+            ensemble_size: 0,
+            ..OptimizerSettings::default()
+        }));
+        assert!(invalid(OptimizerSettings {
+            bootstrap_samples: Some(0),
+            ..OptimizerSettings::default()
+        }));
+        assert!(OptimizerError::NoCandidates
+            .to_string()
+            .contains("candidate"));
     }
 
     #[test]

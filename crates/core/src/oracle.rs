@@ -88,7 +88,10 @@ impl TableOracle {
             .ids()
             .map(|id| {
                 let rt = runtime_of(&space.features_of(id));
-                assert!(rt.is_finite() && rt > 0.0, "runtimes must be finite and positive");
+                assert!(
+                    rt.is_finite() && rt > 0.0,
+                    "runtimes must be finite and positive"
+                );
                 rt
             })
             .collect();

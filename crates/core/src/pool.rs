@@ -1,0 +1,198 @@
+//! A small work-stealing fork-join pool with deterministic reduction order.
+//!
+//! The speculation engine fans out over `candidates × Gauss–Hermite nodes`
+//! branch evaluations whose costs vary wildly (a branch dies immediately when
+//! its speculated budget is exhausted, or recurses through the whole
+//! lookahead). Fixed chunking — what the previous `crossbeam`-scoped
+//! implementation did — leaves workers idle behind the unluckiest chunk;
+//! here each worker owns a deque of task indices and steals from the back of
+//! a sibling's deque when its own runs dry.
+//!
+//! Results are written back *by task index*, so the output order (and
+//! therefore any subsequent reduction) is independent of the stealing
+//! schedule: for a pure task function the result is bit-identical to the
+//! sequential loop, which is what keeps optimizer runs reproducible for a
+//! fixed seed regardless of thread count.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Upper bound on workers: one per available CPU.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Applies `task` to every index in `0..n` on a work-stealing pool of at most
+/// `threads` workers (capped at the available parallelism and at `n`), and
+/// returns the results in index order.
+///
+/// `threads <= 1` (or a trivial `n`) runs inline on the calling thread. The
+/// reduction order seen by the caller is always `0, 1, …, n-1`.
+///
+/// # Panics
+///
+/// Propagates panics from `task`.
+pub fn run_indexed<R, F>(n: usize, threads: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed_with(n, threads, || (), |(), i| task(i))
+}
+
+/// Like [`run_indexed`], but each worker lazily creates one reusable state
+/// value with `init` and threads it through its tasks — the map-with-scratch
+/// pattern. The speculation engine uses it to reuse per-branch evaluation
+/// buffers across every branch a worker processes instead of reallocating
+/// them per task.
+///
+/// The state must not influence results (it is a scratch space, not an
+/// accumulator), otherwise the output would depend on the stealing schedule.
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `task`.
+pub fn run_indexed_with<S, R, I, F>(n: usize, threads: usize, init: I, task: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = threads.min(default_threads()).min(n);
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| task(&mut state, i)).collect();
+    }
+
+    // Each worker starts with a contiguous slice of the index space and
+    // steals from the back of a sibling's deque once its own is empty.
+    let chunk = n.div_ceil(workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
+        .collect();
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let task = &task;
+            let init = &init;
+            let sender = sender.clone();
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let index = pop_own(&queues[me]).or_else(|| steal(queues, me));
+                    let Some(index) = index else { break };
+                    // Send failures are impossible: the receiver outlives the
+                    // scope. Ignore the result to keep the worker loop
+                    // infallible.
+                    let _ = sender.send((index, task(&mut state, index)));
+                }
+            });
+        }
+        drop(sender);
+
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (index, result) in receiver {
+            results[index] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task index produces exactly one result"))
+            .collect()
+    })
+}
+
+/// Applies `task` to every item of `items` with work stealing; results come
+/// back in item order. Convenience wrapper over [`run_indexed`].
+pub fn map_slice<T, R, F>(items: &[T], threads: usize, task: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), threads, |i| task(&items[i]))
+}
+
+/// Pops the next task of the worker's own deque (front, cache-friendly).
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("pool queue poisoned").pop_front()
+}
+
+/// Steals one task from the back of the first non-empty sibling deque,
+/// scanning round-robin from the thief's position.
+fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    let n = queues.len();
+    (1..n)
+        .map(|offset| (thief + offset) % n)
+        .find_map(|victim| {
+            queues[victim]
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_back()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_the_sequential_path_for_uneven_workloads() {
+        let work = |i: usize| -> u64 {
+            // Wildly uneven task costs to force stealing.
+            let spins = if i.is_multiple_of(7) { 20_000 } else { 10 };
+            (0..spins).fold(i as u64, |acc, j| acc.wrapping_mul(31).wrapping_add(j))
+        };
+        let parallel = run_indexed(200, 8, work);
+        let sequential = run_indexed(200, 1, work);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(500, 4, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn map_slice_preserves_item_order() {
+        let items: Vec<i64> = (0..64).map(|i| i - 32).collect();
+        let doubled = map_slice(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_as_scratch() {
+        // The scratch buffer must not leak into results, but reusing it
+        // should work across tasks on the same worker.
+        let out = run_indexed_with(64, 4, Vec::<usize>::new, |scratch, i| {
+            scratch.clear();
+            scratch.extend(0..=i);
+            scratch.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..64).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -97,10 +97,31 @@ impl SearchState {
     /// Returns a copy of the state in which the job was (speculatively) run
     /// on `id` with the given cost: the speculative counterpart of
     /// [`SearchState::record`], used by the exploration-path simulation.
+    ///
+    /// Unlike [`SearchState::record`] (which swap-removes for `O(1)` cost on
+    /// the real loop), speculation removes `id` from the untested set
+    /// *order-preservingly*: the untested order of a speculated state is the
+    /// base order with the speculated configurations filtered out, which is
+    /// exactly how [`SpeculativeCursor`] iterates. Keeping both
+    /// representations in the same order makes the materialized and the
+    /// overlay-based speculation paths bit-identical (ties in acquisition
+    /// scores are broken by untested order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not in the untested set.
     #[must_use]
     pub fn speculate(&self, id: ConfigId, cost: f64, feasible: bool) -> Self {
         let mut next = self.clone();
-        next.record(id, cost, feasible);
+        let position = next
+            .untested
+            .iter()
+            .position(|&u| u == id)
+            .expect("configuration was already tested or is not a candidate");
+        next.untested.remove(position);
+        next.tested.push(TestedConfig { id, cost, feasible });
+        next.budget.charge(cost);
+        next.current = Some(id);
         next
     }
 
@@ -139,6 +160,132 @@ impl SearchState {
             data.push(space.features_of(t.id), t.cost);
         }
         data
+    }
+}
+
+/// A stack of speculated observations layered over a base [`SearchState`]
+/// without copying it.
+///
+/// [`SearchState::speculate`] clones the full state — `O(|untested|)` per
+/// branch, and the untested set is the whole configuration grid. The
+/// exploration-path simulation instead keeps **one** cursor per path and
+/// pushes/pops speculated samples as it walks the Gauss–Hermite tree, so a
+/// branch costs `O(depth)` bookkeeping. All views (`untested`, profiled
+/// pairs, remaining budget, deployed configuration) match the materialized
+/// state bit for bit:
+///
+/// * the untested order is the base order with speculated ids filtered out
+///   (matching [`SearchState::speculate`]'s order-preserving removal);
+/// * the remaining budget replays the same sequence of `remaining - cost`
+///   subtractions, and popping restores the *saved* previous value rather
+///   than re-adding (floating-point subtraction is not invertible).
+#[derive(Debug, Clone)]
+pub struct SpeculativeCursor<'a> {
+    base: &'a SearchState,
+    stack: Vec<TestedConfig>,
+    /// `remaining_before[d]` is the budget remaining before frame `d` was
+    /// pushed, so popping restores it exactly.
+    remaining_before: Vec<f64>,
+    remaining: f64,
+}
+
+impl<'a> SpeculativeCursor<'a> {
+    /// Creates a cursor with no speculated observations.
+    #[must_use]
+    pub fn new(base: &'a SearchState) -> Self {
+        Self {
+            base,
+            stack: Vec::new(),
+            remaining_before: Vec::new(),
+            remaining: base.budget().remaining(),
+        }
+    }
+
+    /// The base state the cursor overlays.
+    #[must_use]
+    pub fn base(&self) -> &SearchState {
+        self.base
+    }
+
+    /// Number of speculated observations currently on the stack.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pushes a speculated observation: the cursor now describes the state
+    /// after (speculatively) running `id` at the given cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id` is already tested or speculated.
+    pub fn push(&mut self, id: ConfigId, cost: f64, feasible: bool) {
+        debug_assert!(
+            !self.is_tested(id),
+            "configuration was already tested or speculated"
+        );
+        self.remaining_before.push(self.remaining);
+        self.remaining -= cost;
+        self.stack.push(TestedConfig { id, cost, feasible });
+    }
+
+    /// Pops the most recent speculated observation, restoring the previous
+    /// budget exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn pop(&mut self) {
+        self.stack.pop().expect("pop on an empty speculation stack");
+        self.remaining = self
+            .remaining_before
+            .pop()
+            .expect("budget stack out of sync");
+    }
+
+    /// The remaining budget `β` of the speculated state.
+    #[must_use]
+    pub fn remaining_budget(&self) -> f64 {
+        self.remaining
+    }
+
+    /// The deployed configuration `χ` of the speculated state.
+    #[must_use]
+    pub fn current(&self) -> Option<ConfigId> {
+        self.stack
+            .last()
+            .map_or_else(|| self.base.current(), |t| Some(t.id))
+    }
+
+    /// True if `id` is tested in the base state or speculated on the stack.
+    #[must_use]
+    pub fn is_tested(&self, id: ConfigId) -> bool {
+        self.stack.iter().any(|t| t.id == id) || self.base.is_tested(id)
+    }
+
+    /// Iterates the untested configurations of the speculated state, in base
+    /// order with speculated ids filtered out.
+    pub fn untested(&self) -> impl Iterator<Item = ConfigId> + '_ {
+        self.base
+            .untested()
+            .iter()
+            .copied()
+            .filter(move |&id| !self.stack.iter().any(|t| t.id == id))
+    }
+
+    /// Writes the `(cost, feasible)` pairs of the speculated state into
+    /// `out` (cleared first): base profiling order, then stack order —
+    /// matching [`SearchState::profiled_pairs`] on the materialized state.
+    pub fn profiled_pairs_into(&self, out: &mut Vec<(f64, bool)>) {
+        out.clear();
+        out.extend(self.base.tested().iter().map(|t| (t.cost, t.feasible)));
+        out.extend(self.stack.iter().map(|t| (t.cost, t.feasible)));
+    }
+
+    /// The speculated observations currently on the stack, oldest first.
+    #[must_use]
+    pub fn speculated(&self) -> &[TestedConfig] {
+        &self.stack
     }
 }
 
@@ -183,7 +330,10 @@ mod tests {
         let best = state.best_feasible().unwrap();
         assert_eq!(best.id, ConfigId(2));
         assert_eq!(best.cost, 5.0);
-        assert_eq!(state.profiled_pairs(), vec![(2.0, false), (8.0, true), (5.0, true)]);
+        assert_eq!(
+            state.profiled_pairs(),
+            vec![(2.0, false), (8.0, true), (5.0, true)]
+        );
     }
 
     #[test]
@@ -212,5 +362,70 @@ mod tests {
         let mut state = SearchState::new(candidates(3), Budget::new(10.0));
         state.record(ConfigId(0), 1.0, true);
         state.record(ConfigId(0), 1.0, true);
+    }
+
+    #[test]
+    fn speculation_preserves_the_untested_order() {
+        let state = SearchState::new(candidates(5), Budget::new(50.0));
+        let speculated = state.speculate(ConfigId(2), 5.0, true);
+        assert_eq!(
+            speculated.untested(),
+            &[ConfigId(0), ConfigId(1), ConfigId(3), ConfigId(4)]
+        );
+    }
+
+    #[test]
+    fn cursor_views_match_the_materialized_speculation() {
+        let mut state = SearchState::new(candidates(6), Budget::new(100.0));
+        state.record(ConfigId(5), 10.0, false);
+
+        let materialized =
+            state
+                .speculate(ConfigId(1), 7.0, true)
+                .speculate(ConfigId(3), 2.5, false);
+
+        let mut cursor = SpeculativeCursor::new(&state);
+        cursor.push(ConfigId(1), 7.0, true);
+        cursor.push(ConfigId(3), 2.5, false);
+
+        assert_eq!(cursor.depth(), 2);
+        assert_eq!(
+            cursor.untested().collect::<Vec<_>>(),
+            materialized.untested().to_vec()
+        );
+        assert_eq!(cursor.remaining_budget(), materialized.budget().remaining());
+        assert_eq!(cursor.current(), materialized.current());
+        assert!(cursor.is_tested(ConfigId(1)));
+        assert!(cursor.is_tested(ConfigId(5)));
+        assert!(!cursor.is_tested(ConfigId(0)));
+        let mut pairs = Vec::new();
+        cursor.profiled_pairs_into(&mut pairs);
+        assert_eq!(pairs, materialized.profiled_pairs());
+        assert_eq!(cursor.speculated().len(), 2);
+        assert_eq!(cursor.base().tested().len(), 1);
+    }
+
+    #[test]
+    fn cursor_pop_restores_the_previous_budget_exactly() {
+        let state = SearchState::new(candidates(4), Budget::new(1.0));
+        let mut cursor = SpeculativeCursor::new(&state);
+        let before = cursor.remaining_budget();
+        // 0.1 is not representable in binary floating point: subtracting and
+        // re-adding would not round-trip, the saved-value restore must.
+        cursor.push(ConfigId(0), 0.1, true);
+        cursor.push(ConfigId(1), 0.3, true);
+        cursor.pop();
+        cursor.pop();
+        assert_eq!(cursor.remaining_budget().to_bits(), before.to_bits());
+        assert_eq!(cursor.depth(), 0);
+        assert_eq!(cursor.current(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty speculation stack")]
+    fn cursor_pop_on_empty_stack_panics() {
+        let state = SearchState::new(candidates(2), Budget::new(1.0));
+        let mut cursor = SpeculativeCursor::new(&state);
+        cursor.pop();
     }
 }

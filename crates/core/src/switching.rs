@@ -58,13 +58,15 @@ mod tests {
 
     #[test]
     fn fn_switching_delegates_and_clamps_to_non_negative() {
-        let model = FnSwitching(|from: Option<ConfigId>, to: ConfigId| {
-            if from == Some(to) {
-                -1.0
-            } else {
-                0.5
-            }
-        });
+        let model = FnSwitching(
+            |from: Option<ConfigId>, to: ConfigId| {
+                if from == Some(to) {
+                    -1.0
+                } else {
+                    0.5
+                }
+            },
+        );
         assert_eq!(model.cost(Some(ConfigId(1)), ConfigId(2)), 0.5);
         // Negative values from careless callers are clamped.
         assert_eq!(model.cost(Some(ConfigId(2)), ConfigId(2)), 0.0);

@@ -1,32 +1,31 @@
 //! Property-based tests of the optimizer invariants.
+//!
+//! The environment has no registry access, so instead of `proptest` these
+//! tests draw their cases from [`SeededRng`]: every invariant is checked
+//! over a deterministic stream of randomized problems and seeds.
 
 use lynceus_core::{
-    BoOptimizer, CostOracle, LynceusOptimizer, Optimizer, OptimizerSettings, RandomOptimizer,
-    TableOracle,
+    BoOptimizer, CostOracle, LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine,
+    RandomOptimizer, TableOracle,
 };
+use lynceus_math::rng::SeededRng;
 use lynceus_space::SpaceBuilder;
-use proptest::prelude::*;
 
-/// A small synthetic problem: a 1–2 dimensional grid with bounded runtimes.
-fn arb_problem() -> impl Strategy<Value = (TableOracle, f64)> {
-    (
-        2usize..8,
-        1usize..4,
-        10.0f64..100.0,
-        proptest::collection::vec(0.2f64..5.0, 4),
-    )
-        .prop_map(|(nx, ny, base, coeffs)| {
-            let space = SpaceBuilder::new()
-                .numeric("x", (0..nx).map(|i| i as f64))
-                .numeric("y", (0..ny).map(|i| i as f64 * 10.0))
-                .build();
-            let oracle = TableOracle::from_fn(space, 0.5, move |f| {
-                base + coeffs[0] * (f[0] - coeffs[1]).abs() * 3.0 + coeffs[2] * f[1] / 10.0
-            });
-            // A Tmax that keeps at least the best configuration feasible.
-            let tmax = base * 3.0;
-            (oracle, tmax)
-        })
+/// A small synthetic problem: a 1–2 dimensional grid with bounded runtimes,
+/// plus a `Tmax` that keeps at least the best configuration feasible.
+fn random_problem(rng: &mut SeededRng) -> (TableOracle, f64) {
+    let nx = 2 + rng.below(6);
+    let ny = 1 + rng.below(3);
+    let base = rng.uniform(10.0, 100.0);
+    let coeffs: Vec<f64> = (0..4).map(|_| rng.uniform(0.2, 5.0)).collect();
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..nx).map(|i| i as f64))
+        .numeric("y", (0..ny).map(|i| i as f64 * 10.0))
+        .build();
+    let oracle = TableOracle::from_fn(space, 0.5, move |f| {
+        base + coeffs[0] * (f[0] - coeffs[1]).abs() * 3.0 + coeffs[2] * f[1] / 10.0
+    });
+    (oracle, base * 3.0)
 }
 
 fn settings(budget: f64, tmax: f64, lookahead: usize) -> OptimizerSettings {
@@ -41,30 +40,27 @@ fn settings(budget: f64, tmax: f64, lookahead: usize) -> OptimizerSettings {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn recommendations_are_always_feasible_and_explored(
-        (oracle, tmax) in arb_problem(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn recommendations_are_always_feasible_and_explored() {
+    let mut rng = SeededRng::new(0x31);
+    for _ in 0..24 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(1000) as u64;
         let report = LynceusOptimizer::new(settings(500.0, tmax, 1)).optimize(&oracle, seed);
         if let Some(id) = report.recommended {
-            prop_assert!(oracle.runtime(id) <= tmax);
-            prop_assert!(report.explorations.iter().any(|e| e.id == id));
-            prop_assert_eq!(
-                report.recommended_cost.unwrap(),
-                oracle.run(id).cost
-            );
+            assert!(oracle.runtime(id) <= tmax);
+            assert!(report.explorations.iter().any(|e| e.id == id));
+            assert_eq!(report.recommended_cost.unwrap(), oracle.run(id).cost);
         }
     }
+}
 
-    #[test]
-    fn no_configuration_is_profiled_twice(
-        (oracle, tmax) in arb_problem(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn no_configuration_is_profiled_twice() {
+    let mut rng = SeededRng::new(0x32);
+    for _ in 0..12 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(1000) as u64;
         for report in [
             LynceusOptimizer::new(settings(200.0, tmax, 0)).optimize(&oracle, seed),
             BoOptimizer::new(settings(200.0, tmax, 0)).optimize(&oracle, seed),
@@ -72,35 +68,67 @@ proptest! {
         ] {
             let mut seen = std::collections::HashSet::new();
             for e in &report.explorations {
-                prop_assert!(seen.insert(e.id), "{} profiled {:?} twice", report.optimizer, e.id);
+                assert!(
+                    seen.insert(e.id),
+                    "{} profiled {:?} twice",
+                    report.optimizer,
+                    e.id
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn budget_accounting_matches_the_observations(
-        (oracle, tmax) in arb_problem(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn budget_accounting_matches_the_observations() {
+    let mut rng = SeededRng::new(0x33);
+    for _ in 0..24 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(1000) as u64;
         let report = BoOptimizer::new(settings(120.0, tmax, 0)).optimize(&oracle, seed);
         let total: f64 = report.explorations.iter().map(|e| e.observation.cost).sum();
-        prop_assert!((report.budget_spent - total).abs() < 1e-9);
-        prop_assert!(report.num_explorations() <= oracle.candidates().len());
+        assert!((report.budget_spent - total).abs() < 1e-9);
+        assert!(report.num_explorations() <= oracle.candidates().len());
     }
+}
 
-    #[test]
-    fn larger_budgets_never_reduce_the_number_of_explorations(
-        (oracle, tmax) in arb_problem(),
-        seed in 0u64..200,
-    ) {
+#[test]
+fn larger_budgets_never_reduce_the_number_of_explorations() {
+    let mut rng = SeededRng::new(0x34);
+    for _ in 0..24 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(200) as u64;
         let small = RandomOptimizer::new(settings(60.0, tmax, 0)).optimize(&oracle, seed);
         let large = RandomOptimizer::new(settings(240.0, tmax, 0)).optimize(&oracle, seed);
-        prop_assert!(large.num_explorations() >= small.num_explorations());
+        assert!(large.num_explorations() >= small.num_explorations());
     }
+}
 
-    #[test]
-    fn reports_are_reproducible((oracle, tmax) in arb_problem(), seed in 0u64..500) {
+#[test]
+fn reports_are_reproducible() {
+    let mut rng = SeededRng::new(0x35);
+    for _ in 0..12 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(500) as u64;
         let optimizer = LynceusOptimizer::new(settings(150.0, tmax, 1));
-        prop_assert_eq!(optimizer.optimize(&oracle, seed), optimizer.optimize(&oracle, seed));
+        assert_eq!(
+            optimizer.optimize(&oracle, seed),
+            optimizer.optimize(&oracle, seed)
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_randomized_problems() {
+    let mut rng = SeededRng::new(0x36);
+    for _ in 0..10 {
+        let (oracle, tmax) = random_problem(&mut rng);
+        let seed = rng.below(500) as u64;
+        let s = settings(250.0, tmax, 1);
+        let batched = LynceusOptimizer::new(s.clone()).optimize(&oracle, seed);
+        let naive = LynceusOptimizer::new(s)
+            .with_engine(PathEngine::NaiveReference)
+            .optimize(&oracle, seed);
+        assert_eq!(batched, naive, "engines diverged on seed {seed}");
     }
 }

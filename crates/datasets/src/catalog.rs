@@ -57,17 +57,19 @@ mod tests {
 
     #[test]
     fn dataset_names_are_unique() {
-        let names: std::collections::HashSet<_> = all_datasets()
-            .iter()
-            .map(|d| d.name().to_owned())
-            .collect();
+        let names: std::collections::HashSet<_> =
+            all_datasets().iter().map(|d| d.name().to_owned()).collect();
         assert_eq!(names.len(), 26);
     }
 
     #[test]
     fn every_dataset_has_a_feasible_optimum() {
         for d in all_datasets() {
-            assert!(d.optimum().is_some(), "{} has no feasible optimum", d.name());
+            assert!(
+                d.optimum().is_some(),
+                "{} has no feasible optimum",
+                d.name()
+            );
             assert!(d.mean_cost() > 0.0);
         }
     }

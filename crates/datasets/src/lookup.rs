@@ -46,7 +46,10 @@ impl LookupDataset {
         outcomes: BTreeMap<ConfigId, ConfigOutcome>,
         tmax_seconds: f64,
     ) -> Self {
-        assert!(!outcomes.is_empty(), "a dataset needs at least one configuration");
+        assert!(
+            !outcomes.is_empty(),
+            "a dataset needs at least one configuration"
+        );
         assert!(tmax_seconds > 0.0, "tmax must be positive");
         Self {
             name: name.into(),
@@ -204,7 +207,9 @@ mod tests {
     use lynceus_space::SpaceBuilder;
 
     fn toy_dataset() -> LookupDataset {
-        let space = SpaceBuilder::new().numeric("x", (0..4).map(f64::from)).build();
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..4).map(f64::from))
+            .build();
         let mut outcomes = BTreeMap::new();
         for (i, (rt, cost)) in [(10.0, 5.0), (20.0, 3.0), (40.0, 2.0), (80.0, 10.0)]
             .iter()

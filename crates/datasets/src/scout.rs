@@ -22,7 +22,9 @@ pub const FAMILIES: [&str; 3] = ["c4", "m4", "r4"];
 pub const SIZES: [&str; 3] = ["large", "xlarge", "2xlarge"];
 
 /// The cluster sizes of the Scout grid.
-pub const MACHINE_COUNTS: [f64; 11] = [4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0, 48.0];
+pub const MACHINE_COUNTS: [f64; 11] = [
+    4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0, 40.0, 48.0,
+];
 
 /// Builds the 3-dimensional Scout configuration grid (before restriction).
 #[must_use]
@@ -159,8 +161,7 @@ mod tests {
     fn there_are_eighteen_distinct_jobs() {
         let profiles = job_profiles();
         assert_eq!(profiles.len(), 18);
-        let names: std::collections::HashSet<_> =
-            profiles.iter().map(|p| p.name.clone()).collect();
+        let names: std::collections::HashSet<_> = profiles.iter().map(|p| p.name.clone()).collect();
         assert_eq!(names.len(), 18);
     }
 

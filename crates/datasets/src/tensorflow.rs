@@ -188,7 +188,10 @@ mod tests {
             .filter(|&&id| d.outcome(id).timed_out)
             .count();
         assert!(timed_out > 0, "the RNN should have hopeless configurations");
-        assert!(timed_out < d.len(), "not every configuration should time out");
+        assert!(
+            timed_out < d.len(),
+            "not every configuration should time out"
+        );
     }
 
     #[test]
@@ -209,8 +212,7 @@ mod tests {
             .ids()
             .find(|&id| {
                 let values = space.values(&space.config_of(id));
-                values[3].1.as_label() == Some("t2.small")
-                    && values[4].1.as_number() == Some(8.0)
+                values[3].1.as_label() == Some("t2.small") && values[4].1.as_number() == Some(8.0)
             })
             .unwrap();
         let catalog = Catalog::aws();

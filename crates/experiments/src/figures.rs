@@ -368,15 +368,15 @@ pub fn table3(dataset: &LookupDataset, config: &ExperimentConfig) -> Table {
                         .max(1)
                 })
                 .sum();
-            vec![
-                kind.label(),
-                format!("{:.4}", elapsed / decisions as f64),
-            ]
+            vec![kind.label(), format!("{:.4}", elapsed / decisions as f64)]
         })
         .collect();
     Table {
         id: "table3".to_owned(),
-        title: format!("Average seconds to compute the next configuration ({})", dataset.name()),
+        title: format!(
+            "Average seconds to compute the next configuration ({})",
+            dataset.name()
+        ),
         headers: vec!["Optimizer".to_owned(), "Avg seconds to next()".to_owned()],
         rows,
     }
@@ -450,7 +450,12 @@ mod tests {
         let fig = fig7(&datasets[0], &quick_config());
         assert_eq!(fig.series.len(), 4);
         for series in &fig.series {
-            let ys: Vec<f64> = series.points.iter().map(|p| p.1).filter(|y| y.is_finite()).collect();
+            let ys: Vec<f64> = series
+                .points
+                .iter()
+                .map(|p| p.1)
+                .filter(|y| y.is_finite())
+                .collect();
             assert!(!ys.is_empty());
             // The 90th percentile of the incumbent can only improve or stay.
             for w in ys.windows(2) {

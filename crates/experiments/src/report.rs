@@ -17,7 +17,13 @@ pub fn render_table(table: &Table) -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, cell)| format!("{:width$}", cell, width = widths.get(i).copied().unwrap_or(0)))
+            .map(|(i, cell)| {
+                format!(
+                    "{:width$}",
+                    cell,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -41,7 +47,10 @@ pub fn render_table(table: &Table) -> String {
 pub fn render_figure(figure: &FigureData) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {} [{}] ==\n", figure.title, figure.id));
-    out.push_str(&format!("   x: {}   y: {}\n", figure.x_label, figure.y_label));
+    out.push_str(&format!(
+        "   x: {}   y: {}\n",
+        figure.x_label, figure.y_label
+    ));
     for series in &figure.series {
         let n = series.points.len();
         if n == 0 {

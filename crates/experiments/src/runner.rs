@@ -1,10 +1,10 @@
 //! Repeated, seeded optimization runs and the CNO/NEX metrics.
 
+use lynceus_core::CostOracle;
 use lynceus_core::{
     BoOptimizer, LynceusOptimizer, OptimizationReport, Optimizer, OptimizerSettings,
     RandomOptimizer,
 };
-use lynceus_core::CostOracle;
 use lynceus_datasets::LookupDataset;
 use serde::{Deserialize, Serialize};
 
@@ -104,9 +104,9 @@ impl ExperimentConfig {
 
     fn build_optimizer(&self, dataset: &LookupDataset, kind: OptimizerKind) -> Box<dyn Optimizer> {
         match kind {
-            OptimizerKind::Lynceus { lookahead } => Box::new(LynceusOptimizer::new(
-                self.settings_for(dataset, lookahead),
-            )),
+            OptimizerKind::Lynceus { lookahead } => {
+                Box::new(LynceusOptimizer::new(self.settings_for(dataset, lookahead)))
+            }
             OptimizerKind::Bo => Box::new(BoOptimizer::new(self.settings_for(dataset, 0))),
             OptimizerKind::Random => Box::new(RandomOptimizer::new(self.settings_for(dataset, 0))),
         }
@@ -128,9 +128,7 @@ pub struct RunMetrics {
 /// Evaluates one report against its dataset.
 #[must_use]
 pub fn evaluate(dataset: &LookupDataset, report: &OptimizationReport) -> RunMetrics {
-    let cno = report
-        .recommended_cost
-        .and_then(|cost| dataset.cno(cost));
+    let cno = report.recommended_cost.and_then(|cost| dataset.cno(cost));
     RunMetrics {
         cno,
         nex: report.num_explorations(),
@@ -152,32 +150,12 @@ pub fn run_many(
     let seeds: Vec<u64> = (0..config.runs as u64)
         .map(|i| config.base_seed + i)
         .collect();
-    if config.threads <= 1 || config.runs == 1 {
-        return seeds
-            .iter()
-            .map(|&seed| optimizer.optimize(dataset, seed))
-            .collect();
-    }
-    let chunk = seeds.len().div_ceil(config.threads);
-    let optimizer_ref: &dyn Optimizer = optimizer.as_ref();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|chunk_seeds| {
-                scope.spawn(move |_| {
-                    chunk_seeds
-                        .iter()
-                        .map(|&seed| optimizer_ref.optimize(dataset, seed))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
+    // Runs are independent and identically seeded whether they execute
+    // inline or on the pool; the work-stealing schedule cannot change the
+    // per-seed results, and the pool returns them in seed order.
+    lynceus_core::pool::map_slice(&seeds, config.threads, |&seed| {
+        optimizer.optimize(dataset, seed)
     })
-    .expect("experiment scope panicked")
 }
 
 /// Convenience: runs an optimizer and returns the per-run metrics.
@@ -198,10 +176,7 @@ pub fn run_metrics(
 /// penalize, rather than silently improve, the aggregate statistics).
 #[must_use]
 pub fn cno_sample(metrics: &[RunMetrics]) -> Vec<f64> {
-    let worst = metrics
-        .iter()
-        .filter_map(|m| m.cno)
-        .fold(1.0_f64, f64::max);
+    let worst = metrics.iter().filter_map(|m| m.cno).fold(1.0_f64, f64::max);
     metrics.iter().map(|m| m.cno.unwrap_or(worst)).collect()
 }
 
@@ -221,7 +196,10 @@ mod tests {
     #[test]
     fn optimizer_labels_match_the_paper_legends() {
         assert_eq!(OptimizerKind::Lynceus { lookahead: 2 }.label(), "Lynceus");
-        assert_eq!(OptimizerKind::Lynceus { lookahead: 0 }.label(), "Lynceus, LA=0");
+        assert_eq!(
+            OptimizerKind::Lynceus { lookahead: 0 }.label(),
+            "Lynceus, LA=0"
+        );
         assert_eq!(OptimizerKind::Bo.label(), "BO");
         assert_eq!(OptimizerKind::Random.label(), "RND");
     }
@@ -274,9 +252,21 @@ mod tests {
     #[test]
     fn cno_sample_substitutes_failures_with_the_worst_observed_value() {
         let metrics = vec![
-            RunMetrics { cno: Some(1.0), nex: 5, budget_spent: 1.0 },
-            RunMetrics { cno: Some(2.5), nex: 5, budget_spent: 1.0 },
-            RunMetrics { cno: None, nex: 5, budget_spent: 1.0 },
+            RunMetrics {
+                cno: Some(1.0),
+                nex: 5,
+                budget_spent: 1.0,
+            },
+            RunMetrics {
+                cno: Some(2.5),
+                nex: 5,
+                budget_spent: 1.0,
+            },
+            RunMetrics {
+                cno: None,
+                nex: 5,
+                budget_spent: 1.0,
+            },
         ];
         assert_eq!(cno_sample(&metrics), vec![1.0, 2.5, 2.5]);
     }

@@ -144,7 +144,7 @@ impl Surrogate for GaussianProcess {
         // Input normalization to [0, 1] per dimension.
         self.input_min = vec![f64::INFINITY; dims];
         let mut input_max = vec![f64::NEG_INFINITY; dims];
-        for row in data.features() {
+        for row in data.feature_rows() {
             for d in 0..dims {
                 self.input_min[d] = self.input_min[d].min(row[d]);
                 input_max[d] = input_max[d].max(row[d]);
@@ -174,7 +174,7 @@ impl Surrogate for GaussianProcess {
             / n as f64;
         self.target_std = if var.sqrt() < 1e-12 { 1.0 } else { var.sqrt() };
 
-        self.train_inputs = data.features().iter().map(|f| self.normalize(f)).collect();
+        self.train_inputs = data.feature_rows().map(|f| self.normalize(f)).collect();
         let y: Vec<f64> = data
             .targets()
             .iter()
@@ -223,7 +223,11 @@ impl Surrogate for GaussianProcess {
             .iter()
             .map(|xi| self.kernel.eval(Self::distance(&x, xi)))
             .collect();
-        let mean_std = k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let mean_std = k_star
+            .iter()
+            .zip(&self.alpha)
+            .map(|(k, a)| k * a)
+            .sum::<f64>();
         let v = solve_lower(chol, &k_star).expect("factor and k* have matching sizes");
         let prior = self.kernel.eval(0.0);
         let var = (prior - v.iter().map(|x| x * x).sum::<f64>()).max(0.0);

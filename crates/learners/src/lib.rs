@@ -43,7 +43,7 @@ pub mod linalg;
 pub mod model;
 pub mod tree;
 
-pub use bagging::BaggingEnsemble;
+pub use bagging::{BaggingEnsemble, RowValueMemo};
 pub use gp::{GaussianProcess, Kernel};
-pub use model::{Prediction, Surrogate, TrainingSet};
+pub use model::{FeatureMatrix, Prediction, Surrogate, TrainingSet};
 pub use tree::RegressionTree;

@@ -121,11 +121,7 @@ impl Matrix {
             return Err(LinalgError::DimensionMismatch);
         }
         Ok((0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self.get(r, c) * v[c])
-                    .sum::<f64>()
-            })
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum::<f64>())
             .collect())
     }
 
@@ -176,8 +172,8 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut x = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for j in 0..i {
-            sum -= l.get(i, j) * x[j];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            sum -= l.get(i, j) * xj;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -197,8 +193,8 @@ pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgEr
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = b[i];
-        for j in (i + 1)..n {
-            sum -= l.get(j, i) * x[j];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(j, i) * xj;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -222,11 +218,7 @@ mod tests {
 
     fn spd_matrix() -> Matrix {
         // A = M·Mᵀ + I is symmetric positive definite.
-        Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        )
+        Matrix::from_rows(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0])
     }
 
     #[test]

@@ -4,10 +4,16 @@ use serde::{Deserialize, Serialize};
 
 /// A labelled training set: one feature vector (the encoded configuration)
 /// and one target (the measured cost) per profiled configuration.
+///
+/// Features are stored row-major in one flat allocation, so cloning a
+/// training set — which the speculation engine does once per incremental
+/// surrogate extension — is two `memcpy`s instead of one heap allocation per
+/// observation, and row access during tree construction stays
+/// cache-friendly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingSet {
     dims: usize,
-    features: Vec<Vec<f64>>,
+    features: Vec<f64>,
     targets: Vec<f64>,
 }
 
@@ -46,7 +52,30 @@ impl TrainingSet {
             "features must be finite"
         );
         assert!(target.is_finite(), "target must be finite");
-        self.features.push(features);
+        self.features.extend_from_slice(&features);
+        self.targets.push(target);
+    }
+
+    /// Adds one observation from a borrowed feature row (no intermediate
+    /// `Vec` required).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TrainingSet::push`].
+    pub fn push_row(&mut self, features: &[f64], target: f64) {
+        assert_eq!(
+            features.len(),
+            self.dims,
+            "expected {} features, got {}",
+            self.dims,
+            features.len()
+        );
+        assert!(
+            features.iter().all(|f| f.is_finite()),
+            "features must be finite"
+        );
+        assert!(target.is_finite(), "target must be finite");
+        self.features.extend_from_slice(features);
         self.targets.push(target);
     }
 
@@ -68,10 +97,31 @@ impl TrainingSet {
         self.dims
     }
 
-    /// The feature vectors, in insertion order.
+    /// Iterates the feature vectors, in insertion order.
+    pub fn feature_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.features.chunks_exact(self.dims)
+    }
+
+    /// The feature row of observation `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
     #[must_use]
-    pub fn features(&self) -> &[Vec<f64>] {
-        &self.features
+    pub fn feature_row(&self, index: usize) -> &[f64] {
+        &self.features[index * self.dims..(index + 1) * self.dims]
+    }
+
+    /// One feature value of one observation (the hot accessor of tree
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn feature(&self, index: usize, dim: usize) -> f64 {
+        debug_assert!(dim < self.dims);
+        self.features[index * self.dims + dim]
     }
 
     /// The targets, in insertion order.
@@ -87,7 +137,7 @@ impl TrainingSet {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn observation(&self, index: usize) -> (&[f64], f64) {
-        (&self.features[index], self.targets[index])
+        (self.feature_row(index), self.targets[index])
     }
 
     /// Mean of the targets; 0 for an empty set.
@@ -116,6 +166,100 @@ impl TrainingSet {
             .iter()
             .copied()
             .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+}
+
+/// A dense, row-major matrix of feature vectors.
+///
+/// The optimizer evaluates the surrogate at *every* untested configuration on
+/// every (real or speculated) iteration; handing the model one contiguous
+/// matrix instead of one `&[f64]` at a time lets tree ensembles traverse
+/// tree-major (every row through tree 0, then every row through tree 1, …),
+/// which touches each tree's nodes once per batch instead of once per row and
+/// performs no per-row allocation.
+///
+/// Rows are indexed positionally; the optimizer stores one row per
+/// configuration id so `row(id.index())` is the configuration's features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix for feature vectors of length `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "feature vectors need at least one dimension");
+        Self {
+            dims,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a matrix from an iterator of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or a row has the wrong length.
+    pub fn from_rows<I, R>(dims: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut matrix = Self::new(dims);
+        for row in rows {
+            matrix.push_row(row.as_ref());
+        }
+        matrix
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong length.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.dims,
+            "expected {} features, got {}",
+            self.dims,
+            row.len()
+        );
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// True when the matrix holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of the rows.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The row at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn row(&self, index: usize) -> &[f64] {
+        &self.data[index * self.dims..(index + 1) * self.dims]
     }
 }
 
@@ -160,6 +304,32 @@ pub trait Surrogate: Send + Sync {
     /// training data). Used by the lookahead simulation, which must refit the
     /// surrogate on speculated training sets without disturbing the real one.
     fn fresh_clone(&self) -> Box<dyn Surrogate>;
+
+    /// Predicts the target distribution at every row of a feature matrix.
+    ///
+    /// The default implementation loops over [`Surrogate::predict`];
+    /// ensemble models override it with a tree-major traversal that visits
+    /// each member once per batch and allocates nothing beyond the returned
+    /// vector. The result is element-wise bit-identical to calling
+    /// [`Surrogate::predict`] on each row.
+    fn predict_batch(&self, features: &FeatureMatrix) -> Vec<Prediction> {
+        (0..features.rows())
+            .map(|i| self.predict(features.row(i)))
+            .collect()
+    }
+
+    /// Predicts the target distribution at a subset of rows of a feature
+    /// matrix, writing the results (aligned with `rows`) into `out`.
+    ///
+    /// `out` is cleared and refilled, so a caller that keeps the buffer
+    /// around pays no allocation once the buffer has grown to the working-set
+    /// size — this is the hot entry point of the optimizer's speculation
+    /// engine, which re-scores the untested set on every simulated branch.
+    /// The results are element-wise bit-identical to [`Surrogate::predict`].
+    fn predict_rows(&self, features: &FeatureMatrix, rows: &[usize], out: &mut Vec<Prediction>) {
+        out.clear();
+        out.extend(rows.iter().map(|&r| self.predict(features.row(r))));
+    }
 }
 
 #[cfg(test)]

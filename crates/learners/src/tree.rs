@@ -110,14 +110,77 @@ impl RegressionTree {
         self.nodes.len()
     }
 
-    fn build(
+    /// Fits the tree on a multiset of observations: `indices` lists rows of
+    /// `data`, possibly with repetitions (the shape produced by bootstrap
+    /// resampling — a row drawn `k` times appears `k` times). An empty index
+    /// list leaves the tree unfitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn fit_indexed(&mut self, data: &TrainingSet, indices: &[usize]) {
+        self.nodes.clear();
+        self.fitted = false;
+        if indices.is_empty() {
+            return;
+        }
+        assert!(
+            indices.iter().all(|&i| i < data.len()),
+            "resample index out of range"
+        );
+        let mut rng = SeededRng::new(self.seed);
+        let mut owned: Vec<usize> = indices.to_vec();
+        let mut workspace = BuildWorkspace {
+            values: Vec::with_capacity(indices.len()),
+            partition: Vec::with_capacity(indices.len()),
+        };
+        let root = self.build(data, &mut owned, 0, &mut rng, &mut workspace);
+        debug_assert_eq!(root, 0, "the root must be the first node");
+        self.fitted = true;
+    }
+
+    /// The original (pre-overhaul) tree construction, retained verbatim so
+    /// the optimizer's naive reference engine and the speedup benchmarks
+    /// measure the cost profile the speculation-engine rewrite replaced:
+    /// one heap-allocated feature vector per observation (the original
+    /// training-set layout), a materialized target vector, per-feature
+    /// `(value, target)` collections and prefix-sum arrays allocated at
+    /// every node.
+    ///
+    /// Produces **bit-identical** nodes to [`Surrogate::fit`] on the same
+    /// observations (the optimized build performs the same arithmetic in
+    /// the same order, just flat and without the allocations); asserted by
+    /// the `reference_build_is_bit_identical` test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `targets` have different lengths.
+    pub fn fit_reference(&mut self, rows: &[Vec<f64>], targets: &[f64]) {
+        assert_eq!(rows.len(), targets.len(), "one target per row");
+        self.nodes.clear();
+        self.fitted = false;
+        if rows.is_empty() {
+            return;
+        }
+        let indices: Vec<usize> = (0..rows.len()).collect();
+        let mut rng = SeededRng::new(self.seed);
+        let root = self.build_reference(rows, targets, &indices, 0, &mut rng);
+        debug_assert_eq!(root, 0, "the root must be the first node");
+        self.fitted = true;
+    }
+
+    /// The retained original node construction behind
+    /// [`RegressionTree::fit_reference`].
+    #[allow(clippy::too_many_lines)]
+    fn build_reference(
         &mut self,
-        data: &TrainingSet,
+        rows: &[Vec<f64>],
+        all_targets: &[f64],
         indices: &[usize],
         depth: usize,
         rng: &mut SeededRng,
     ) -> usize {
-        let targets: Vec<f64> = indices.iter().map(|&i| data.targets()[i]).collect();
+        let targets: Vec<f64> = indices.iter().map(|&i| all_targets[i]).collect();
         let mean = targets.iter().sum::<f64>() / targets.len() as f64;
 
         let make_leaf = |nodes: &mut Vec<Node>| {
@@ -135,23 +198,23 @@ impl RegressionTree {
             return make_leaf(&mut self.nodes);
         }
 
-        let dims = data.dims();
+        let dims = rows[0].len();
         let candidate_features: Vec<usize> = match self.feature_subsample {
             Some(k) if k < dims => rng.sample_indices(dims, k),
             _ => (0..dims).collect(),
         };
 
-        let parent_sse = sse(&targets, mean);
+        let parent_sse: f64 = targets.iter().map(|t| (t - mean) * (t - mean)).sum();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
         for &feature in &candidate_features {
             let mut values: Vec<(f64, f64)> = indices
                 .iter()
-                .map(|&i| (data.features()[i][feature], data.targets()[i]))
+                .map(|&i| (rows[i][feature], all_targets[i]))
                 .collect();
             values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features are finite"));
 
-            // Prefix sums over the sorted order let us evaluate every split in
-            // O(n) per feature.
+            // Prefix sums over the sorted order let us evaluate every split
+            // in O(n) per feature.
             let n = values.len();
             let mut prefix_sum = vec![0.0; n + 1];
             let mut prefix_sq = vec![0.0; n + 1];
@@ -189,7 +252,7 @@ impl RegressionTree {
 
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
             .iter()
-            .partition(|&&i| data.features()[i][feature] <= threshold);
+            .partition(|&&i| rows[i][feature] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return make_leaf(&mut self.nodes);
         }
@@ -201,8 +264,8 @@ impl RegressionTree {
             count: indices.len(),
         });
         let me = self.nodes.len() - 1;
-        let left = self.build(data, &left_idx, depth + 1, rng);
-        let right = self.build(data, &right_idx, depth + 1, rng);
+        let left = self.build_reference(rows, all_targets, &left_idx, depth + 1, rng);
+        let right = self.build_reference(rows, all_targets, &right_idx, depth + 1, rng);
         self.nodes[me] = Node::Split {
             feature,
             threshold,
@@ -211,34 +274,21 @@ impl RegressionTree {
         };
         me
     }
-}
 
-fn sse(values: &[f64], mean: f64) -> f64 {
-    values.iter().map(|v| (v - mean) * (v - mean)).sum()
-}
-
-impl Surrogate for RegressionTree {
-    fn fit(&mut self, data: &TrainingSet) {
-        self.nodes.clear();
-        self.fitted = false;
-        if data.is_empty() {
-            return;
-        }
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let mut rng = SeededRng::new(self.seed);
-        let root = self.build(data, &indices, 0, &mut rng);
-        debug_assert_eq!(root, 0, "the root must be the first node");
-        self.fitted = true;
-    }
-
-    fn predict(&self, features: &[f64]) -> Prediction {
+    /// The point prediction at a feature vector (0 for an unfitted tree).
+    ///
+    /// This is the allocation-free core of [`Surrogate::predict`], exposed so
+    /// ensembles can traverse tree-major without building a [`Prediction`]
+    /// per member.
+    #[must_use]
+    pub fn predict_value(&self, features: &[f64]) -> f64 {
         if !self.fitted {
-            return Prediction::certain(0.0);
+            return 0.0;
         }
         let mut node = 0usize;
         loop {
             match &self.nodes[node] {
-                Node::Leaf { value, .. } => return Prediction::certain(*value),
+                Node::Leaf { value, .. } => return *value,
                 Node::Split {
                     feature,
                     threshold,
@@ -255,6 +305,177 @@ impl Surrogate for RegressionTree {
         }
     }
 
+    fn build(
+        &mut self,
+        data: &TrainingSet,
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut SeededRng,
+        workspace: &mut BuildWorkspace,
+    ) -> usize {
+        // Aggregate the node's targets in index order (the same accumulation
+        // order a materialized target vector would produce).
+        let target_of = |i: usize| data.targets()[i];
+        let mean = indices.iter().map(|&i| target_of(i)).sum::<f64>() / indices.len() as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                value: mean,
+                count: indices.len(),
+            });
+            nodes.len() - 1
+        };
+
+        let first_target = target_of(indices[0]);
+        if depth >= self.max_depth
+            || indices.len() < 2 * self.min_samples_leaf
+            || indices
+                .iter()
+                .all(|&i| (target_of(i) - first_target).abs() < 1e-12)
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let dims = data.dims();
+        let candidate_features: Vec<usize> = match self.feature_subsample {
+            Some(k) if k < dims => rng.sample_indices(dims, k),
+            _ => (0..dims).collect(),
+        };
+
+        let parent_sse: f64 = indices
+            .iter()
+            .map(|&i| {
+                let d = target_of(i) - mean;
+                d * d
+            })
+            .sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &feature in &candidate_features {
+            // `workspace.values` is reusable: split selection finishes
+            // before the recursion below, so one buffer serves every node of
+            // the tree.
+            let values = &mut workspace.values;
+            values.clear();
+            values.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.feature(i, feature), target_of(i))),
+            );
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features are finite"));
+
+            // Running sums over the sorted order evaluate every split in
+            // O(n) per feature without materializing prefix arrays; the
+            // accumulation order (and hence every float) is identical to the
+            // prefix-array formulation.
+            let n = values.len();
+            let mut total_sum = 0.0;
+            let mut total_sq = 0.0;
+            for &(_, t) in values.iter() {
+                total_sum += t;
+                total_sq += t * t;
+            }
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for split in 1..n {
+                let t = values[split - 1].1;
+                left_sum += t;
+                left_sq += t * t;
+                if split < self.min_samples_leaf || split > n - self.min_samples_leaf {
+                    continue;
+                }
+                // Only split between distinct feature values.
+                if (values[split - 1].0 - values[split].0).abs() < 1e-12 {
+                    continue;
+                }
+                let left_n = split as f64;
+                let right_n = (n - split) as f64;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n;
+                let right_sse = right_sq - right_sum * right_sum / right_n;
+                let total = left_sse + right_sse;
+                if best.map_or(total < parent_sse - 1e-12, |(_, _, b)| total < b) {
+                    let threshold = 0.5 * (values[split - 1].0 + values[split].0);
+                    best = Some((feature, threshold, total));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let goes_left = |i: usize| data.feature(i, feature) <= threshold;
+        let left_len = indices.iter().filter(|&&i| goes_left(i)).count();
+        if left_len == 0 || left_len == indices.len() {
+            return make_leaf(&mut self.nodes);
+        }
+        // Stable in-place partition via the shared scratch buffer: the same
+        // sequences `Iterator::partition` would produce, without allocating
+        // per node.
+        stable_partition_in_place(indices, &mut workspace.partition, goes_left);
+
+        // Reserve this node's slot before recursing so children indices are
+        // stable.
+        self.nodes.push(Node::Leaf {
+            value: mean,
+            count: indices.len(),
+        });
+        let me = self.nodes.len() - 1;
+        let (left_idx, right_idx) = indices.split_at_mut(left_len);
+        let left = self.build(data, left_idx, depth + 1, rng, workspace);
+        let right = self.build(data, right_idx, depth + 1, rng, workspace);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+/// Stable in-place partition: elements satisfying `keep_left` move to the
+/// front, the rest to the back, both sides preserving relative order — the
+/// sequences `Iterator::partition` would produce, without allocating per
+/// call (`scratch` is reused).
+fn stable_partition_in_place<F: Fn(usize) -> bool>(
+    items: &mut [usize],
+    scratch: &mut Vec<usize>,
+    keep_left: F,
+) {
+    scratch.clear();
+    let mut write = 0usize;
+    for read in 0..items.len() {
+        let i = items[read];
+        if keep_left(i) {
+            items[write] = i;
+            write += 1;
+        } else {
+            scratch.push(i);
+        }
+    }
+    items[write..].copy_from_slice(scratch);
+}
+
+/// Reusable buffers of one optimized tree construction.
+struct BuildWorkspace {
+    /// `(feature value, target)` pairs of the node under consideration.
+    values: Vec<(f64, f64)>,
+    /// Scratch for the stable in-place index partition.
+    partition: Vec<usize>,
+}
+
+impl Surrogate for RegressionTree {
+    fn fit(&mut self, data: &TrainingSet) {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_indexed(data, &indices);
+    }
+
+    fn predict(&self, features: &[f64]) -> Prediction {
+        Prediction::certain(self.predict_value(features))
+    }
+
     fn is_fitted(&self) -> bool {
         self.fitted
     }
@@ -264,6 +485,19 @@ impl Surrogate for RegressionTree {
         clone.nodes.clear();
         clone.fitted = false;
         Box::new(clone)
+    }
+
+    fn predict_rows(
+        &self,
+        features: &crate::model::FeatureMatrix,
+        rows: &[usize],
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        out.extend(
+            rows.iter()
+                .map(|&r| Prediction::certain(self.predict_value(features.row(r)))),
+        );
     }
 }
 
@@ -367,6 +601,34 @@ mod tests {
         tree.fit(&step_data());
         let clone = tree.fresh_clone();
         assert!(!clone.is_fitted());
+    }
+
+    #[test]
+    fn reference_build_is_bit_identical() {
+        use lynceus_math::rng::SeededRng;
+        let mut rng = SeededRng::new(77);
+        for _ in 0..20 {
+            let mut data = TrainingSet::new(3);
+            let n = 3 + rng.below(40);
+            for _ in 0..n {
+                data.push(
+                    vec![
+                        rng.uniform(-10.0, 10.0),
+                        rng.uniform(0.0, 5.0),
+                        rng.uniform(-1.0, 1.0),
+                    ],
+                    rng.uniform(-100.0, 100.0),
+                );
+            }
+            let mut optimized = RegressionTree::new()
+                .with_feature_subsample(2)
+                .with_seed(rng.next_u64());
+            let mut reference = optimized.clone();
+            optimized.fit(&data);
+            let rows: Vec<Vec<f64>> = data.feature_rows().map(<[f64]>::to_vec).collect();
+            reference.fit_reference(&rows, data.targets());
+            assert_eq!(optimized, reference, "builds diverged on {n} samples");
+        }
     }
 
     #[test]

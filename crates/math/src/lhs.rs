@@ -77,7 +77,10 @@ pub fn latin_hypercube(n: usize, dims: usize, rng: &mut SeededRng) -> Vec<Vec<f6
 /// Panics if `n == 0`, `levels` is empty, or any dimension has zero levels.
 #[must_use]
 pub fn latin_hypercube_levels(n: usize, levels: &[usize], rng: &mut SeededRng) -> Vec<Vec<usize>> {
-    assert!(!levels.is_empty(), "levels must describe at least one dimension");
+    assert!(
+        !levels.is_empty(),
+        "levels must describe at least one dimension"
+    );
     assert!(
         levels.iter().all(|&l| l > 0),
         "every dimension needs at least one level"
@@ -152,10 +155,7 @@ mod tests {
     fn deterministic_for_a_fixed_seed() {
         let mut a = SeededRng::new(1234);
         let mut b = SeededRng::new(1234);
-        assert_eq!(
-            latin_hypercube(6, 3, &mut a),
-            latin_hypercube(6, 3, &mut b)
-        );
+        assert_eq!(latin_hypercube(6, 3, &mut a), latin_hypercube(6, 3, &mut b));
     }
 
     #[test]

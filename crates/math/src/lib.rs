@@ -42,6 +42,6 @@ pub mod stats;
 
 pub use lhs::latin_hypercube;
 pub use normal::StandardNormal;
-pub use quadrature::{gauss_hermite, GaussHermiteNode};
+pub use quadrature::{gauss_hermite, GaussHermiteNode, GaussHermiteRule};
 pub use rng::SeededRng;
 pub use stats::{empirical_cdf, mean, percentile, std_dev, variance, Summary};

@@ -3,10 +3,10 @@
 //! The constrained Expected Improvement acquisition used by Lynceus and by the
 //! CherryPick-style baseline needs the pdf `φ`, the cdf `Φ` and (for tests and
 //! sampling) the quantile function of the standard normal distribution. The
-//! error function is evaluated with a Taylor series near the origin and the
-//! Lentz continued fraction of the upper incomplete gamma function in the
-//! tails, which gives close to double precision everywhere the optimizer
-//! operates.
+//! error function is evaluated with Cephes-style rational approximations,
+//! which give close to double precision everywhere the optimizer operates at
+//! a small, fixed cost per call — it sits in the innermost loop of the
+//! speculation engine's acquisition scoring.
 
 /// The standard normal distribution `N(0, 1)`.
 ///
@@ -79,93 +79,111 @@ impl StandardNormal {
 
 /// Error function `erf(x)`.
 ///
-/// Taylor series for `|x| <= 2.5`, complementary continued fraction otherwise.
+/// Cephes-style rational approximations (relative error ≲ 1e-16): a direct
+/// rational polynomial on `|x| < 1`, [`erfc`] in the tails. The acquisition
+/// function evaluates a normal cdf per candidate per speculated state, so
+/// this runs in the innermost loop of the optimizer; fixed-degree rationals
+/// are several times faster than iterated series at the same accuracy.
 #[must_use]
 pub fn erf(x: f64) -> f64 {
-    if x.abs() <= 2.5 {
-        erf_series(x)
-    } else if x > 0.0 {
-        1.0 - erfc_cf(x)
-    } else {
-        erfc_cf(-x) - 1.0
+    if x.abs() >= 1.0 {
+        return 1.0 - erfc(x);
     }
+    let z = x * x;
+    x * polevl(z, &ERF_T) / p1evl(z, &ERF_U)
 }
 
 /// Complementary error function `erfc(x) = 1 - erf(x)`.
 ///
 /// Accurate in the positive tail (no cancellation), which is what the
-/// feasibility probabilities of the optimizer rely on.
+/// feasibility probabilities of the optimizer rely on. Same Cephes-style
+/// rational scheme as [`erf`].
 #[must_use]
 pub fn erfc(x: f64) -> f64 {
-    if x > 2.5 {
-        erfc_cf(x)
-    } else if x < -2.5 {
-        2.0 - erfc_cf(-x)
+    let magnitude = x.abs();
+    if magnitude < 1.0 {
+        return 1.0 - erf(x);
+    }
+    let z = -x * x;
+    if z < -708.0 {
+        // exp underflows; the tail is exactly 0 (or 2) at double precision.
+        return if x < 0.0 { 2.0 } else { 0.0 };
+    }
+    let z = z.exp();
+    let y = z * polevl(magnitude, &ERFC_P) / p1evl(magnitude, &ERFC_Q);
+    if x < 0.0 {
+        2.0 - y
     } else {
-        1.0 - erf_series(x)
+        y
     }
 }
 
-/// Taylor series for `erf` on `|x| <= 2.5`.
-fn erf_series(x: f64) -> f64 {
-    // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1))
-    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
-    let x2 = x * x;
-    let mut power = x; // x^(2n+1) / n! with alternating sign folded in
-    let mut sum = x;
-    let mut n = 1.0_f64;
-    loop {
-        power *= -x2 / n;
-        let term = power / (2.0 * n + 1.0);
-        sum += term;
-        n += 1.0;
-        if term.abs() < 1e-17 * sum.abs().max(1e-300) || n > 80.0 {
-            break;
-        }
+// Cephes `erf`/`erfc` rational-approximation coefficients (Moshier, public
+// domain; also used by SciPy). The digits are kept exactly as published,
+// even where they exceed f64 precision.
+#[allow(clippy::excessive_precision)]
+const ERF_T: [f64; 5] = [
+    9.604_973_739_870_516e0,
+    9.002_601_972_038_427e1,
+    2.232_005_345_946_843e3,
+    7.003_325_141_128_051e3,
+    5.559_230_130_103_949_6e4,
+];
+#[allow(clippy::excessive_precision)]
+const ERF_U: [f64; 5] = [
+    3.356_171_416_475_031e1,
+    5.213_579_497_801_527e2,
+    4.594_323_829_709_801e3,
+    2.262_900_006_138_909_3e4,
+    4.926_739_426_086_359e4,
+];
+#[allow(clippy::excessive_precision)]
+const ERFC_P: [f64; 9] = [
+    2.461_969_814_735_305e-10,
+    5.641_895_648_310_689e-1,
+    7.463_210_564_422_699e0,
+    4.863_719_709_856_814e1,
+    1.965_208_329_560_771e2,
+    5.264_451_949_954_773e2,
+    9.345_285_271_719_576e2,
+    1.027_551_886_895_157e3,
+    5.575_353_353_693_994e2,
+];
+#[allow(clippy::excessive_precision)]
+const ERFC_Q: [f64; 8] = [
+    1.322_819_511_547_45e1,
+    8.670_721_408_859_897e1,
+    3.549_377_788_878_199e2,
+    9.757_085_017_432_055e2,
+    1.823_909_166_879_097_4e3,
+    2.246_337_608_187_11e3,
+    1.656_663_091_941_613_5e3,
+    5.575_353_408_177_277e2,
+];
+/// Evaluates a polynomial with coefficients in decreasing-degree order.
+#[inline]
+fn polevl(x: f64, coefficients: &[f64]) -> f64 {
+    let mut result = coefficients[0];
+    for &c in &coefficients[1..] {
+        result = result * x + c;
     }
-    TWO_OVER_SQRT_PI * sum
+    result
 }
 
-/// Continued-fraction evaluation of `erfc(x)` for `x > 0` via the upper
-/// incomplete gamma function: `erfc(x) = Q(1/2, x²)` (modified Lentz).
-fn erfc_cf(x: f64) -> f64 {
-    debug_assert!(x > 0.0);
-    if x > 26.5 {
-        // exp(-x^2) underflows; the probability is zero at double precision.
-        return 0.0;
+/// Like [`polevl`] with an implicit leading coefficient of 1 (the Cephes
+/// `p1evl` convention).
+#[inline]
+fn p1evl(x: f64, coefficients: &[f64]) -> f64 {
+    let mut result = x + coefficients[0];
+    for &c in &coefficients[1..] {
+        result = result * x + c;
     }
-    const A: f64 = 0.5;
-    const FPMIN: f64 = 1e-300;
-    const EPS: f64 = 1e-16;
-    let xx = x * x;
-    let ln_gamma_half = std::f64::consts::PI.sqrt().ln();
-
-    let mut b = xx + 1.0 - A;
-    let mut c = 1.0 / FPMIN;
-    let mut d = 1.0 / b;
-    let mut h = d;
-    for i in 1..200 {
-        let an = -(i as f64) * (i as f64 - A);
-        b += 2.0;
-        d = an * d + b;
-        if d.abs() < FPMIN {
-            d = FPMIN;
-        }
-        c = b + an / c;
-        if c.abs() < FPMIN {
-            c = FPMIN;
-        }
-        d = 1.0 / d;
-        let del = d * c;
-        h *= del;
-        if (del - 1.0).abs() < EPS {
-            break;
-        }
-    }
-    (-xx + A * xx.ln() - ln_gamma_half).exp() * h
+    result
 }
 
-/// Acklam's rational approximation of the normal quantile.
+/// Acklam's rational approximation of the normal quantile (digits as
+/// published).
+#[allow(clippy::excessive_precision)]
 fn acklam_quantile(p: f64) -> f64 {
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

@@ -162,6 +162,85 @@ pub fn discretize_normal_clamped(mean: f64, std: f64, k: usize, floor: f64) -> V
         .collect()
 }
 
+/// A precomputed Gauss–Hermite rule specialized for discretizing normal
+/// distributions.
+///
+/// [`discretize_normal`] recomputes the Hermite roots (a Newton iteration per
+/// node) on every call; the speculation engine discretizes a predictive
+/// distribution on every branch of every candidate's exploration path, so it
+/// precomputes the rule once per decision and reuses it. The node/weight
+/// arithmetic matches [`discretize_normal`] exactly, so the produced
+/// [`WeightedValue`]s are bit-identical to the allocating API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussHermiteRule {
+    /// Raw abscissae, in increasing order.
+    nodes: Vec<f64>,
+    /// Weights already normalized to sum to 1 (`w_i / √π`).
+    weights: Vec<f64>,
+}
+
+impl GaussHermiteRule {
+    /// Precomputes the `k`-point rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 64` (like [`gauss_hermite`]).
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        let inv_sqrt_pi = 1.0 / std::f64::consts::PI.sqrt();
+        let (nodes, weights) = gauss_hermite(k)
+            .into_iter()
+            .map(|p| (p.node, p.weight * inv_sqrt_pi))
+            .unzip();
+        Self { nodes, weights }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the rule has no nodes (never after construction; required
+    /// by convention).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Discretizes `N(mean, std²)` into `out` (cleared first), clamping
+    /// values below `floor` like [`discretize_normal_clamped`]; with a
+    /// degenerate `std` a single point mass at `mean` (clamped) is produced.
+    ///
+    /// Reusing `out` across calls makes the hot loop allocation-free.
+    pub fn discretize_clamped_into(
+        &self,
+        mean: f64,
+        std: f64,
+        floor: f64,
+        out: &mut Vec<WeightedValue>,
+    ) {
+        out.clear();
+        if std <= 0.0 || !std.is_finite() {
+            out.push(WeightedValue {
+                value: mean.max(floor),
+                weight: 1.0,
+            });
+            return;
+        }
+        let scale = std::f64::consts::SQRT_2 * std;
+        out.extend(
+            self.nodes
+                .iter()
+                .zip(&self.weights)
+                .map(|(&node, &weight)| WeightedValue {
+                    value: (mean + scale * node).max(floor),
+                    weight,
+                }),
+        );
+    }
+}
+
 /// Estimates `P(Y <= threshold)` for `Y ~ N(mean, std²)`.
 ///
 /// Thin convenience wrapper used when deciding whether a configuration fits
@@ -277,6 +356,27 @@ mod tests {
         assert!(nodes.iter().all(|p| p.value >= 0.0));
         let total_w: f64 = nodes.iter().map(|p| p.weight).sum();
         assert!((total_w - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn precomputed_rule_matches_the_allocating_discretization_bitwise() {
+        for k in [1, 2, 3, 4, 7] {
+            let rule = GaussHermiteRule::new(k);
+            assert_eq!(rule.len(), k);
+            assert!(!rule.is_empty());
+            let mut out = Vec::new();
+            for (mean, std, floor) in [
+                (42.0, 5.5, 0.0),
+                (1.0, 10.0, 1e-9),
+                (-3.0, 0.25, -10.0),
+                (7.0, 0.0, 0.0),
+                (5.0, f64::NAN, 2.0),
+            ] {
+                rule.discretize_clamped_into(mean, std, floor, &mut out);
+                let reference = discretize_normal_clamped(mean, std, k, floor);
+                assert_eq!(out, reference, "rule k={k} diverges at ({mean}, {std})");
+            }
+        }
     }
 
     #[test]

@@ -133,14 +133,8 @@ impl Summary {
     #[must_use]
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "summary of an empty sample");
-        let min = values
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        let max = values
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self {
             count: values.len(),
             mean: mean(values),

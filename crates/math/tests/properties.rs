@@ -1,145 +1,197 @@
 //! Property-based tests for the numerical substrate.
+//!
+//! The environment has no registry access, so instead of `proptest` these
+//! tests draw their cases from the crate's own [`SeededRng`]: every property
+//! is checked over a deterministic stream of randomized inputs.
 
 use lynceus_math::lhs::{latin_hypercube, latin_hypercube_levels};
 use lynceus_math::normal::StandardNormal;
 use lynceus_math::quadrature::{discretize_normal, discretize_normal_clamped, normal_below};
 use lynceus_math::rng::SeededRng;
 use lynceus_math::stats::{empirical_cdf, percentile, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn cdf_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+const CASES: usize = 200;
+
+#[test]
+fn cdf_is_monotone() {
+    let mut rng = SeededRng::new(0x11);
+    for _ in 0..CASES {
+        let a = rng.uniform(-8.0, 8.0);
+        let b = rng.uniform(-8.0, 8.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(StandardNormal::cdf(lo) <= StandardNormal::cdf(hi) + 1e-15);
+        assert!(StandardNormal::cdf(lo) <= StandardNormal::cdf(hi) + 1e-15);
     }
+}
 
-    #[test]
-    fn cdf_stays_in_unit_interval(z in -40.0f64..40.0) {
+#[test]
+fn cdf_stays_in_unit_interval() {
+    let mut rng = SeededRng::new(0x12);
+    for _ in 0..CASES {
+        let z = rng.uniform(-40.0, 40.0);
         let p = StandardNormal::cdf(z);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "cdf({z}) = {p}");
     }
+}
 
-    #[test]
-    fn quantile_round_trips(p in 0.0005f64..0.9995) {
+#[test]
+fn quantile_round_trips() {
+    let mut rng = SeededRng::new(0x13);
+    for _ in 0..CASES {
+        let p = rng.uniform(0.0005, 0.9995);
         let z = StandardNormal::quantile(p);
-        prop_assert!((StandardNormal::cdf(z) - p).abs() < 1e-8);
+        assert!(
+            (StandardNormal::cdf(z) - p).abs() < 1e-8,
+            "round trip failed at p={p}"
+        );
     }
+}
 
-    #[test]
-    fn expected_improvement_is_nonnegative(
-        y_best in -100.0f64..100.0,
-        mean in -100.0f64..100.0,
-        std in 0.0f64..50.0,
-    ) {
-        prop_assert!(StandardNormal::expected_improvement(y_best, mean, std) >= 0.0);
+#[test]
+fn expected_improvement_is_nonnegative() {
+    let mut rng = SeededRng::new(0x14);
+    for _ in 0..CASES {
+        let y_best = rng.uniform(-100.0, 100.0);
+        let mean = rng.uniform(-100.0, 100.0);
+        let std = rng.uniform(0.0, 50.0);
+        assert!(StandardNormal::expected_improvement(y_best, mean, std) >= 0.0);
     }
+}
 
-    #[test]
-    fn discretization_weights_sum_to_one(
-        mean in -1e3f64..1e3,
-        std in 0.0f64..1e3,
-        k in 1usize..24,
-    ) {
+#[test]
+fn discretization_weights_sum_to_one() {
+    let mut rng = SeededRng::new(0x15);
+    for _ in 0..CASES {
+        let mean = rng.uniform(-1e3, 1e3);
+        let std = rng.uniform(0.0, 1e3);
+        let k = 1 + rng.below(23);
         let nodes = discretize_normal(mean, std, k);
         let total: f64 = nodes.iter().map(|n| n.weight).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "k={k}: weights sum to {total}");
     }
+}
 
-    #[test]
-    fn discretization_mean_matches(
-        mean in -1e3f64..1e3,
-        std in 0.01f64..1e2,
-        k in 2usize..16,
-    ) {
+#[test]
+fn discretization_mean_matches() {
+    let mut rng = SeededRng::new(0x16);
+    for _ in 0..CASES {
+        let mean = rng.uniform(-1e3, 1e3);
+        let std = rng.uniform(0.01, 1e2);
+        let k = 2 + rng.below(14);
         let nodes = discretize_normal(mean, std, k);
         let m: f64 = nodes.iter().map(|n| n.weight * n.value).sum();
-        prop_assert!((m - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((m - mean).abs() < 1e-6 * (1.0 + mean.abs()));
     }
+}
 
-    #[test]
-    fn clamped_discretization_respects_floor(
-        mean in -50.0f64..50.0,
-        std in 0.0f64..100.0,
-        k in 1usize..12,
-        floor in -10.0f64..10.0,
-    ) {
+#[test]
+fn clamped_discretization_respects_floor() {
+    let mut rng = SeededRng::new(0x17);
+    for _ in 0..CASES {
+        let mean = rng.uniform(-50.0, 50.0);
+        let std = rng.uniform(0.0, 100.0);
+        let k = 1 + rng.below(11);
+        let floor = rng.uniform(-10.0, 10.0);
         let nodes = discretize_normal_clamped(mean, std, k, floor);
-        prop_assert!(nodes.iter().all(|n| n.value >= floor));
+        assert!(nodes.iter().all(|n| n.value >= floor));
     }
+}
 
-    #[test]
-    fn normal_below_is_a_probability(
-        mean in -1e3f64..1e3,
-        std in 0.0f64..1e3,
-        thr in -1e3f64..1e3,
-    ) {
+#[test]
+fn normal_below_is_a_probability() {
+    let mut rng = SeededRng::new(0x18);
+    for _ in 0..CASES {
+        let mean = rng.uniform(-1e3, 1e3);
+        let std = rng.uniform(0.0, 1e3);
+        let thr = rng.uniform(-1e3, 1e3);
         let p = normal_below(mean, std, thr);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
     }
+}
 
-    #[test]
-    fn lhs_fills_every_stratum(n in 1usize..40, dims in 1usize..6, seed in any::<u64>()) {
-        let mut rng = SeededRng::new(seed);
-        let points = latin_hypercube(n, dims, &mut rng);
-        prop_assert_eq!(points.len(), n);
+#[test]
+fn lhs_fills_every_stratum() {
+    let mut rng = SeededRng::new(0x19);
+    for _ in 0..60 {
+        let n = 1 + rng.below(39);
+        let dims = 1 + rng.below(5);
+        let mut sample_rng = SeededRng::new(rng.next_u64());
+        let points = latin_hypercube(n, dims, &mut sample_rng);
+        assert_eq!(points.len(), n);
         for d in 0..dims {
             let mut seen = vec![false; n];
             for p in &points {
                 let stratum = ((p[d] * n as f64) as usize).min(n - 1);
-                prop_assert!(!seen[stratum], "stratum hit twice");
+                assert!(!seen[stratum], "stratum hit twice");
                 seen[stratum] = true;
             }
         }
     }
+}
 
-    #[test]
-    fn lhs_levels_stay_in_bounds(
-        n in 1usize..30,
-        levels in proptest::collection::vec(1usize..12, 1..6),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SeededRng::new(seed);
-        let samples = latin_hypercube_levels(n, &levels, &mut rng);
+#[test]
+fn lhs_levels_stay_in_bounds() {
+    let mut rng = SeededRng::new(0x1a);
+    for _ in 0..60 {
+        let n = 1 + rng.below(29);
+        let levels: Vec<usize> = (0..1 + rng.below(5)).map(|_| 1 + rng.below(11)).collect();
+        let mut sample_rng = SeededRng::new(rng.next_u64());
+        let samples = latin_hypercube_levels(n, &levels, &mut sample_rng);
         for s in samples {
             for (value, bound) in s.iter().zip(&levels) {
-                prop_assert!(value < bound);
+                assert!(value < bound);
             }
         }
     }
+}
 
-    #[test]
-    fn percentile_is_bounded_by_extremes(
-        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
-        q in 0.0f64..100.0,
-    ) {
+#[test]
+fn percentile_is_bounded_by_extremes() {
+    let mut rng = SeededRng::new(0x1b);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(199);
+        let values: Vec<f64> = (0..len).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let q = rng.uniform(0.0, 100.0);
         let p = percentile(&values, q);
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        assert!(p >= min - 1e-9 && p <= max + 1e-9);
     }
+}
 
-    #[test]
-    fn summary_orders_its_quantiles(values in proptest::collection::vec(-1e4f64..1e4, 2..200)) {
+#[test]
+fn summary_orders_its_quantiles() {
+    let mut rng = SeededRng::new(0x1c);
+    for _ in 0..CASES {
+        let len = 2 + rng.below(198);
+        let values: Vec<f64> = (0..len).map(|_| rng.uniform(-1e4, 1e4)).collect();
         let s = Summary::of(&values);
-        prop_assert!(s.min <= s.median + 1e-9);
-        prop_assert!(s.median <= s.p90 + 1e-9);
-        prop_assert!(s.p90 <= s.p95 + 1e-9);
-        prop_assert!(s.p95 <= s.p99 + 1e-9);
-        prop_assert!(s.p99 <= s.max + 1e-9);
+        assert!(s.min <= s.median + 1e-9);
+        assert!(s.median <= s.p90 + 1e-9);
+        assert!(s.p90 <= s.p95 + 1e-9);
+        assert!(s.p95 <= s.p99 + 1e-9);
+        assert!(s.p99 <= s.max + 1e-9);
     }
+}
 
-    #[test]
-    fn empirical_cdf_ends_at_one(values in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+#[test]
+fn empirical_cdf_ends_at_one() {
+    let mut rng = SeededRng::new(0x1d);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(99);
+        let values: Vec<f64> = (0..len).map(|_| rng.uniform(-1e4, 1e4)).collect();
         let cdf = empirical_cdf(&values);
-        prop_assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn rng_below_is_in_range(seed in any::<u64>(), bound in 1usize..1000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn rng_below_is_in_range() {
+    let mut meta = SeededRng::new(0x1e);
+    for _ in 0..CASES {
+        let mut rng = SeededRng::new(meta.next_u64());
+        let bound = 1 + meta.below(999);
         for _ in 0..50 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
 }

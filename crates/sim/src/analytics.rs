@@ -145,7 +145,8 @@ impl AnalyticsModel {
 
         // Shuffle: all-to-all exchange plus a coordination overhead that
         // grows with the number of nodes.
-        let shuffle = p.shuffle_gb * 8.0 / cluster.total_network_gbps() * (1.0 + 0.04 * nodes.sqrt());
+        let shuffle =
+            p.shuffle_gb * 8.0 / cluster.total_network_gbps() * (1.0 + 0.04 * nodes.sqrt());
 
         p.startup_seconds + serial + parallel + scan + shuffle
     }

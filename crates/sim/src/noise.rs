@@ -102,7 +102,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        assert!((var.sqrt() / mean - cv).abs() < 0.01, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - cv).abs() < 0.01,
+            "cv {}",
+            var.sqrt() / mean
+        );
     }
 
     #[test]

@@ -291,13 +291,9 @@ mod tests {
         let aggressive = params(1e-3, 16, TrainingMode::Sync);
         let moderate = params(1e-4, 16, TrainingMode::Sync);
         // For the RNN the aggressive rate is worse than the moderate one...
-        assert!(
-            rnn.epochs_to_converge(&aggressive, 8) > rnn.epochs_to_converge(&moderate, 8)
-        );
+        assert!(rnn.epochs_to_converge(&aggressive, 8) > rnn.epochs_to_converge(&moderate, 8));
         // ...while the CNN still prefers the aggressive rate.
-        assert!(
-            cnn.epochs_to_converge(&aggressive, 8) < cnn.epochs_to_converge(&moderate, 8)
-        );
+        assert!(cnn.epochs_to_converge(&aggressive, 8) < cnn.epochs_to_converge(&moderate, 8));
     }
 
     #[test]
@@ -356,10 +352,8 @@ mod tests {
             for lr in [1e-3, 1e-4, 1e-5] {
                 for batch in [16, 256] {
                     for mode in [TrainingMode::Sync, TrainingMode::Async] {
-                        let rt = model.runtime_seconds(
-                            &cluster("t2.medium", 16),
-                            &params(lr, batch, mode),
-                        );
+                        let rt = model
+                            .runtime_seconds(&cluster("t2.medium", 16), &params(lr, batch, mode));
                         assert!(rt.is_finite() && rt > 0.0);
                     }
                 }

@@ -31,7 +31,11 @@ impl SpaceBuilder {
 
     /// Adds a discrete numeric dimension.
     #[must_use]
-    pub fn numeric(mut self, name: impl Into<String>, levels: impl IntoIterator<Item = f64>) -> Self {
+    pub fn numeric(
+        mut self,
+        name: impl Into<String>,
+        levels: impl IntoIterator<Item = f64>,
+    ) -> Self {
         self.dimensions.push(Domain::numeric(name, levels));
         self
     }

@@ -91,7 +91,10 @@ impl Domain {
     #[must_use]
     pub fn numeric(name: impl Into<String>, levels: impl IntoIterator<Item = f64>) -> Self {
         let levels: Vec<f64> = levels.into_iter().collect();
-        assert!(!levels.is_empty(), "a numeric domain needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "a numeric domain needs at least one level"
+        );
         assert!(
             levels.iter().all(|l| l.is_finite()),
             "numeric levels must be finite"
@@ -113,7 +116,10 @@ impl Domain {
         labels: impl IntoIterator<Item = S>,
     ) -> Self {
         let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
-        assert!(!labels.is_empty(), "a categorical domain needs at least one label");
+        assert!(
+            !labels.is_empty(),
+            "a categorical domain needs at least one label"
+        );
         Domain::Categorical {
             name: name.into(),
             labels,

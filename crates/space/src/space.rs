@@ -110,7 +110,11 @@ impl ConfigSpace {
     /// Panics if `id >= self.len()`.
     #[must_use]
     pub fn config(&self, id: usize) -> Config {
-        assert!(id < self.size, "configuration id {id} out of range ({})", self.size);
+        assert!(
+            id < self.size,
+            "configuration id {id} out of range ({})",
+            self.size
+        );
         let levels = self
             .strides
             .iter()
@@ -242,9 +246,7 @@ impl ConfigSpace {
     where
         F: FnMut(&Config) -> bool,
     {
-        self.ids()
-            .filter(|id| keep(&self.config_of(*id)))
-            .collect()
+        self.ids().filter(|id| keep(&self.config_of(*id))).collect()
     }
 
     /// Looks up a dimension by name.

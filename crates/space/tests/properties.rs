@@ -1,56 +1,80 @@
 //! Property-based tests for the configuration-space crate.
+//!
+//! The environment has no registry access, so instead of `proptest` these
+//! tests enumerate a deterministic family of randomized spaces.
 
 use lynceus_space::{ConfigSpace, Domain};
-use proptest::prelude::*;
 
-/// Strategy producing a valid, non-degenerate configuration space.
-fn arb_space() -> impl Strategy<Value = ConfigSpace> {
-    proptest::collection::vec(1usize..8, 1..5).prop_map(|cards| {
-        let dims = cards
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                if i % 2 == 0 {
-                    Domain::numeric(format!("num{i}"), (0..c).map(|l| (l as f64 + 1.0) * 4.0))
-                } else {
-                    Domain::categorical(format!("cat{i}"), (0..c).map(|l| format!("v{l}")))
-                }
-            })
-            .collect();
-        ConfigSpace::new(dims).expect("generated space is valid")
-    })
+/// A deterministic family of valid, non-degenerate configuration spaces
+/// mixing numeric and categorical dimensions.
+fn space_family() -> Vec<ConfigSpace> {
+    let shapes: &[&[usize]] = &[
+        &[1],
+        &[2],
+        &[7],
+        &[1, 1],
+        &[3, 4],
+        &[2, 5, 3],
+        &[4, 1, 6],
+        &[2, 2, 2, 2],
+        &[5, 3, 2, 4],
+        &[3, 7, 1, 2],
+    ];
+    shapes
+        .iter()
+        .map(|cards| {
+            let dims = cards
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    if i % 2 == 0 {
+                        Domain::numeric(format!("num{i}"), (0..c).map(|l| (l as f64 + 1.0) * 4.0))
+                    } else {
+                        Domain::categorical(format!("cat{i}"), (0..c).map(|l| format!("v{l}")))
+                    }
+                })
+                .collect();
+            ConfigSpace::new(dims).expect("generated space is valid")
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn size_matches_product_of_cardinalities(space in arb_space()) {
+#[test]
+fn size_matches_product_of_cardinalities() {
+    for space in space_family() {
         let product: usize = space.cardinalities().iter().product();
-        prop_assert_eq!(space.len(), product);
+        assert_eq!(space.len(), product);
     }
+}
 
-    #[test]
-    fn every_id_round_trips(space in arb_space()) {
+#[test]
+fn every_id_round_trips() {
+    for space in space_family() {
         for id in 0..space.len() {
             let config = space.config(id);
-            prop_assert_eq!(space.id_of(&config), Some(id));
-            // levels are always in range
+            assert_eq!(space.id_of(&config), Some(id));
+            // Levels are always in range.
             for (level, card) in config.levels().iter().zip(space.cardinalities()) {
-                prop_assert!(*level < card);
+                assert!(*level < card);
             }
         }
     }
+}
 
-    #[test]
-    fn features_have_one_entry_per_dimension(space in arb_space()) {
+#[test]
+fn features_have_one_entry_per_dimension() {
+    for space in space_family() {
         for id in 0..space.len() {
             let features = space.features(&space.config(id));
-            prop_assert_eq!(features.len(), space.dims());
-            prop_assert!(features.iter().all(|f| f.is_finite()));
+            assert_eq!(features.len(), space.dims());
+            assert!(features.iter().all(|f| f.is_finite()));
         }
     }
+}
 
-    #[test]
-    fn values_round_trip_through_config_from_values(space in arb_space()) {
+#[test]
+fn values_round_trip_through_config_from_values() {
+    for space in space_family() {
         for id in 0..space.len().min(64) {
             let config = space.config(id);
             let named = space.values(&config);
@@ -59,16 +83,18 @@ proptest! {
                 .map(|(name, value)| (name.as_str(), value.clone()))
                 .collect();
             let rebuilt = space.config_from_values(&named_refs).unwrap();
-            prop_assert_eq!(rebuilt, config);
+            assert_eq!(rebuilt, config);
         }
     }
+}
 
-    #[test]
-    fn restriction_is_a_subset_and_respects_the_predicate(space in arb_space()) {
+#[test]
+fn restriction_is_a_subset_and_respects_the_predicate() {
+    for space in space_family() {
         let kept = space.restrict(|c| c.level(0) == 0);
-        prop_assert!(kept.len() <= space.len());
+        assert!(kept.len() <= space.len());
         for id in kept {
-            prop_assert_eq!(space.config_of(id).level(0), 0);
+            assert_eq!(space.config_of(id).level(0), 0);
         }
     }
 }

@@ -4,15 +4,18 @@
 //!
 //! Run with `cargo run --release --example budget_sweep`.
 
-use lynceus::prelude::*;
 use lynceus::datasets::scout;
 use lynceus::experiments::runner::run_metrics;
 use lynceus::math::stats::mean;
+use lynceus::prelude::*;
 
 fn main() {
     let job = scout::dataset(&scout::job_profiles()[5], catalog::DEFAULT_SEED);
     println!("job: {} ({} configurations)", job.name(), job.len());
-    println!("{:>4} {:>12} {:>12} {:>10}", "b", "optimizer", "avg CNO", "avg NEX");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10}",
+        "b", "optimizer", "avg CNO", "avg NEX"
+    );
 
     for b in [1.0, 3.0, 5.0] {
         let config = ExperimentConfig::default()

@@ -75,7 +75,10 @@ fn main() {
     let switching = FnSwitching(move |from: Option<ConfigId>, to: ConfigId| {
         let cluster_of = |id: ConfigId| {
             let values = space_for_switch.values(&space_for_switch.config_of(id));
-            let vm = catalog.get(values[0].1.as_label().unwrap()).unwrap().clone();
+            let vm = catalog
+                .get(values[0].1.as_label().unwrap())
+                .unwrap()
+                .clone();
             ClusterSpec::new(vm, values[1].1.as_number().unwrap() as u32)
         };
         setup.setup_cost(from.map(&cluster_of).as_ref(), &cluster_of(to))

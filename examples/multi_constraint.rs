@@ -53,7 +53,10 @@ fn main() {
     // Metric 0 (energy) must stay below 2_500 Wh.
     energy_capped.secondary_constraints = vec![SecondaryConstraint::new(0, 2_500.0)];
 
-    for (label, settings) in [("deadline only", unconstrained), ("deadline + energy cap", energy_capped)] {
+    for (label, settings) in [
+        ("deadline only", unconstrained),
+        ("deadline + energy cap", energy_capped),
+    ] {
         let report = LynceusOptimizer::new(settings).optimize(&job, 11);
         let id = report.recommended.expect("feasible configuration found");
         let obs = job.run(id);

@@ -18,8 +18,8 @@ fn main() {
     });
 
     let settings = OptimizerSettings {
-        budget: 15.0,          // dollars available for profiling runs
-        tmax_seconds: 400.0,   // the job must finish within 400 s
+        budget: 15.0,        // dollars available for profiling runs
+        tmax_seconds: 400.0, // the job must finish within 400 s
         lookahead: 1,
         ..OptimizerSettings::default()
     };
@@ -30,7 +30,10 @@ fn main() {
     match report.recommended {
         Some(id) => {
             let config = oracle.space().config_of(id);
-            println!("recommended configuration: {:?}", oracle.space().values(&config));
+            println!(
+                "recommended configuration: {:?}",
+                oracle.space().values(&config)
+            );
             println!("its cost per run: ${:.3}", report.recommended_cost.unwrap());
         }
         None => println!("no configuration satisfied the deadline"),

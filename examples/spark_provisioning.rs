@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example spark_provisioning`.
 
-use lynceus::prelude::*;
 use lynceus::datasets::scout;
+use lynceus::prelude::*;
 
 fn main() {
     for profile in scout::job_profiles().iter().take(3) {
@@ -19,7 +19,9 @@ fn main() {
             ..OptimizerSettings::default()
         };
         let report = LynceusOptimizer::new(settings).optimize(&job, 3);
-        let id = report.recommended.expect("a feasible configuration was found");
+        let id = report
+            .recommended
+            .expect("a feasible configuration was found");
         let cluster = job.space().values(&job.space().config_of(id));
         println!(
             "{:<22} -> {:?}  (CNO {:.2}, {} runs profiled)",

@@ -7,13 +7,15 @@
 //!
 //! Run with `cargo run --release --example tensorflow_tuning`.
 
-use lynceus::prelude::*;
 use lynceus::datasets::tensorflow;
+use lynceus::prelude::*;
 use lynceus::sim::NetworkKind;
 
 fn main() {
     let job = tensorflow::dataset(NetworkKind::Cnn, catalog::DEFAULT_SEED);
-    let (optimal_id, optimal_cost) = job.optimum().expect("the dataset has feasible configurations");
+    let (optimal_id, optimal_cost) = job
+        .optimum()
+        .expect("the dataset has feasible configurations");
     println!(
         "CNN dataset: {} configurations, Tmax = {:.0} s, optimal cost ${:.4} at {:?}",
         job.len(),
@@ -31,8 +33,14 @@ fn main() {
     };
 
     for (name, report) in [
-        ("Lynceus", LynceusOptimizer::new(settings.clone()).optimize(&job, 7)),
-        ("BO (CherryPick-style)", BoOptimizer::new(settings.clone()).optimize(&job, 7)),
+        (
+            "Lynceus",
+            LynceusOptimizer::new(settings.clone()).optimize(&job, 7),
+        ),
+        (
+            "BO (CherryPick-style)",
+            BoOptimizer::new(settings.clone()).optimize(&job, 7),
+        ),
     ] {
         let cno = report
             .recommended_cost

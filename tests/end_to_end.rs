@@ -1,10 +1,10 @@
 //! Integration tests spanning datasets, optimizers and the experiment
 //! harness: the full pipeline the paper's evaluation exercises.
 
-use lynceus::prelude::*;
 use lynceus::datasets::{cherrypick, scout, tensorflow};
 use lynceus::experiments::runner::{cno_sample, run_metrics};
 use lynceus::math::stats::mean;
+use lynceus::prelude::*;
 use lynceus::sim::NetworkKind;
 
 fn scout_job(index: usize) -> LookupDataset {
@@ -36,7 +36,11 @@ fn every_optimizer_recommends_a_feasible_configuration_on_a_scout_job() {
         let id = report
             .recommended
             .unwrap_or_else(|| panic!("{} found nothing feasible", optimizer.name()));
-        assert!(job.is_feasible(id), "{} recommended an infeasible config", optimizer.name());
+        assert!(
+            job.is_feasible(id),
+            "{} recommended an infeasible config",
+            optimizer.name()
+        );
         assert!(report.budget_spent > 0.0);
         // The recommendation must be one of the explored configurations.
         assert!(report.explorations.iter().any(|e| e.id == id));
@@ -77,7 +81,11 @@ fn optimizers_are_deterministic_across_identical_invocations() {
 fn lynceus_matches_or_beats_random_search_on_average() {
     let job = scout_job(5);
     let config = ExperimentConfig::default().with_runs(6);
-    let lynceus = cno_sample(&run_metrics(&job, OptimizerKind::Lynceus { lookahead: 1 }, &config));
+    let lynceus = cno_sample(&run_metrics(
+        &job,
+        OptimizerKind::Lynceus { lookahead: 1 },
+        &config,
+    ));
     let random = cno_sample(&run_metrics(&job, OptimizerKind::Random, &config));
     assert!(
         mean(&lynceus) <= mean(&random) + 0.05,
@@ -101,7 +109,11 @@ fn the_tensorflow_grid_exposes_the_paper_documented_structure() {
         &tensorflow::PARAM_DIMS,
         job.tmax_seconds(),
     );
-    assert_eq!(outcomes.len(), 32, "one disjoint outcome per cloud configuration");
+    assert_eq!(
+        outcomes.len(),
+        32,
+        "one disjoint outcome per cloud configuration"
+    );
     let optimum = job.optimum().unwrap().1;
     // The ideal disjoint optimizer never beats the joint optimum...
     assert!(outcomes.iter().all(|o| o.cost >= optimum - 1e-9));

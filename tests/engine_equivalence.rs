@@ -1,0 +1,93 @@
+//! Optimization-equivalence property tests: the batched/cached speculation
+//! engine must recommend the **identical** configuration sequence as the
+//! retained naive reference engine (refit-from-scratch per branch,
+//! per-configuration predictions, full state clones) for any fixed seed.
+//!
+//! This is the executable contract of the speculation-engine overhaul: every
+//! optimization — batched predictions, incremental surrogate extension,
+//! overlay states, memoized tree values, work-stealing branch evaluation —
+//! is a pure implementation change, observable only as wall-clock time.
+
+use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine};
+use lynceus::datasets::{catalog, cherrypick, scout, LookupDataset};
+use lynceus::experiments::ExperimentConfig;
+
+/// Runs both engines on a dataset with identical settings and seed, and
+/// asserts the full reports (exploration sequence, recommendation, budget
+/// accounting) are equal.
+fn assert_engines_agree(dataset: &LookupDataset, settings: OptimizerSettings, seed: u64) {
+    let batched = LynceusOptimizer::new(settings.clone()).optimize(dataset, seed);
+    let naive = LynceusOptimizer::new(settings)
+        .with_engine(PathEngine::NaiveReference)
+        .optimize(dataset, seed);
+    assert_eq!(
+        batched
+            .explorations
+            .iter()
+            .map(|e| e.id)
+            .collect::<Vec<_>>(),
+        naive.explorations.iter().map(|e| e.id).collect::<Vec<_>>(),
+        "engines explored different sequences on {} with seed {seed}",
+        dataset.name(),
+    );
+    assert_eq!(
+        batched,
+        naive,
+        "engine reports diverge on {} with seed {seed}",
+        dataset.name(),
+    );
+}
+
+/// Settings matching the experiment harness, with the path evaluation kept
+/// cheap enough for a test suite.
+fn settings_for(dataset: &LookupDataset, lookahead: usize) -> OptimizerSettings {
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        ..ExperimentConfig::default()
+    };
+    config.settings_for(dataset, lookahead)
+}
+
+#[test]
+fn engines_recommend_identically_on_scout_datasets() {
+    for profile in &scout::job_profiles()[..3] {
+        let dataset = scout::dataset(profile, 7);
+        for seed in [1, 11] {
+            assert_engines_agree(&dataset, settings_for(&dataset, 1), seed);
+        }
+    }
+}
+
+#[test]
+fn engines_recommend_identically_on_cherrypick_datasets() {
+    for dataset in catalog::cherrypick_datasets().iter().take(2) {
+        for seed in [3, 23] {
+            assert_engines_agree(dataset, settings_for(dataset, 1), seed);
+        }
+    }
+}
+
+#[test]
+fn engines_recommend_identically_at_full_lookahead() {
+    // Lookahead 2 (the paper's default) exercises the deep recursion of both
+    // engines; one scout job keeps the reference path affordable.
+    let dataset = scout::dataset(&scout::job_profiles()[0], 7);
+    assert_engines_agree(&dataset, settings_for(&dataset, 2), 5);
+}
+
+#[test]
+fn engines_recommend_identically_with_parallel_paths() {
+    // The work-stealing pool must not change a single decision.
+    let dataset = cherrypick::dataset(&cherrypick::jobs()[0], 1);
+    let mut settings = settings_for(&dataset, 1);
+    settings.parallel_paths = true;
+    assert_engines_agree(&dataset, settings, 17);
+}
+
+#[test]
+fn engines_recommend_identically_at_lookahead_zero() {
+    // The myopic LA=0 variant shares the budget filter and EIc selection but
+    // skips the exploration recursion entirely.
+    let dataset = scout::dataset(&scout::job_profiles()[1], 7);
+    assert_engines_agree(&dataset, settings_for(&dataset, 0), 29);
+}

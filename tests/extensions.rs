@@ -57,8 +57,7 @@ fn secondary_constraints_steer_the_recommendation_away_from_violations() {
     };
 
     let unconstrained = LynceusOptimizer::new(base.clone()).optimize(&job, 3);
-    let unconstrained_memory =
-        job.run(unconstrained.recommended.unwrap()).metrics[0];
+    let unconstrained_memory = job.run(unconstrained.recommended.unwrap()).metrics[0];
 
     let mut capped_settings = base;
     capped_settings.secondary_constraints = vec![SecondaryConstraint::new(0, 6.0)];
@@ -67,8 +66,14 @@ fn secondary_constraints_steer_the_recommendation_away_from_violations() {
 
     // Without the cap the cheapest configurations use the biggest batch and
     // exceed 6 GB; with the cap the recommendation must respect it.
-    assert!(unconstrained_memory > 6.0, "test premise: {unconstrained_memory}");
-    assert!(capped_memory <= 6.0 + 1e-9, "capped run used {capped_memory} GB");
+    assert!(
+        unconstrained_memory > 6.0,
+        "test premise: {unconstrained_memory}"
+    );
+    assert!(
+        capped_memory <= 6.0 + 1e-9,
+        "capped run used {capped_memory} GB"
+    );
 }
 
 #[test]
@@ -82,7 +87,10 @@ fn bo_baseline_also_honours_secondary_constraints() {
     settings.secondary_constraints = vec![SecondaryConstraint::new(0, 6.0)];
     let report = BoOptimizer::new(settings).optimize(&job, 5);
     let memory = job.run(report.recommended.unwrap()).metrics[0];
-    assert!(memory <= 6.0 + 1e-9, "BO recommended a {memory} GB configuration");
+    assert!(
+        memory <= 6.0 + 1e-9,
+        "BO recommended a {memory} GB configuration"
+    );
 }
 
 #[test]
@@ -104,13 +112,15 @@ fn switching_costs_are_charged_against_the_budget() {
 
     // A flat $0.50 charge for every cluster switch.
     let charged = LynceusOptimizer::new(settings)
-        .with_switching_cost(Box::new(FnSwitching(|from: Option<ConfigId>, to: ConfigId| {
-            if from == Some(to) {
-                0.0
-            } else {
-                0.5
-            }
-        })))
+        .with_switching_cost(Box::new(FnSwitching(
+            |from: Option<ConfigId>, to: ConfigId| {
+                if from == Some(to) {
+                    0.0
+                } else {
+                    0.5
+                }
+            },
+        )))
         .optimize(&oracle, 1);
 
     // Same oracle, same seed: the switching charges must show up as extra
@@ -138,7 +148,10 @@ fn cloud_setup_cost_model_integrates_with_the_optimizer() {
     let setup = SetupCostModel::default();
     let cluster_of = move |id: ConfigId| {
         let values = space.values(&space.config_of(id));
-        let vm = catalog.get(values[0].1.as_label().unwrap()).unwrap().clone();
+        let vm = catalog
+            .get(values[0].1.as_label().unwrap())
+            .unwrap()
+            .clone();
         ClusterSpec::new(vm, values[1].1.as_number().unwrap() as u32)
     };
     let switching = FnSwitching(move |from: Option<ConfigId>, to: ConfigId| {

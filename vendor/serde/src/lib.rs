@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in an environment without network access to a crate
+//! registry, so the real `serde` cannot be fetched. Every crate in the
+//! workspace annotates its public data types with
+//! `#[derive(Serialize, Deserialize)]` to document that they are meant to be
+//! serializable, but no code path performs serialization yet. This stub
+//! re-exports no-op derive macros so those annotations compile; replacing
+//! the `[patch]`-free path dependency with the real `serde = "1"` is all
+//! that is needed once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real `serde`/`serde_derive` cannot be vendored. The workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as inert annotations (nothing is
+//! actually serialized anywhere yet); these derives expand to nothing, which
+//! keeps every annotated type compiling while recording the intent. Swap
+//! this stub for the real crates once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; placeholder for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; placeholder for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
