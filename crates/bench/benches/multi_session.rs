@@ -1,0 +1,147 @@
+//! Multi-session serving throughput: how many tuning sessions per second
+//! one process sustains when N concurrent jobs are multiplexed through a
+//! `TuningService` over one shared worker pool, versus running the same
+//! jobs back-to-back with the standalone optimizer.
+//!
+//! The service's scheduler is cooperative (decisions of different sessions
+//! do not overlap in time; parallelism lives inside each decision's branch
+//! fan-out), so the service/solo ratio is expected to sit near 1.0 on any
+//! CPU count — what the service buys is fairness, streaming completion and
+//! failure isolation, not aggregate speedup. The number this bench guards
+//! is the *multiplexing overhead*: a ratio drifting below ~0.9 means the
+//! scheduler or the pool lease path got more expensive.
+//!
+//! The harness is self-contained (`harness = false`) and writes its
+//! measurements to `BENCH_multi_session.json` at the workspace root;
+//! override the destination with `LYNCEUS_BENCH_OUT`. It also asserts the
+//! service's contract on every iteration: each multiplexed session's report
+//! is bit-identical to its solo run.
+
+use lynceus_bench::{bench_cherrypick_datasets, bench_scout_datasets, bench_tensorflow_datasets};
+use lynceus_core::{
+    LynceusOptimizer, OptimizationReport, Optimizer, OptimizerSettings, SessionSpec, TuningService,
+};
+use lynceus_datasets::LookupDataset;
+use lynceus_experiments::ExperimentConfig;
+use std::time::Instant;
+
+/// The job mix served by the benchmark: every dataset the default bench
+/// subset covers, concatenated (8 heterogeneous sessions: 4 Scout, 2
+/// CherryPick, 1–3 TensorFlow depending on `LYNCEUS_FULL`).
+fn job_mix() -> Vec<LookupDataset> {
+    let mut jobs = bench_scout_datasets();
+    jobs.extend(bench_cherrypick_datasets());
+    jobs.extend(bench_tensorflow_datasets());
+    jobs
+}
+
+fn settings_for(dataset: &LookupDataset) -> OptimizerSettings {
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 3.0,
+        ..ExperimentConfig::default()
+    };
+    let mut settings = config.settings_for(dataset, 1);
+    settings.parallel_paths = true;
+    settings
+}
+
+fn seed_of(index: usize) -> u64 {
+    11 + index as u64
+}
+
+/// One sequential pass: every job optimized alone, back to back.
+fn run_solo(jobs: &[LookupDataset]) -> Vec<OptimizationReport> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, dataset)| {
+            LynceusOptimizer::new(settings_for(dataset)).optimize(dataset, seed_of(i))
+        })
+        .collect()
+}
+
+/// One service pass: the same jobs multiplexed over one shared pool.
+fn run_service(jobs: &[LookupDataset]) -> Vec<OptimizationReport> {
+    let mut service = TuningService::new();
+    for (i, dataset) in jobs.iter().enumerate() {
+        service.submit(SessionSpec::new(
+            dataset.name().to_owned(),
+            settings_for(dataset),
+            Box::new(dataset.clone()),
+            seed_of(i),
+        ));
+    }
+    service
+        .run()
+        .into_iter()
+        .map(|outcome| match outcome.status {
+            lynceus_core::SessionStatus::Finished(report) => report,
+            lynceus_core::SessionStatus::Failed { error, .. } => {
+                panic!("bench session failed: {error}")
+            }
+        })
+        .collect()
+}
+
+/// Times `f` over `iterations` passes and returns the best wall-clock
+/// seconds per pass (one warm-up pass first).
+fn best_seconds<R>(iterations: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut result = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let jobs = job_mix();
+    let sessions = jobs.len();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let (solo_secs, solo_reports) = best_seconds(3, || run_solo(&jobs));
+    let (service_secs, service_reports) = best_seconds(3, || run_service(&jobs));
+
+    assert_eq!(
+        solo_reports, service_reports,
+        "multiplexed sessions must be bit-identical to solo runs"
+    );
+
+    let solo_rate = sessions as f64 / solo_secs;
+    let service_rate = sessions as f64 / service_secs;
+    println!("{sessions} sessions on {cpus} cpu(s)");
+    println!(
+        "{:<28} {:>9.3} s/pass   {:>8.2} sessions/s",
+        "solo_sequential", solo_secs, solo_rate
+    );
+    println!(
+        "{:<28} {:>9.3} s/pass   {:>8.2} sessions/s   ({:.2}x vs solo)",
+        "service_shared_pool",
+        service_secs,
+        service_rate,
+        service_rate / solo_rate
+    );
+    println!(
+        "note: the scheduler is cooperative, so the ratio measures multiplexing \
+         overhead (expected ~1.0), not parallel speedup"
+    );
+
+    // Persist the measurement (hand-rolled JSON: no serde in this
+    // environment).
+    let json = format!(
+        "{{\n  \"benchmark\": \"multi_session\",\n  \"sessions\": {sessions},\n  \"cpus\": {cpus},\n  \"solo_seconds_per_pass\": {solo_secs:.4},\n  \"service_seconds_per_pass\": {service_secs:.4},\n  \"solo_sessions_per_second\": {solo_rate:.3},\n  \"service_sessions_per_second\": {service_rate:.3},\n  \"service_vs_solo\": {:.3},\n  \"bit_identical_reports\": true\n}}\n",
+        service_rate / solo_rate
+    );
+    let destination = std::env::var("LYNCEUS_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_multi_session.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&destination, &json) {
+        Ok(()) => println!("wrote {destination}"),
+        Err(e) => eprintln!("could not write {destination}: {e}"),
+    }
+}

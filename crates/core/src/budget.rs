@@ -62,7 +62,11 @@ impl Budget {
     ///
     /// # Panics
     ///
-    /// Panics if `cost` is negative or not finite.
+    /// Panics if `cost` is negative or not finite. The profiling driver
+    /// validates oracle and switching-model outputs *before* charging, so a
+    /// misbehaving oracle surfaces as a recoverable
+    /// `optimizer::ProfileError` (and, under the multi-session service, a
+    /// per-session `Failed` state) instead of reaching this assertion.
     pub fn charge(&mut self, cost: f64) {
         assert!(
             cost >= 0.0 && cost.is_finite(),

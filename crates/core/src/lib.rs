@@ -20,7 +20,10 @@
 //! * [`RandomOptimizer`] — the RND baseline;
 //! * [`disjoint`] — the "ideal disjoint optimization" analysis of Figure 1b;
 //! * extensions of Section 4.4: [`constraints`] (multiple constraints) and
-//!   [`switching`] (setup costs).
+//!   [`switching`] (setup costs);
+//! * [`service`] — the multi-job serving layer: [`TuningService`] drives
+//!   many concurrent sessions over one shared worker [`pool::Pool`], with
+//!   fair round-robin scheduling and per-session error isolation.
 //!
 //! # Example
 //!
@@ -61,6 +64,7 @@ pub mod optimizer;
 pub mod oracle;
 pub mod pool;
 pub mod random;
+pub mod service;
 pub mod state;
 pub mod switching;
 
@@ -71,9 +75,13 @@ pub use constraints::SecondaryConstraint;
 pub use disjoint::{disjoint_optimization, DisjointOutcome};
 pub use lynceus::{LynceusOptimizer, PathEngine};
 pub use optimizer::{
-    Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings,
+    Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
 };
 pub use oracle::{CostOracle, Observation, TableOracle};
+pub use pool::Pool;
 pub use random::RandomOptimizer;
+pub use service::{
+    SessionError, SessionId, SessionOutcome, SessionSpec, SessionStatus, TuningService,
+};
 pub use state::{SearchState, SpeculativeCursor};
 pub use switching::SwitchingCost;

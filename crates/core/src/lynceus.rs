@@ -47,7 +47,7 @@
 
 use crate::acquisition::{budget_filter_z, constrained_ei, fits_budget, incumbent_cost, score_cmp};
 use crate::constraints::ConstraintModels;
-use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings};
+use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings, ProfileError};
 use crate::oracle::CostOracle;
 use crate::pool;
 use crate::state::{SearchState, SpeculativeCursor};
@@ -56,6 +56,8 @@ use lynceus_learners::{BaggingEnsemble, Prediction, RowValueMemo, Surrogate};
 use lynceus_math::quadrature::{discretize_normal_clamped, GaussHermiteRule, WeightedValue};
 use lynceus_math::rng::SeededRng;
 use lynceus_space::ConfigId;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Smallest cost used when predictions collapse to zero, so reward/cost
 /// ratios stay finite.
@@ -80,6 +82,11 @@ pub struct LynceusOptimizer {
     settings: OptimizerSettings,
     switching: Box<dyn SwitchingCost>,
     engine: PathEngine,
+    /// When set, branch evaluations lease workers from this shared pool
+    /// instead of spawning up to one per CPU per decision — the mechanism by
+    /// which [`crate::service::TuningService`] multiplexes many concurrent
+    /// sessions over one thread budget.
+    pool: Option<Arc<pool::Pool>>,
 }
 
 impl LynceusOptimizer {
@@ -96,6 +103,7 @@ impl LynceusOptimizer {
             settings,
             switching: Box::new(FreeSwitching),
             engine: PathEngine::Batched,
+            pool: None,
         }
     }
 
@@ -120,6 +128,15 @@ impl LynceusOptimizer {
     #[must_use]
     pub fn with_engine(mut self, engine: PathEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Routes parallel branch evaluation through a shared [`pool::Pool`]
+    /// instead of the per-decision default of one worker per CPU. Results
+    /// are bit-identical either way; only scheduling changes.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<pool::Pool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -170,6 +187,13 @@ impl LynceusOptimizer {
 
     /// Budget filter `Γ`: the untested configurations whose predicted cost
     /// fits the remaining budget with the configured confidence.
+    ///
+    /// Profiling `x` charges the budget with the run cost *and* the cost of
+    /// switching the deployed configuration `χ → x`, so the filter tests the
+    /// prediction against `β − switch(χ, x)` — the budget actually left for
+    /// the run itself. Ignoring the switching term here (the bug this
+    /// comment replaces) admitted configurations the remaining budget could
+    /// not pay for.
     fn budget_feasible(
         &self,
         driver: &Driver<'_>,
@@ -178,13 +202,20 @@ impl LynceusOptimizer {
         z: f64,
     ) -> Vec<ConfigId> {
         let beta = state.budget().remaining();
+        let current = state.current();
+        let free = self.switching.is_free();
         state
             .untested()
             .iter()
             .copied()
             .filter(|&id| {
+                let cap = if free {
+                    beta
+                } else {
+                    beta - self.switching.cost(current, id)
+                };
                 let prediction = model.predict_reference(driver.features_of(id));
-                fits_budget(prediction, beta, z)
+                fits_budget(prediction, cap, z)
             })
             .collect()
     }
@@ -265,7 +296,15 @@ impl LynceusOptimizer {
         let constraint_cap = driver.constraint_cost_cap(x);
         for node in nodes {
             let speculated_feasible = node.value <= constraint_cap;
-            let next_state = state.speculate(x, node.value, speculated_feasible);
+            let mut next_state = state.speculate(x, node.value, speculated_feasible);
+            // Speculated steps pay the switching cost like real ones do
+            // (`Driver::try_profile` charges it after the run cost), so the
+            // β seen by deeper filters is the budget actually left. `switch`
+            // is finite here: an infinite charge would have kept `x` out of
+            // Γ, and the guard mirrors the driver's.
+            if switch > 0.0 {
+                next_state.charge_extra(switch);
+            }
             let next_model = self.fit_model(driver, &next_state);
             let Some(next_x) =
                 self.next_step(driver, constraint_models, &next_state, &next_model, z)
@@ -383,7 +422,7 @@ impl LynceusOptimizer {
         // Γ with each member's prediction and EIc extracted from the shared
         // pass.
         let gamma: Vec<RootCandidate> = ctx
-            .gamma_members(&scratch, &[], beta, z)
+            .gamma_members(&scratch, &[], driver.state.current(), beta, z)
             .map(|member| RootCandidate {
                 id: member.id,
                 prediction: member.prediction,
@@ -429,12 +468,19 @@ impl LynceusOptimizer {
             1
         };
         let depth_left = self.settings.lookahead.saturating_sub(1);
-        let branch_results: Vec<Option<(f64, f64)>> = pool::run_indexed_with(
-            tasks.len(),
-            threads,
-            BranchScratch::default,
-            |scratch, i| ctx.evaluate_branch(model, &tasks[i], depth_left, scratch),
-        );
+        let branch_task = |scratch: &mut BranchScratch, i: usize| {
+            ctx.evaluate_branch(model, &tasks[i], depth_left, scratch)
+        };
+        let branch_results: Vec<Option<(f64, f64)>> = match &self.pool {
+            // A shared pool leases workers from the cross-session budget;
+            // the grant only changes scheduling, never results.
+            Some(shared) => {
+                shared.run_indexed_with(tasks.len(), threads, BranchScratch::default, branch_task)
+            }
+            None => {
+                pool::run_indexed_with(tasks.len(), threads, BranchScratch::default, branch_task)
+            }
+        };
 
         // Deterministic reduction: per candidate, accumulate branch rewards
         // and costs in Gauss–Hermite node order (the same accumulation order
@@ -532,20 +578,34 @@ impl BatchedCtx<'_> {
     /// The state's untested configurations whose predicted cost fits the
     /// budget `beta` at the precomputed confidence threshold `z`, in base
     /// untested order. `speculated` lists the ids the cursor has pushed
-    /// (present in the base ids but tested in the speculated state).
+    /// (present in the base ids but tested in the speculated state), and
+    /// `current` is the state's deployed configuration `χ`: profiling a
+    /// member also pays `switch(χ, x)`, so each prediction is tested against
+    /// `β − switch(χ, x)`, mirroring the reference engine's
+    /// `budget_feasible`.
     fn gamma_members<'s>(
         &'s self,
         scratch: &'s Scratch,
         speculated: &'s [crate::state::TestedConfig],
+        current: Option<ConfigId>,
         beta: f64,
         z: f64,
     ) -> impl Iterator<Item = Member> + 's {
+        let free = self.switching.is_free();
         self.base_ids
             .iter()
             .zip(&scratch.predictions)
             .enumerate()
             .filter(move |(_, (id, prediction))| {
-                !speculated.iter().any(|t| t.id == **id) && fits_budget(**prediction, beta, z)
+                if speculated.iter().any(|t| t.id == **id) {
+                    return false;
+                }
+                let cap = if free {
+                    beta
+                } else {
+                    beta - self.switching.cost(current, **id)
+                };
+                fits_budget(**prediction, cap, z)
             })
             .map(|(index, (&id, &prediction))| Member {
                 id,
@@ -609,11 +669,12 @@ impl BatchedCtx<'_> {
         &self,
         scratch: &Scratch,
         speculated: &[crate::state::TestedConfig],
+        current: Option<ConfigId>,
         y_star: f64,
         beta: f64,
     ) -> Option<(Member, f64)> {
         let mut best: Option<(Member, f64)> = None;
-        for member in self.gamma_members(scratch, speculated, beta, self.budget_z) {
+        for member in self.gamma_members(scratch, speculated, current, beta, self.budget_z) {
             let score = self.eic_of(member, y_star);
             let replace = best
                 .as_ref()
@@ -637,6 +698,13 @@ impl BatchedCtx<'_> {
     ) -> Option<(f64, f64)> {
         let mut cursor = SpeculativeCursor::new(&self.driver.state);
         cursor.push(task.x, task.node.value, task.speculated_feasible);
+        // Mirror the reference engine (and the real driver): a speculated
+        // run charges its switching cost after its run cost. `task.x` passed
+        // the root Γ filter, so the charge is finite.
+        let switch = self.switching.cost(self.driver.state.current(), task.x);
+        if switch > 0.0 {
+            cursor.charge_extra(switch);
+        }
         let model = root_model.refit_with(&[(self.driver.features_of(task.x), task.node.value)]);
         if scratch.levels.len() < depth_left + 2 {
             scratch.levels.resize_with(depth_left + 2, Scratch::default);
@@ -650,6 +718,7 @@ impl BatchedCtx<'_> {
         let (next, eic) = self.select_next(
             first,
             cursor.speculated(),
+            cursor.current(),
             y_star,
             cursor.remaining_budget(),
         )?;
@@ -702,6 +771,12 @@ impl BatchedCtx<'_> {
         for node_index in 0..level.nodes.len() {
             let node = level.nodes[node_index];
             cursor.push(x.id, node.value, node.value <= constraint_cap);
+            // The speculated β pays the switch `χ → x` too (same charge
+            // order as `Driver::try_profile`; `x` passed its state's Γ
+            // filter, so `switch` is finite).
+            if switch > 0.0 {
+                cursor.charge_extra(switch);
+            }
             let next_model = model.refit_with(&[(self.driver.features_of(x.id), node.value)]);
             let (child, grandchildren) = deeper
                 .split_first_mut()
@@ -710,6 +785,7 @@ impl BatchedCtx<'_> {
             if let Some((next, next_eic)) = self.select_next(
                 child,
                 cursor.speculated(),
+                cursor.current(),
                 y_star,
                 cursor.remaining_budget(),
             ) {
@@ -733,6 +809,133 @@ impl BatchedCtx<'_> {
     }
 }
 
+/// What one scheduling turn of a [`LynceusSession`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionStep {
+    /// One configuration was profiled (bootstrap or decision run).
+    Profiled(ConfigId),
+    /// The optimization is complete: no candidate fits the remaining budget.
+    Done,
+}
+
+/// One in-flight Lynceus optimization, advanced one profiling run at a time.
+///
+/// [`LynceusOptimizer::optimize`] is exactly `new` + `step` to completion +
+/// `finish`; the stepped form exists so the multi-session
+/// [`crate::service::TuningService`] can interleave many sessions fairly on
+/// one scheduler while each session's own sequence of random draws, model
+/// refits and profiling runs stays identical to a standalone run — which is
+/// what makes multiplexed reports bit-identical to solo reports.
+pub(crate) struct LynceusSession<'a> {
+    optimizer: &'a LynceusOptimizer,
+    driver: Driver<'a>,
+    rng: SeededRng,
+    constraint_models: ConstraintModels,
+    /// Pending LHS bootstrap samples, consumed one per step.
+    bootstrap_plan: VecDeque<Vec<usize>>,
+    // Decision-loop caches: the Gauss–Hermite rule of the configured size,
+    // the budget-filter quantile, and (batched engine) the root surrogate
+    // extended incrementally with each newly profiled sample (bit-identical
+    // to refitting from scratch, see `BaggingEnsemble::refit_with`).
+    rule: GaussHermiteRule,
+    z: f64,
+    model: BaggingEnsemble,
+    model_len: usize,
+}
+
+impl<'a> LynceusSession<'a> {
+    pub(crate) fn new(
+        optimizer: &'a LynceusOptimizer,
+        oracle: &'a dyn CostOracle,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let driver = Driver::new(oracle, &optimizer.settings, seed);
+        let constraint_models = ConstraintModels::new(
+            &optimizer.settings.secondary_constraints,
+            optimizer.settings.ensemble_size,
+            seed,
+        );
+        let bootstrap_plan: VecDeque<Vec<usize>> = driver.bootstrap_plan(&mut rng).into();
+        let rule = GaussHermiteRule::new(optimizer.settings.gauss_hermite_nodes);
+        let z = budget_filter_z(optimizer.settings.budget_confidence);
+        let model =
+            BaggingEnsemble::with_seed(optimizer.settings.ensemble_size, driver.model_seed());
+        Self {
+            optimizer,
+            driver,
+            rng,
+            constraint_models,
+            bootstrap_plan,
+            rule,
+            z,
+            model,
+            model_len: 0,
+        }
+    }
+
+    /// Runs one profiling step: the next bootstrap sample while the plan
+    /// lasts, then one decision of the configured engine. A misbehaving
+    /// oracle or switching model surfaces as a [`ProfileError`] with the
+    /// session state untouched by the failed run.
+    pub(crate) fn step(&mut self) -> Result<SessionStep, ProfileError> {
+        let optimizer = self.optimizer;
+        let switching = optimizer.switching.as_ref();
+        while let Some(sample) = self.bootstrap_plan.pop_front() {
+            match self
+                .driver
+                .bootstrap_step(&sample, &mut self.rng, switching)?
+            {
+                Some(id) => return Ok(SessionStep::Profiled(id)),
+                None => {
+                    // Untested set exhausted: drop the rest of the plan and
+                    // fall through to the decision loop (which will stop).
+                    self.bootstrap_plan.clear();
+                }
+            }
+        }
+
+        if !self.constraint_models.is_empty() {
+            self.constraint_models
+                .fit(self.driver.oracle.space(), self.driver.observed_metrics());
+        }
+        let id = match optimizer.engine {
+            PathEngine::Batched => {
+                let tested = self.driver.state.tested();
+                if tested.len() > self.model_len {
+                    let extra: Vec<(&[f64], f64)> = tested[self.model_len..]
+                        .iter()
+                        .map(|t| (self.driver.features_of(t.id), t.cost))
+                        .collect();
+                    self.model = self.model.refit_with(&extra);
+                    self.model_len = tested.len();
+                }
+                optimizer.next_config_batched(
+                    &self.driver,
+                    &self.constraint_models,
+                    &self.model,
+                    &self.rule,
+                    self.z,
+                )
+            }
+            PathEngine::NaiveReference => {
+                optimizer.next_config_naive(&self.driver, &self.constraint_models, self.z)
+            }
+        };
+        let Some(id) = id else {
+            return Ok(SessionStep::Done);
+        };
+        self.driver.try_profile(id, false, switching)?;
+        Ok(SessionStep::Profiled(id))
+    }
+
+    /// Builds the final report from whatever has been profiled so far (also
+    /// used to produce the partial report of a failed session).
+    pub(crate) fn finish(self, optimizer_name: &str) -> OptimizationReport {
+        self.driver.finish(optimizer_name)
+    }
+}
+
 impl Optimizer for LynceusOptimizer {
     fn name(&self) -> &str {
         match self.settings.lookahead {
@@ -744,53 +947,18 @@ impl Optimizer for LynceusOptimizer {
     }
 
     fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport {
-        let mut rng = SeededRng::new(seed);
-        let mut driver = Driver::new(oracle, &self.settings, seed);
-        let mut constraint_models = ConstraintModels::new(
-            &self.settings.secondary_constraints,
-            self.settings.ensemble_size,
-            seed,
-        );
-        driver.bootstrap(&mut rng, self.switching.as_ref());
-
-        // Decision-loop caches: the Gauss–Hermite rule of the configured
-        // size, the budget-filter quantile, and (batched engine) the root
-        // surrogate extended incrementally with each newly profiled sample
-        // (bit-identical to refitting from scratch, see
-        // `BaggingEnsemble::refit_with`).
-        let rule = GaussHermiteRule::new(self.settings.gauss_hermite_nodes);
-        let z = budget_filter_z(self.settings.budget_confidence);
-        let mut model =
-            BaggingEnsemble::with_seed(self.settings.ensemble_size, driver.model_seed());
-        let mut model_len = 0usize;
-
+        let mut session = LynceusSession::new(self, oracle, seed);
         loop {
-            if !constraint_models.is_empty() {
-                constraint_models.fit(oracle.space(), driver.observed_metrics());
+            match session.step() {
+                Ok(SessionStep::Profiled(_)) => {}
+                Ok(SessionStep::Done) => break,
+                // The standalone entry point has no failure channel; the
+                // service drives sessions through `LynceusSession` directly
+                // and recovers instead.
+                Err(e) => panic!("{e}"),
             }
-            let id = match self.engine {
-                PathEngine::Batched => {
-                    let tested = driver.state.tested();
-                    if tested.len() > model_len {
-                        let extra: Vec<(&[f64], f64)> = tested[model_len..]
-                            .iter()
-                            .map(|t| (driver.features_of(t.id), t.cost))
-                            .collect();
-                        model = model.refit_with(&extra);
-                        model_len = tested.len();
-                    }
-                    self.next_config_batched(&driver, &constraint_models, &model, &rule, z)
-                }
-                PathEngine::NaiveReference => {
-                    self.next_config_naive(&driver, &constraint_models, z)
-                }
-            };
-            let Some(id) = id else {
-                break;
-            };
-            driver.profile(id, false, self.switching.as_ref());
         }
-        driver.finish(self.name())
+        session.finish(self.name())
     }
 }
 
@@ -936,6 +1104,110 @@ mod tests {
         let report = LynceusOptimizer::new(s).optimize(&oracle, 2);
         let id = report.recommended.unwrap();
         assert!(oracle.runtime(id) <= 60.0);
+    }
+
+    #[test]
+    fn budget_filter_subtracts_the_switching_cost() {
+        use crate::switching::FnSwitching;
+
+        // Constant-cost surface: every run costs 10, so the fitted model
+        // predicts ~10 everywhere and the filter outcome is driven entirely
+        // by the budget arithmetic.
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..8).map(f64::from))
+            .build();
+        let oracle = TableOracle::from_fn(space, 1.0, |_| 10.0);
+        let s = settings(1_000.0, 0);
+        let free = LynceusOptimizer::new(s.clone());
+
+        let mut driver = Driver::new(&oracle, &free.settings, 1);
+        let mut rng = SeededRng::new(1);
+        driver.bootstrap(&mut rng, &FreeSwitching);
+        let remaining = driver.state.budget().remaining();
+        assert!(remaining > 100.0, "bootstrap left {remaining}");
+
+        // A configuration that is cheap to run but whose switching cost
+        // alone overshoots the remaining budget.
+        let target = driver.state.untested()[0];
+        let expensive = LynceusOptimizer::new(s).with_switching_cost(Box::new(FnSwitching(
+            move |_, to: ConfigId| if to == target { remaining } else { 0.0 },
+        )));
+
+        let model = free.fit_model(&driver, &driver.state);
+        let z = budget_filter_z(free.settings.budget_confidence);
+        let gamma_free = free.budget_feasible(&driver, &driver.state, &model, z);
+        let gamma_charged = expensive.budget_feasible(&driver, &driver.state, &model, z);
+
+        assert!(
+            gamma_free.contains(&target),
+            "cheap-to-run config must be admitted when switching is free"
+        );
+        assert!(
+            !gamma_charged.contains(&target),
+            "a switch cost of {remaining} on top of a ~10 run must exclude the config from Γ"
+        );
+        // The filter only tightens for the expensive-to-switch target; every
+        // other configuration is unaffected.
+        let rest: Vec<ConfigId> = gamma_free
+            .iter()
+            .copied()
+            .filter(|&c| c != target)
+            .collect();
+        assert_eq!(rest, gamma_charged);
+    }
+
+    #[test]
+    fn unaffordable_switching_stops_the_loop_after_bootstrap() {
+        use crate::switching::FnSwitching;
+
+        let oracle = valley_oracle();
+        // Every switch costs far more than the whole budget: once the
+        // (unfiltered) bootstrap is done, Γ must come back empty and the
+        // optimizer must stop instead of admitting configurations whose
+        // switch-inclusive cost can never fit.
+        let optimizer = LynceusOptimizer::new(settings(1_500.0, 1)).with_switching_cost(Box::new(
+            FnSwitching(|from: Option<ConfigId>, _| if from.is_some() { 1e7 } else { 0.0 }),
+        ));
+        let report = optimizer.optimize(&oracle, 3);
+        assert!(
+            report.explorations.iter().all(|e| e.bootstrap),
+            "budget filter admitted a run it could not pay the switch for: {:?}",
+            report
+                .explorations
+                .iter()
+                .map(|e| (e.id, e.bootstrap))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn engines_agree_under_switching_costs() {
+        use crate::switching::FnSwitching;
+
+        // The switching-aware budget accounting (Γ filter and the charges
+        // against speculated budgets) must be implemented identically by
+        // both engines at every lookahead depth: a per-step charge shifts Γ
+        // membership, and any asymmetry would diverge the exploration
+        // sequences.
+        let oracle = valley_oracle();
+        for (seed, lookahead) in [(2, 1), (11, 1), (5, 2)] {
+            let make = |engine| {
+                LynceusOptimizer::new(settings(900.0, lookahead))
+                    .with_engine(engine)
+                    .with_switching_cost(Box::new(FnSwitching(
+                        |from: Option<ConfigId>, to: ConfigId| match from {
+                            Some(f) if f != to => 7.5 + (f.index().abs_diff(to.index())) as f64,
+                            _ => 0.0,
+                        },
+                    )))
+                    .optimize(&oracle, seed)
+            };
+            assert_eq!(
+                make(PathEngine::Batched),
+                make(PathEngine::NaiveReference),
+                "engines diverged under switching costs at seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -143,6 +143,53 @@ impl std::fmt::Display for OptimizerError {
 
 impl std::error::Error for OptimizerError {}
 
+/// A recoverable error raised while profiling a configuration: the oracle (or
+/// the switching-cost model) produced a value the budget bookkeeping cannot
+/// accept. [`Budget::charge`] panics on such input; the driver validates
+/// *before* charging so a misbehaving oracle surfaces as a per-session error
+/// (see [`crate::service`]) instead of killing the whole process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The oracle reported a cost that is negative, NaN or infinite.
+    InvalidCost {
+        /// The configuration that was profiled.
+        id: ConfigId,
+        /// The unusable cost the oracle reported.
+        cost: f64,
+    },
+    /// The switching-cost model produced a charge that is negative, NaN or
+    /// infinite.
+    InvalidSwitchingCost {
+        /// The configuration deployed before the switch (`None` when nothing
+        /// was deployed yet).
+        from: Option<ConfigId>,
+        /// The configuration being switched to.
+        to: ConfigId,
+        /// The unusable switching cost the model produced.
+        cost: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::InvalidCost { id, cost } => write!(
+                f,
+                "oracle reported an unusable cost {cost} for configuration {}",
+                id.index()
+            ),
+            ProfileError::InvalidSwitchingCost { from, to, cost } => write!(
+                f,
+                "switching-cost model produced an unusable charge {cost} for {:?} -> {}",
+                from.map(ConfigId::index),
+                to.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// One profiling run performed during an optimization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Exploration {
@@ -284,14 +331,50 @@ impl<'a> Driver<'a> {
 
     /// Profiles the job on a configuration, charging the observation cost and
     /// any switching cost, and recording the exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle or the switching model produce a cost the budget
+    /// cannot be charged with (negative, NaN or infinite). Use
+    /// [`Driver::try_profile`] to surface that as a recoverable error
+    /// instead.
     pub(crate) fn profile(
         &mut self,
         id: ConfigId,
         bootstrap: bool,
         switching: &dyn SwitchingCost,
     ) -> &Observation {
+        self.try_profile(id, bootstrap, switching)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Driver::profile`]: validates the observation
+    /// cost and the switching charge *before* anything is recorded, so a
+    /// misbehaving oracle (e.g. one returning `inf` or NaN) is reported as a
+    /// [`ProfileError`] with the driver state untouched — the multi-session
+    /// service turns this into a per-session `Failed` state instead of a
+    /// process-wide panic.
+    pub(crate) fn try_profile(
+        &mut self,
+        id: ConfigId,
+        bootstrap: bool,
+        switching: &dyn SwitchingCost,
+    ) -> Result<&Observation, ProfileError> {
         let switch_cost = switching.cost(self.state.current(), id);
+        if !(switch_cost.is_finite() && switch_cost >= 0.0) {
+            return Err(ProfileError::InvalidSwitchingCost {
+                from: self.state.current(),
+                to: id,
+                cost: switch_cost,
+            });
+        }
         let observation = self.oracle.run(id);
+        if !(observation.cost.is_finite() && observation.cost >= 0.0) {
+            return Err(ProfileError::InvalidCost {
+                id,
+                cost: observation.cost,
+            });
+        }
         let feasible = observation.runtime_seconds <= self.settings.tmax_seconds;
         self.state.record(id, observation.cost, feasible);
         if switch_cost > 0.0 {
@@ -306,32 +389,58 @@ impl<'a> Driver<'a> {
             observation,
             bootstrap,
         });
-        &self.explorations.last().expect("just pushed").observation
+        Ok(&self.explorations.last().expect("just pushed").observation)
     }
 
-    /// Runs the LHS bootstrap phase (Algorithm 1, lines 6–8).
-    pub(crate) fn bootstrap(&mut self, rng: &mut SeededRng, switching: &dyn SwitchingCost) {
+    /// Draws the LHS bootstrap plan (Algorithm 1, lines 6–8) without running
+    /// anything. Consuming the plan one sample at a time with
+    /// [`Driver::bootstrap_step`] reproduces [`Driver::bootstrap`] exactly —
+    /// the split exists so the multi-session scheduler can interleave
+    /// bootstrap runs of different sessions fairly.
+    pub(crate) fn bootstrap_plan(&self, rng: &mut SeededRng) -> Vec<Vec<usize>> {
         let space = self.oracle.space();
         let n = self
             .settings
             .bootstrap_count(self.state.untested().len(), space.dims());
-        let levels = space.cardinalities();
-        let samples = latin_hypercube_levels(n, &levels, rng);
-        for sample in samples {
-            let config = lynceus_space::Config::new(sample);
-            let id = space.id_of(&config).map(ConfigId);
-            // Fall back to a random untested candidate when the LHS point is
-            // outside the candidate set (irregular spaces) or already chosen.
-            let id = match id {
-                Some(id) if self.state.untested().contains(&id) => id,
-                _ => {
-                    if self.state.untested().is_empty() {
-                        break;
-                    }
-                    *rng.choose(self.state.untested()).expect("non-empty")
+        latin_hypercube_levels(n, &space.cardinalities(), rng)
+    }
+
+    /// Profiles one sample of the bootstrap plan. Returns the configuration
+    /// that was profiled, or `None` when the untested set is exhausted (the
+    /// remaining plan should then be dropped).
+    pub(crate) fn bootstrap_step(
+        &mut self,
+        sample: &[usize],
+        rng: &mut SeededRng,
+        switching: &dyn SwitchingCost,
+    ) -> Result<Option<ConfigId>, ProfileError> {
+        let space = self.oracle.space();
+        let config = lynceus_space::Config::new(sample.to_vec());
+        let id = space.id_of(&config).map(ConfigId);
+        // Fall back to a random untested candidate when the LHS point is
+        // outside the candidate set (irregular spaces) or already chosen.
+        let id = match id {
+            Some(id) if self.state.untested().contains(&id) => id,
+            _ => {
+                if self.state.untested().is_empty() {
+                    return Ok(None);
                 }
-            };
-            self.profile(id, true, switching);
+                *rng.choose(self.state.untested()).expect("non-empty")
+            }
+        };
+        self.try_profile(id, true, switching)?;
+        Ok(Some(id))
+    }
+
+    /// Runs the LHS bootstrap phase (Algorithm 1, lines 6–8).
+    pub(crate) fn bootstrap(&mut self, rng: &mut SeededRng, switching: &dyn SwitchingCost) {
+        for sample in self.bootstrap_plan(rng) {
+            let profiled = self
+                .bootstrap_step(&sample, rng, switching)
+                .unwrap_or_else(|e| panic!("{e}"));
+            if profiled.is_none() {
+                break;
+            }
         }
     }
 
@@ -525,6 +634,94 @@ mod tests {
         assert!(report.recommended.is_none());
         assert!(!report.feasible_found());
         assert_eq!(report.incumbent_trajectory(), vec![None]);
+    }
+
+    /// An oracle whose configuration 0 reports a non-finite cost.
+    struct PoisonOracle {
+        inner: TableOracle,
+        poison_cost: f64,
+    }
+
+    impl CostOracle for PoisonOracle {
+        fn space(&self) -> &lynceus_space::ConfigSpace {
+            self.inner.space()
+        }
+        fn candidates(&self) -> Vec<ConfigId> {
+            self.inner.candidates()
+        }
+        fn run(&self, id: ConfigId) -> Observation {
+            if id == ConfigId(0) {
+                Observation::new(1.0, self.poison_cost)
+            } else {
+                self.inner.run(id)
+            }
+        }
+        fn price_rate(&self, id: ConfigId) -> f64 {
+            self.inner.price_rate(id)
+        }
+    }
+
+    #[test]
+    fn try_profile_surfaces_non_finite_costs_without_touching_state() {
+        for poison in [f64::INFINITY, f64::NAN, -3.0] {
+            let oracle = PoisonOracle {
+                inner: toy_oracle(),
+                poison_cost: poison,
+            };
+            let settings = OptimizerSettings {
+                budget: 1_000.0,
+                tmax_seconds: 100.0,
+                ..OptimizerSettings::default()
+            };
+            let mut driver = Driver::new(&oracle, &settings, 0);
+            driver.profile(ConfigId(1), false, &FreeSwitching);
+            let before_remaining = driver.state.budget().remaining();
+            let err = driver
+                .try_profile(ConfigId(0), false, &FreeSwitching)
+                .unwrap_err();
+            assert!(
+                matches!(err, ProfileError::InvalidCost { id: ConfigId(0), cost } if cost.is_nan() == poison.is_nan()),
+                "unexpected error {err} for poison cost {poison}"
+            );
+            // The failed run left no trace: no exploration, no budget charge,
+            // the configuration is still untested.
+            assert_eq!(driver.explorations.len(), 1);
+            assert_eq!(driver.state.budget().remaining(), before_remaining);
+            assert!(!driver.state.is_tested(ConfigId(0)));
+            assert!(err.to_string().contains("unusable cost"));
+        }
+    }
+
+    #[test]
+    fn try_profile_rejects_non_finite_switching_charges() {
+        let oracle = toy_oracle();
+        let settings = OptimizerSettings {
+            budget: 1_000.0,
+            tmax_seconds: 100.0,
+            ..OptimizerSettings::default()
+        };
+        let mut driver = Driver::new(&oracle, &settings, 0);
+        driver.profile(ConfigId(1), false, &FreeSwitching);
+        let bad = crate::switching::FnSwitching(
+            |from: Option<ConfigId>, _| {
+                if from.is_some() {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            },
+        );
+        let err = driver.try_profile(ConfigId(2), false, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            ProfileError::InvalidSwitchingCost {
+                from: Some(ConfigId(1)),
+                to: ConfigId(2),
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("switching-cost"));
+        assert!(!driver.state.is_tested(ConfigId(2)));
     }
 
     #[test]

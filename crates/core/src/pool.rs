@@ -16,13 +16,120 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Upper bound on workers: one per available CPU.
 fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
+}
+
+/// A shared worker-thread budget for concurrent batch submissions.
+///
+/// The free functions below spawn up to one worker per CPU *per call*: fine
+/// for a single optimization, but N concurrent tuning sessions would
+/// oversubscribe the machine N-fold. A `Pool` fixes a global capacity and
+/// leases slots to each batch: a submission takes as many workers as are
+/// both useful (`min(requested, n)`) and free, runs the same work-stealing
+/// fork-join, and returns the slots when the batch completes. When every
+/// slot is taken, a submission blocks until at least one frees up.
+///
+/// Because [`run_indexed_with`] writes results back by task index, the
+/// output of a batch is independent of how many workers the lease granted —
+/// a session multiplexed through a busy shared pool produces bit-identical
+/// results to the same session running alone.
+///
+/// Leases never nest (a task must not submit to the pool it runs on), which
+/// keeps the blocking acquisition deadlock-free.
+#[derive(Debug)]
+pub struct Pool {
+    capacity: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Pool {
+    /// Creates a pool with a fixed worker-thread capacity (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// A pool sized to the machine: one worker slot per available CPU.
+    #[must_use]
+    pub fn with_default_capacity() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The total worker-thread budget.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Takes between 1 and `want` slots, blocking while none are free.
+    fn lease(&self, want: usize) -> usize {
+        let mut available = self.available.lock().expect("pool budget poisoned");
+        while *available == 0 {
+            available = self.freed.wait(available).expect("pool budget poisoned");
+        }
+        let granted = want.min(*available).max(1);
+        *available -= granted;
+        granted
+    }
+
+    /// Returns a lease's slots and wakes blocked submissions.
+    fn release(&self, granted: usize) {
+        let mut available = self.available.lock().expect("pool budget poisoned");
+        *available += granted;
+        self.freed.notify_all();
+    }
+
+    /// [`run_indexed`] through the shared budget: leases up to `threads`
+    /// worker slots for the duration of the batch.
+    pub fn run_indexed<R, F>(&self, n: usize, threads: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_indexed_with(n, threads, || (), |(), i| task(i))
+    }
+
+    /// [`run_indexed_with`] through the shared budget: leases up to
+    /// `threads` worker slots (at least one; blocking while the pool is
+    /// fully busy) and runs the batch on them. Results are bit-identical for
+    /// any grant, so contention affects only wall-clock time.
+    pub fn run_indexed_with<S, R, I, F>(&self, n: usize, threads: usize, init: I, task: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        let want = threads.min(default_threads()).min(n.max(1));
+        if want <= 1 || n <= 1 {
+            // Trivial batches run inline without touching the shared budget:
+            // the calling thread is always available.
+            return run_indexed_with(n, 1, init, task);
+        }
+        let granted = self.lease(want);
+        // The fork-join below must not panic past the release; results are
+        // collected first and the slots returned before propagating.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed_with(n, granted, &init, &task)
+        }));
+        self.release(granted);
+        match outcome {
+            Ok(results) => results,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
 }
 
 /// Applies `task` to every index in `0..n` on a work-stealing pool of at most
@@ -181,6 +288,47 @@ mod tests {
         let items: Vec<i64> = (0..64).map(|i| i - 32).collect();
         let doubled = map_slice(&items, 4, |&x| x * 2);
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_pool_matches_the_free_functions() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.capacity(), 4);
+        let work = |i: usize| -> u64 {
+            let spins = if i.is_multiple_of(5) { 5_000 } else { 3 };
+            (0..spins).fold(i as u64, |acc, j| acc.wrapping_mul(31).wrapping_add(j))
+        };
+        let via_pool = pool.run_indexed(128, 8, work);
+        let direct = run_indexed(128, 8, work);
+        assert_eq!(via_pool, direct);
+        // The budget is fully restored once the batch completes.
+        assert_eq!(*pool.available.lock().unwrap(), 4);
+    }
+
+    #[test]
+    fn shared_pool_serves_concurrent_submissions_within_its_budget() {
+        let pool = Pool::new(2);
+        let expected: Vec<usize> = (0..64).map(|i| i * 3).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| scope.spawn(|| pool.run_indexed(64, 8, |i| i * 3)))
+                .collect();
+            for handle in handles {
+                assert_eq!(handle.join().unwrap(), expected);
+            }
+        });
+        assert_eq!(*pool.available.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn shared_pool_capacity_is_clamped_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(
+            pool.run_indexed(10, 4, |i| i + 1),
+            run_indexed(10, 1, |i| i + 1)
+        );
+        assert!(Pool::with_default_capacity().capacity() >= 1);
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Multi-job serving: one process, one worker-thread budget, many
+//! concurrent tuning sessions.
+//!
+//! The single-job entry point ([`crate::LynceusOptimizer::optimize`]) runs
+//! one optimization to completion on the calling thread and fans its branch
+//! evaluations out over up to one worker per CPU. A tuning *service* has a
+//! different shape: N independent jobs — each with its own seed, budget,
+//! oracle and switching-cost model — must share the machine without
+//! oversubscribing it N-fold, with bounded head-of-line blocking, and
+//! without one misbehaving oracle taking down every other session.
+//!
+//! [`TuningService`] provides that layer:
+//!
+//! * **One shared work-stealing pool.** Every session's speculation engine
+//!   leases workers from a single [`Pool`], so the process-wide thread count
+//!   stays at the configured capacity no matter how many sessions are in
+//!   flight. Because the pool's reductions are index-ordered, the lease size
+//!   only changes scheduling — never results.
+//! * **Fair round-robin scheduling.** The scheduler itself is cooperative
+//!   and single-threaded — parallelism lives *inside* each decision's
+//!   branch fan-out over the shared pool — and sessions advance one
+//!   profiling run per round (bootstrap runs included). A session with an
+//!   expensive lookahead therefore delays a round by at most one decision,
+//!   cannot starve its neighbours, and short sessions stream their reports
+//!   out while long ones keep running.
+//! * **Per-session error isolation.** An oracle that reports a NaN/infinite
+//!   cost, or a switching model that produces an unusable charge, would
+//!   panic the budget bookkeeping in the single-job path. The service
+//!   validates every charge first (see
+//!   [`crate::optimizer::Driver::try_profile`]) and moves only the offending
+//!   session to [`SessionStatus::Failed`], keeping its partial report as a
+//!   diagnostic; every other session is untouched.
+//! * **Bit-identical reports.** Each session's own sequence of random draws,
+//!   surrogate refits and profiling runs is exactly the standalone sequence
+//!   (the per-session state is overlaid with [`crate::SpeculativeCursor`]s,
+//!   never cloned or shared), so the [`OptimizationReport`] a multiplexed
+//!   session produces equals the report of running it alone — regardless of
+//!   how many neighbours it shared the pool with.
+//!
+//! ```
+//! use lynceus_core::{
+//!     OptimizerSettings, SessionSpec, SessionStatus, TableOracle, TuningService,
+//! };
+//! use lynceus_space::SpaceBuilder;
+//!
+//! let mut service = TuningService::with_threads(2);
+//! for seed in 0..4 {
+//!     let space = SpaceBuilder::new()
+//!         .numeric("x", (0..6).map(f64::from))
+//!         .build();
+//!     let oracle = TableOracle::from_fn(space, 1.0, |f| 30.0 + (f[0] - 2.0).powi(2));
+//!     let settings = OptimizerSettings {
+//!         budget: 400.0,
+//!         tmax_seconds: 1e6,
+//!         bootstrap_samples: Some(3),
+//!         lookahead: 1,
+//!         gauss_hermite_nodes: 2,
+//!         ..OptimizerSettings::default()
+//!     };
+//!     service.submit(SessionSpec::new(
+//!         format!("job-{seed}"),
+//!         settings,
+//!         Box::new(oracle),
+//!         seed,
+//!     ));
+//! }
+//! for outcome in service.run() {
+//!     assert!(matches!(outcome.status, SessionStatus::Finished(_)));
+//! }
+//! ```
+
+use crate::lynceus::{LynceusOptimizer, LynceusSession, PathEngine, SessionStep};
+use crate::optimizer::{
+    OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
+};
+use crate::oracle::CostOracle;
+use crate::pool::Pool;
+use crate::switching::SwitchingCost;
+use std::sync::Arc;
+
+/// Identifies a session within one [`TuningService`], in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub usize);
+
+/// Everything one tuning session needs: a name for reporting, the optimizer
+/// settings (budget, constraint, lookahead, …), the black-box oracle to
+/// profile, a seed, and optionally a switching-cost model and an engine
+/// override.
+pub struct SessionSpec {
+    name: String,
+    settings: OptimizerSettings,
+    seed: u64,
+    oracle: Box<dyn CostOracle>,
+    switching: Option<Box<dyn SwitchingCost>>,
+    engine: PathEngine,
+}
+
+impl SessionSpec {
+    /// Describes a session. Settings are validated at submission time by the
+    /// service (an invalid spec fails its own session, nothing else).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        settings: OptimizerSettings,
+        oracle: Box<dyn CostOracle>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            settings,
+            seed,
+            oracle,
+            switching: None,
+            engine: PathEngine::default(),
+        }
+    }
+
+    /// Attaches a switching-cost model (paper Section 4.4) to the session.
+    #[must_use]
+    pub fn with_switching_cost(mut self, switching: Box<dyn SwitchingCost>) -> Self {
+        self.switching = Some(switching);
+        self
+    }
+
+    /// Overrides the speculation engine (default: [`PathEngine::Batched`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: PathEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The session's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Why a session ended in [`SessionStatus::Failed`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The spec's settings failed [`OptimizerSettings::validate`].
+    InvalidSettings(OptimizerError),
+    /// The oracle or switching model produced a charge the budget cannot
+    /// accept (NaN, infinite or negative cost).
+    Profile(ProfileError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::InvalidSettings(e) => write!(f, "session rejected: {e}"),
+            SessionError::Profile(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ProfileError> for SessionError {
+    fn from(e: ProfileError) -> Self {
+        SessionError::Profile(e)
+    }
+}
+
+/// Terminal state of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionStatus {
+    /// The optimization ran to completion.
+    Finished(OptimizationReport),
+    /// The session was stopped by a per-session error; every other session
+    /// is unaffected.
+    Failed {
+        /// The diagnostic.
+        error: SessionError,
+        /// The report covering everything profiled before the failure
+        /// (`None` when the spec was rejected before any run).
+        partial: Option<OptimizationReport>,
+    },
+}
+
+/// The terminal outcome of one session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The session's id (submission order).
+    pub id: SessionId,
+    /// The session's name.
+    pub name: String,
+    /// How the session ended.
+    pub status: SessionStatus,
+}
+
+impl SessionOutcome {
+    /// The completed report, if the session finished.
+    #[must_use]
+    pub fn report(&self) -> Option<&OptimizationReport> {
+        match &self.status {
+            SessionStatus::Finished(report) => Some(report),
+            SessionStatus::Failed { .. } => None,
+        }
+    }
+
+    /// True when the session ended in [`SessionStatus::Failed`].
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self.status, SessionStatus::Failed { .. })
+    }
+}
+
+/// A session prepared for the scheduler: spec fields split so the optimizer
+/// (which consumes the switching model) and the oracle can be borrowed
+/// independently by the in-flight [`LynceusSession`].
+struct Prepared {
+    id: SessionId,
+    name: String,
+    seed: u64,
+    oracle: Box<dyn CostOracle>,
+    optimizer: Result<LynceusOptimizer, OptimizerError>,
+}
+
+/// Serves many concurrent tuning sessions from one process over one shared
+/// worker pool. See the [module docs](self) for the guarantees.
+pub struct TuningService {
+    pool: Arc<Pool>,
+    specs: Vec<SessionSpec>,
+}
+
+impl TuningService {
+    /// A service whose shared pool is sized to the machine (one worker slot
+    /// per available CPU).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            pool: Arc::new(Pool::with_default_capacity()),
+            specs: Vec::new(),
+        }
+    }
+
+    /// A service with an explicit worker-thread budget shared by all
+    /// sessions.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            pool: Arc::new(Pool::new(threads)),
+            specs: Vec::new(),
+        }
+    }
+
+    /// The pool shared by every session of this service.
+    #[must_use]
+    pub fn shared_pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Number of submitted sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Queues a session; it starts when [`TuningService::run`] is called.
+    pub fn submit(&mut self, spec: SessionSpec) -> SessionId {
+        self.specs.push(spec);
+        SessionId(self.specs.len() - 1)
+    }
+
+    /// Drives every submitted session to a terminal state and returns the
+    /// outcomes in submission order.
+    #[must_use]
+    pub fn run(self) -> Vec<SessionOutcome> {
+        self.run_with(|_| {})
+    }
+
+    /// Like [`TuningService::run`], but also streams each outcome to
+    /// `on_complete` the moment its session reaches a terminal state — short
+    /// sessions report while long ones are still being scheduled.
+    pub fn run_with<F>(self, mut on_complete: F) -> Vec<SessionOutcome>
+    where
+        F: FnMut(&SessionOutcome),
+    {
+        let pool = self.pool;
+        let prepared: Vec<Prepared> = self
+            .specs
+            .into_iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                let SessionSpec {
+                    name,
+                    settings,
+                    seed,
+                    oracle,
+                    switching,
+                    engine,
+                } = spec;
+                let optimizer = settings.validate().map(|()| {
+                    let mut optimizer = LynceusOptimizer::new(settings)
+                        .with_engine(engine)
+                        .with_pool(Arc::clone(&pool));
+                    if let Some(switching) = switching {
+                        optimizer = optimizer.with_switching_cost(switching);
+                    }
+                    optimizer
+                });
+                Prepared {
+                    id: SessionId(index),
+                    name,
+                    seed,
+                    oracle,
+                    optimizer,
+                }
+            })
+            .collect();
+
+        let mut outcomes: Vec<Option<SessionOutcome>> = Vec::new();
+        let mut lanes: Vec<Option<LynceusSession<'_>>> = Vec::new();
+        let mut remaining = 0usize;
+        for p in &prepared {
+            match &p.optimizer {
+                Ok(optimizer) => {
+                    lanes.push(Some(LynceusSession::new(
+                        optimizer,
+                        p.oracle.as_ref(),
+                        p.seed,
+                    )));
+                    outcomes.push(None);
+                    remaining += 1;
+                }
+                Err(e) => {
+                    // Rejected before any run: terminal immediately.
+                    let outcome = SessionOutcome {
+                        id: p.id,
+                        name: p.name.clone(),
+                        status: SessionStatus::Failed {
+                            error: SessionError::InvalidSettings(e.clone()),
+                            partial: None,
+                        },
+                    };
+                    on_complete(&outcome);
+                    lanes.push(None);
+                    outcomes.push(Some(outcome));
+                }
+            }
+        }
+
+        // Fair round-robin: every live session performs exactly one
+        // profiling run per round. Terminal sessions free their lane (and
+        // their per-session state) immediately.
+        while remaining > 0 {
+            for (index, lane) in lanes.iter_mut().enumerate() {
+                let Some(session) = lane.as_mut() else {
+                    continue;
+                };
+                let status = match session.step() {
+                    Ok(SessionStep::Profiled(_)) => continue,
+                    Ok(SessionStep::Done) => {
+                        let session = lane.take().expect("lane checked above");
+                        SessionStatus::Finished(session.finish(prepared_name(&prepared, index)))
+                    }
+                    Err(error) => {
+                        let session = lane.take().expect("lane checked above");
+                        SessionStatus::Failed {
+                            error: error.into(),
+                            partial: Some(session.finish(prepared_name(&prepared, index))),
+                        }
+                    }
+                };
+                let outcome = SessionOutcome {
+                    id: prepared[index].id,
+                    name: prepared[index].name.clone(),
+                    status,
+                };
+                on_complete(&outcome);
+                outcomes[index] = Some(outcome);
+                remaining -= 1;
+            }
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every session reached a terminal state"))
+            .collect()
+    }
+}
+
+impl Default for TuningService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The optimizer label for a prepared session (only called for sessions
+/// whose optimizer was built successfully).
+fn prepared_name(prepared: &[Prepared], index: usize) -> &str {
+    prepared[index]
+        .optimizer
+        .as_ref()
+        .expect("terminal transition only happens on built optimizers")
+        .name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{Observation, TableOracle};
+    use crate::switching::FnSwitching;
+    use lynceus_space::{ConfigId, ConfigSpace, SpaceBuilder};
+
+    fn valley_oracle(shift: f64) -> TableOracle {
+        let space = SpaceBuilder::new()
+            .numeric("x", (0..10).map(f64::from))
+            .numeric("y", (0..4).map(f64::from))
+            .build();
+        TableOracle::from_fn(space, 1.0, move |f| {
+            20.0 + (f[0] - shift).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 8.0
+        })
+    }
+
+    fn settings(budget: f64, lookahead: usize) -> OptimizerSettings {
+        OptimizerSettings {
+            budget,
+            tmax_seconds: 1e6,
+            bootstrap_samples: Some(4),
+            lookahead,
+            gauss_hermite_nodes: 2,
+            ..OptimizerSettings::default()
+        }
+    }
+
+    /// An oracle that reports a poisoned cost after a number of clean runs.
+    struct EventuallyPoisoned {
+        inner: TableOracle,
+        clean_runs: std::sync::atomic::AtomicUsize,
+        poison: f64,
+    }
+
+    impl EventuallyPoisoned {
+        fn new(inner: TableOracle, clean_runs: usize, poison: f64) -> Self {
+            Self {
+                inner,
+                clean_runs: std::sync::atomic::AtomicUsize::new(clean_runs),
+                poison,
+            }
+        }
+    }
+
+    impl CostOracle for EventuallyPoisoned {
+        fn space(&self) -> &ConfigSpace {
+            self.inner.space()
+        }
+        fn candidates(&self) -> Vec<ConfigId> {
+            self.inner.candidates()
+        }
+        fn run(&self, id: ConfigId) -> Observation {
+            use std::sync::atomic::Ordering;
+            let left = self.clean_runs.load(Ordering::Relaxed);
+            if left == 0 {
+                return Observation::new(1.0, self.poison);
+            }
+            self.clean_runs.store(left - 1, Ordering::Relaxed);
+            self.inner.run(id)
+        }
+        fn price_rate(&self, id: ConfigId) -> f64 {
+            self.inner.price_rate(id)
+        }
+    }
+
+    #[test]
+    fn multiplexed_sessions_are_bit_identical_to_solo_runs() {
+        let mut service = TuningService::with_threads(2);
+        let mut expected = Vec::new();
+        // Eight sessions with distinct surfaces, budgets, seeds, lookaheads
+        // and engines — including one with a switching-cost model.
+        for i in 0..8u64 {
+            let shift = 1.0 + (i % 5) as f64;
+            let s = settings(450.0 + 40.0 * i as f64, (i % 2) as usize);
+            let engine = if i == 3 {
+                PathEngine::NaiveReference
+            } else {
+                PathEngine::Batched
+            };
+            let mut solo = LynceusOptimizer::new(s.clone()).with_engine(engine);
+            let mut spec =
+                SessionSpec::new(format!("session-{i}"), s, Box::new(valley_oracle(shift)), i)
+                    .with_engine(engine);
+            if i == 5 {
+                let switching =
+                    |from: Option<ConfigId>, to: ConfigId| if from == Some(to) { 0.0 } else { 2.0 };
+                solo = solo.with_switching_cost(Box::new(FnSwitching(switching)));
+                spec = spec.with_switching_cost(Box::new(FnSwitching(switching)));
+            }
+            expected.push(solo.optimize(&valley_oracle(shift), i));
+            service.submit(spec);
+        }
+        assert_eq!(service.session_count(), 8);
+
+        let mut streamed = 0usize;
+        let outcomes = service.run_with(|_| streamed += 1);
+        assert_eq!(streamed, 8);
+        assert_eq!(outcomes.len(), 8);
+        for (i, (outcome, solo)) in outcomes.iter().zip(&expected).enumerate() {
+            assert_eq!(outcome.id, SessionId(i));
+            assert_eq!(outcome.name, format!("session-{i}"));
+            assert_eq!(
+                outcome.report(),
+                Some(solo),
+                "multiplexed session {i} diverged from its solo run"
+            );
+        }
+    }
+
+    #[test]
+    fn a_poisoned_oracle_fails_its_session_and_spares_the_rest() {
+        let mut service = TuningService::with_threads(2);
+        for i in 0..3u64 {
+            service.submit(SessionSpec::new(
+                format!("healthy-{i}"),
+                settings(500.0, 1),
+                Box::new(valley_oracle(6.0)),
+                i,
+            ));
+        }
+        // Poisoned after 6 clean runs: it fails mid-flight, well after the
+        // scheduler has interleaved it with the healthy sessions.
+        service.submit(SessionSpec::new(
+            "poisoned",
+            settings(500.0, 1),
+            Box::new(EventuallyPoisoned::new(
+                valley_oracle(6.0),
+                6,
+                f64::INFINITY,
+            )),
+            9,
+        ));
+
+        let outcomes = service.run();
+        assert_eq!(outcomes.len(), 4);
+        for (i, outcome) in outcomes[..3].iter().enumerate() {
+            let solo =
+                LynceusOptimizer::new(settings(500.0, 1)).optimize(&valley_oracle(6.0), i as u64);
+            assert_eq!(
+                outcome.report(),
+                Some(&solo),
+                "healthy session {i} was disturbed by the poisoned one"
+            );
+        }
+        let failed = &outcomes[3];
+        assert!(failed.is_failed());
+        let SessionStatus::Failed { error, partial } = &failed.status else {
+            panic!("expected a failure");
+        };
+        assert!(
+            matches!(
+                error,
+                SessionError::Profile(ProfileError::InvalidCost { cost, .. }) if cost.is_infinite()
+            ),
+            "unexpected diagnostic: {error}"
+        );
+        // The partial report covers exactly the clean runs.
+        let partial = partial.as_ref().expect("failed mid-run, not at submission");
+        assert_eq!(partial.num_explorations(), 6);
+        assert!(error.to_string().contains("unusable cost"));
+    }
+
+    #[test]
+    fn nan_costs_are_also_survivable() {
+        let mut service = TuningService::with_threads(1);
+        service.submit(SessionSpec::new(
+            "nan",
+            settings(500.0, 0),
+            Box::new(EventuallyPoisoned::new(valley_oracle(3.0), 2, f64::NAN)),
+            1,
+        ));
+        service.submit(SessionSpec::new(
+            "fine",
+            settings(500.0, 0),
+            Box::new(valley_oracle(3.0)),
+            1,
+        ));
+        let outcomes = service.run();
+        assert!(outcomes[0].is_failed());
+        assert!(!outcomes[1].is_failed());
+    }
+
+    #[test]
+    fn invalid_settings_fail_at_submission_without_a_partial_report() {
+        let mut service = TuningService::new();
+        let bad = OptimizerSettings {
+            budget: -1.0,
+            ..OptimizerSettings::default()
+        };
+        service.submit(SessionSpec::new(
+            "bad",
+            bad,
+            Box::new(valley_oracle(2.0)),
+            0,
+        ));
+        service.submit(SessionSpec::new(
+            "good",
+            settings(400.0, 0),
+            Box::new(valley_oracle(2.0)),
+            3,
+        ));
+        let outcomes = service.run();
+        let SessionStatus::Failed { error, partial } = &outcomes[0].status else {
+            panic!("invalid settings must fail the session");
+        };
+        assert!(matches!(error, SessionError::InvalidSettings(_)));
+        assert!(partial.is_none());
+        assert!(error.to_string().contains("rejected"));
+        assert!(outcomes[1].report().is_some());
+    }
+
+    #[test]
+    fn an_empty_service_completes_immediately() {
+        let service = TuningService::default();
+        assert_eq!(service.session_count(), 0);
+        assert!(service.run().is_empty());
+    }
+
+    #[test]
+    fn spec_accessors_expose_the_name() {
+        let spec = SessionSpec::new("named", settings(100.0, 0), Box::new(valley_oracle(1.0)), 0);
+        assert_eq!(spec.name(), "named");
+        assert_eq!(SessionId(2), SessionId(2));
+    }
+}

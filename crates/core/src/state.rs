@@ -229,6 +229,25 @@ impl<'a> SpeculativeCursor<'a> {
         self.stack.push(TestedConfig { id, cost, feasible });
     }
 
+    /// Charges an additional amount (e.g. a speculated switching cost)
+    /// against the current frame's budget, mirroring
+    /// [`SearchState::charge_extra`] on a materialized speculation: the
+    /// charge is a separate subtraction after the frame's cost (the same
+    /// floating-point operation order as the real driver), and popping the
+    /// frame restores the pre-push budget, extra charges included.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if no frame has been pushed (the base state's
+    /// budget must not be modified through the cursor).
+    pub fn charge_extra(&mut self, amount: f64) {
+        debug_assert!(
+            !self.stack.is_empty(),
+            "extra charges need a speculation frame to be restored with"
+        );
+        self.remaining -= amount;
+    }
+
     /// Pops the most recent speculated observation, restoring the previous
     /// budget exactly.
     ///
@@ -403,6 +422,28 @@ mod tests {
         assert_eq!(pairs, materialized.profiled_pairs());
         assert_eq!(cursor.speculated().len(), 2);
         assert_eq!(cursor.base().tested().len(), 1);
+    }
+
+    #[test]
+    fn cursor_charge_extra_matches_the_materialized_state_and_pops_cleanly() {
+        let mut state = SearchState::new(candidates(5), Budget::new(100.0));
+        state.record(ConfigId(4), 10.0, true);
+
+        // Materialized: speculate then charge a switching cost, two separate
+        // subtractions — the cursor must replay the identical sequence.
+        let mut materialized = state.speculate(ConfigId(1), 0.3, true);
+        materialized.charge_extra(0.7);
+
+        let mut cursor = SpeculativeCursor::new(&state);
+        let before = cursor.remaining_budget();
+        cursor.push(ConfigId(1), 0.3, true);
+        cursor.charge_extra(0.7);
+        assert_eq!(
+            cursor.remaining_budget().to_bits(),
+            materialized.budget().remaining().to_bits()
+        );
+        cursor.pop();
+        assert_eq!(cursor.remaining_budget().to_bits(), before.to_bits());
     }
 
     #[test]

@@ -14,6 +14,16 @@ pub trait SwitchingCost: Send + Sync {
     /// Cost, in dollars, of moving from the currently deployed configuration
     /// (`None` when nothing is deployed yet) to `next`.
     fn cost(&self, from: Option<ConfigId>, to: ConfigId) -> f64;
+
+    /// True when every switch is known to cost nothing. The budget filter
+    /// runs once per untested configuration per (real or speculated) state —
+    /// the hottest loop of a decision — and uses this to skip the per-member
+    /// virtual `cost` call under the default model. Skipping is bit-identical
+    /// to subtracting the zero (`β − 0.0 == β` for every float the budget
+    /// can hold).
+    fn is_free(&self) -> bool {
+        false
+    }
 }
 
 /// The default model: switching is free (the paper's main experiments ignore
@@ -25,6 +35,10 @@ impl SwitchingCost for FreeSwitching {
     fn cost(&self, _from: Option<ConfigId>, _to: ConfigId) -> f64 {
         0.0
     }
+
+    fn is_free(&self) -> bool {
+        true
+    }
 }
 
 /// A switching-cost model backed by a user-provided function.
@@ -32,6 +46,12 @@ impl SwitchingCost for FreeSwitching {
 /// This is how `lynceus-cloud::SetupCostModel` (or any analytic or learned
 /// model) plugs into the optimizer without the optimizer depending on the
 /// cloud substrate.
+///
+/// The wrapped function's output is sanitized: negative costs and NaN are
+/// mapped to `0.0` (a NaN switching cost would otherwise poison the budget
+/// bookkeeping, which only accepts finite non-negative charges). An infinite
+/// cost is passed through and rejected later by the profiling driver as a
+/// recoverable per-session error.
 pub struct FnSwitching<F>(pub F)
 where
     F: Fn(Option<ConfigId>, ConfigId) -> f64 + Send + Sync;
@@ -41,7 +61,12 @@ where
     F: Fn(Option<ConfigId>, ConfigId) -> f64 + Send + Sync,
 {
     fn cost(&self, from: Option<ConfigId>, to: ConfigId) -> f64 {
-        (self.0)(from, to).max(0.0)
+        let cost = (self.0)(from, to);
+        if cost.is_nan() {
+            0.0
+        } else {
+            cost.max(0.0)
+        }
     }
 }
 
@@ -71,5 +96,25 @@ mod tests {
         // Negative values from careless callers are clamped.
         assert_eq!(model.cost(Some(ConfigId(2)), ConfigId(2)), 0.0);
         assert_eq!(model.cost(None, ConfigId(0)), 0.5);
+    }
+
+    #[test]
+    fn fn_switching_sanitizes_nan_to_zero() {
+        // A NaN from a buggy model must not reach the budget bookkeeping
+        // (Budget::charge only accepts finite non-negative amounts).
+        let model = FnSwitching(|_: Option<ConfigId>, _: ConfigId| f64::NAN);
+        assert_eq!(model.cost(None, ConfigId(0)), 0.0);
+        assert_eq!(model.cost(Some(ConfigId(1)), ConfigId(2)), 0.0);
+        // Negative infinity is negative, so it clamps to zero too; positive
+        // infinity passes through for the driver to reject explicitly.
+        let inf = FnSwitching(|from: Option<ConfigId>, _: ConfigId| {
+            if from.is_some() {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        });
+        assert_eq!(inf.cost(None, ConfigId(0)), 0.0);
+        assert_eq!(inf.cost(Some(ConfigId(0)), ConfigId(1)), f64::INFINITY);
     }
 }

@@ -1,0 +1,133 @@
+//! Multi-job serving: one process, one shared worker pool, many tuning
+//! sessions.
+//!
+//! Nine sessions — Spark jobs from the Scout and CherryPick datasets and
+//! TensorFlow training jobs, each with its own budget and seed — are
+//! multiplexed through one `TuningService`. A tenth session wraps its
+//! oracle so that it starts reporting an infinite cost mid-run: it ends in
+//! a `Failed` state with a diagnostic and a partial report while every
+//! other session finishes untouched.
+//!
+//! Run with `cargo run --release --example multi_job`.
+
+use lynceus::core::{CostOracle, SessionStatus};
+use lynceus::datasets::{catalog, LookupDataset};
+use lynceus::experiments::ExperimentConfig;
+use lynceus::prelude::*;
+use lynceus::space::{ConfigId, ConfigSpace};
+
+/// Wraps an oracle so it reports an unusable (infinite) cost after a number
+/// of clean runs — the "cloud went sideways" failure mode the service must
+/// isolate to the offending session.
+struct FlakyOracle {
+    inner: LookupDataset,
+    clean_runs: std::sync::atomic::AtomicUsize,
+}
+
+impl CostOracle for FlakyOracle {
+    fn space(&self) -> &ConfigSpace {
+        self.inner.space()
+    }
+    fn candidates(&self) -> Vec<ConfigId> {
+        self.inner.candidates()
+    }
+    fn run(&self, id: ConfigId) -> Observation {
+        use std::sync::atomic::Ordering;
+        let left = self.clean_runs.load(Ordering::Relaxed);
+        if left == 0 {
+            return Observation::new(1.0, f64::INFINITY);
+        }
+        self.clean_runs.store(left - 1, Ordering::Relaxed);
+        self.inner.run(id)
+    }
+    fn price_rate(&self, id: ConfigId) -> f64 {
+        self.inner.price_rate(id)
+    }
+}
+
+fn main() {
+    // A cheap-but-realistic setup: lookahead 1, 2 Gauss–Hermite nodes, the
+    // paper's low-budget rule.
+    let experiment = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 1.0,
+        ..ExperimentConfig::default()
+    };
+    let settings_of = |dataset: &LookupDataset| {
+        let mut s = experiment.settings_for(dataset, 1);
+        s.parallel_paths = true;
+        s
+    };
+
+    // Nine heterogeneous jobs: 4 Scout, 3 CherryPick, 2 TensorFlow.
+    let mut jobs: Vec<LookupDataset> = Vec::new();
+    jobs.extend(catalog::scout_datasets().into_iter().take(4));
+    jobs.extend(catalog::cherrypick_datasets().into_iter().take(3));
+    jobs.extend(catalog::tensorflow_datasets().into_iter().take(2));
+
+    let mut service = TuningService::new();
+    println!(
+        "serving {} sessions over a shared pool of {} worker thread(s)\n",
+        jobs.len() + 1,
+        service.shared_pool().capacity()
+    );
+    for (i, dataset) in jobs.into_iter().enumerate() {
+        let settings = settings_of(&dataset);
+        let name = dataset.name().to_owned();
+        service.submit(SessionSpec::new(
+            name,
+            settings,
+            Box::new(dataset),
+            7 + i as u64,
+        ));
+    }
+    // The deliberately flaky session: clean for 2 runs, then poisoned.
+    let flaky_base = catalog::scout_datasets()
+        .into_iter()
+        .nth(5)
+        .expect("scout has 18 jobs");
+    let flaky_settings = settings_of(&flaky_base);
+    service.submit(SessionSpec::new(
+        format!("{} (flaky oracle)", flaky_base.name()),
+        flaky_settings,
+        Box::new(FlakyOracle {
+            inner: flaky_base,
+            clean_runs: std::sync::atomic::AtomicUsize::new(2),
+        }),
+        99,
+    ));
+
+    let outcomes = service.run_with(|outcome| {
+        // Outcomes stream in completion order, not submission order.
+        match &outcome.status {
+            SessionStatus::Finished(report) => println!(
+                "[done]   {:<42} {:>2} runs, ${:>8.2} spent, best {}",
+                outcome.name,
+                report.num_explorations(),
+                report.budget_spent,
+                report
+                    .recommended_cost
+                    .map_or_else(|| "-".into(), |c| format!("${c:.2}")),
+            ),
+            SessionStatus::Failed { error, partial } => println!(
+                "[FAILED] {:<42} after {} runs: {error}",
+                outcome.name,
+                partial
+                    .as_ref()
+                    .map_or(0, OptimizationReport::num_explorations),
+            ),
+        }
+    });
+
+    let finished = outcomes.iter().filter(|o| !o.is_failed()).count();
+    let failed = outcomes.len() - finished;
+    println!("\n{finished} sessions finished, {failed} failed (isolated)");
+    assert_eq!(failed, 1, "only the flaky session may fail");
+    assert!(
+        outcomes
+            .iter()
+            .filter(|o| !o.is_failed())
+            .all(|o| o.report().is_some()),
+        "healthy sessions must produce reports"
+    );
+}

@@ -35,6 +35,23 @@
 //! assert!(report.recommended.is_some());
 //! ```
 
+//! # Multi-job serving
+//!
+//! One process can serve many concurrent tuning sessions through
+//! [`core::TuningService`]: each session brings its own oracle, budget,
+//! seed and (optionally) switching-cost model, and all of them share a
+//! single worker-thread budget ([`core::Pool`]) instead of oversubscribing
+//! the machine per session. The scheduler is a fair round-robin — one
+//! profiling run per live session per round — with per-session error
+//! isolation: an oracle that reports a NaN or infinite cost moves its own
+//! session to a `Failed` state with a diagnostic and a partial report,
+//! while every other session runs on untouched. Because per-session
+//! speculation state is overlaid ([`core::SpeculativeCursor`]) rather than
+//! cloned or shared, a multiplexed session's
+//! [`core::OptimizationReport`] is bit-identical to running that session
+//! alone. See `examples/multi_job.rs` for a service serving the
+//! Scout/CherryPick/TensorFlow datasets concurrently.
+//!
 //! # Performance
 //!
 //! The hottest path of the system is the speculation engine: every
@@ -66,6 +83,15 @@
 //!   candidate, and the normal cdf itself uses Cephes-style rational
 //!   approximations.
 //!
+//! The budget filter implements the switching-aware `Γ` of Algorithm 2:
+//! profiling `x` charges both the run cost *and* the cost of switching the
+//! deployed configuration `χ → x`, so a configuration belongs to `Γ` iff
+//! `P(C(x) ≤ β − switch(χ, x)) ≥ 0.99` — equivalently, the predicted cost
+//! plus the switching charge fits the remaining budget at the configured
+//! confidence. (Earlier revisions filtered on `P(C(x) ≤ β)` alone, which
+//! under a non-trivial [`core::SwitchingCost`] model admitted
+//! configurations the budget could not actually pay for.)
+//!
 //! The naive reference implementation (refit-from-scratch per branch,
 //! one allocation-heavy prediction per configuration, full state clones) is
 //! retained as `PathEngine::NaiveReference`: it makes bit-identical
@@ -95,7 +121,8 @@ pub use lynceus_space as space;
 pub mod prelude {
     pub use crate::core::{
         BoOptimizer, CostOracle, LynceusOptimizer, Observation, OptimizationReport, Optimizer,
-        OptimizerSettings, RandomOptimizer, SecondaryConstraint, TableOracle,
+        OptimizerSettings, RandomOptimizer, SecondaryConstraint, SessionSpec, SessionStatus,
+        TableOracle, TuningService,
     };
     pub use crate::datasets::{catalog, LookupDataset};
     pub use crate::experiments::{ExperimentConfig, OptimizerKind};

@@ -1,0 +1,163 @@
+//! Service-level acceptance tests for multi-job serving: ≥ 8 concurrent
+//! sessions over heterogeneous real datasets share one worker pool, and
+//! every session's report is bit-identical to running that session alone
+//! with the same seed; a session with a deliberately failing oracle ends
+//! `Failed` without disturbing any other session's report.
+
+use lynceus::core::{
+    CostOracle, LynceusOptimizer, Observation, Optimizer, OptimizerSettings, ProfileError,
+    SessionError, SessionSpec, SessionStatus, TuningService,
+};
+use lynceus::datasets::{catalog, LookupDataset};
+use lynceus::experiments::ExperimentConfig;
+use lynceus::space::{ConfigId, ConfigSpace};
+
+/// The 8-job mix used by the acceptance tests: Scout, CherryPick and
+/// TensorFlow workloads.
+fn job_mix() -> Vec<LookupDataset> {
+    let mut jobs: Vec<LookupDataset> = Vec::new();
+    jobs.extend(catalog::scout_datasets().into_iter().take(4));
+    jobs.extend(catalog::cherrypick_datasets().into_iter().take(2));
+    jobs.extend(catalog::tensorflow_datasets().into_iter().take(2));
+    jobs
+}
+
+fn settings_for(dataset: &LookupDataset) -> OptimizerSettings {
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 1.0,
+        ..ExperimentConfig::default()
+    };
+    let mut settings = config.settings_for(dataset, 1);
+    settings.parallel_paths = true;
+    settings
+}
+
+/// An oracle that reports an infinite cost after a number of clean runs.
+struct FlakyOracle {
+    inner: LookupDataset,
+    clean_runs: std::sync::atomic::AtomicUsize,
+}
+
+impl CostOracle for FlakyOracle {
+    fn space(&self) -> &ConfigSpace {
+        self.inner.space()
+    }
+    fn candidates(&self) -> Vec<ConfigId> {
+        self.inner.candidates()
+    }
+    fn run(&self, id: ConfigId) -> Observation {
+        use std::sync::atomic::Ordering;
+        let left = self.clean_runs.load(Ordering::Relaxed);
+        if left == 0 {
+            return Observation::new(1.0, f64::INFINITY);
+        }
+        self.clean_runs.store(left - 1, Ordering::Relaxed);
+        self.inner.run(id)
+    }
+    fn price_rate(&self, id: ConfigId) -> f64 {
+        self.inner.price_rate(id)
+    }
+}
+
+#[test]
+fn eight_concurrent_sessions_match_their_solo_runs_bit_for_bit() {
+    let jobs = job_mix();
+    assert!(jobs.len() >= 8, "the acceptance mix needs at least 8 jobs");
+
+    // Solo reference runs: one optimizer per job, no shared pool.
+    let solo: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, dataset)| {
+            LynceusOptimizer::new(settings_for(dataset)).optimize(dataset, 11 + i as u64)
+        })
+        .collect();
+
+    // The same jobs multiplexed through one service on a small shared pool
+    // (2 worker slots for 8 sessions: leases are contended by design).
+    let mut service = TuningService::with_threads(2);
+    for (i, dataset) in jobs.into_iter().enumerate() {
+        let settings = settings_for(&dataset);
+        let name = dataset.name().to_owned();
+        service.submit(SessionSpec::new(
+            name,
+            settings,
+            Box::new(dataset),
+            11 + i as u64,
+        ));
+    }
+    let outcomes = service.run();
+
+    assert_eq!(outcomes.len(), solo.len());
+    for (outcome, reference) in outcomes.iter().zip(&solo) {
+        assert_eq!(
+            outcome.report(),
+            Some(reference),
+            "session {} diverged from its solo run",
+            outcome.name
+        );
+    }
+}
+
+#[test]
+fn a_failing_oracle_session_is_isolated_from_its_neighbours() {
+    let jobs = job_mix();
+    let solo: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, dataset)| {
+            LynceusOptimizer::new(settings_for(dataset)).optimize(dataset, 11 + i as u64)
+        })
+        .collect();
+
+    let mut service = TuningService::with_threads(2);
+    // Interleave the poisoned session *first*, so its failure happens while
+    // every healthy session is still mid-flight.
+    let flaky = catalog::scout_datasets()
+        .into_iter()
+        .nth(7)
+        .expect("scout has 18 jobs");
+    let flaky_settings = settings_for(&flaky);
+    service.submit(SessionSpec::new(
+        "flaky",
+        flaky_settings,
+        Box::new(FlakyOracle {
+            inner: flaky,
+            clean_runs: std::sync::atomic::AtomicUsize::new(2),
+        }),
+        3,
+    ));
+    for (i, dataset) in jobs.into_iter().enumerate() {
+        let settings = settings_for(&dataset);
+        let name = dataset.name().to_owned();
+        service.submit(SessionSpec::new(
+            name,
+            settings,
+            Box::new(dataset),
+            11 + i as u64,
+        ));
+    }
+
+    let outcomes = service.run();
+    let SessionStatus::Failed { error, partial } = &outcomes[0].status else {
+        panic!("the poisoned session must fail");
+    };
+    assert!(matches!(
+        error,
+        SessionError::Profile(ProfileError::InvalidCost { .. })
+    ));
+    assert_eq!(
+        partial.as_ref().map(|p| p.num_explorations()),
+        Some(2),
+        "the partial report covers exactly the clean runs"
+    );
+    for (outcome, reference) in outcomes[1..].iter().zip(&solo) {
+        assert_eq!(
+            outcome.report(),
+            Some(reference),
+            "session {} was disturbed by the poisoned neighbour",
+            outcome.name
+        );
+    }
+}
