@@ -1,13 +1,222 @@
-//! Regenerates Figure 6: CDFs of the CNO achieved by Lynceus with LA = 2, 1
-//! and 0 on the TensorFlow jobs (medium budget).
+//! Lookahead benchmark: how far the branch-and-bound speculation engine
+//! opens the lookahead window.
+//!
+//! The engine's branch count grows as `|Γ|·k^LA`, which is why the paper's
+//! evaluation stops at `LA = 2`. This bench sweeps `LA ∈ {2, 3, 4}` on two
+//! spaces — a paper dataset (Scout wordcount, the cold-start regime) and a
+//! 128-point synthetic space entered with a warm bootstrap (the
+//! deep-planning regime the ROADMAP's "deeper lookahead / larger spaces"
+//! item asks for) — timing the production [`PathEngine::BoundAndPrune`]
+//! engine against the exhaustive [`PathEngine::Batched`] baseline and
+//! recording the pruned-candidate fractions. Reports are asserted
+//! bit-identical wherever the exhaustive baseline is run; on the largest
+//! sweep cell the exhaustive engine is intractable by construction and the
+//! pruned fraction is the recorded evidence.
+//!
+//! Results go to `BENCH_lookahead.json` at the workspace root (override
+//! with `LYNCEUS_BENCH_OUT`), alongside the CPU count so multicore
+//! re-measurement is a re-run away. The Figure 6 CNO CDFs this bench
+//! originally rendered are still available under `LYNCEUS_FIG6_FULL=1`.
 
 use lynceus_bench::{bench_config, bench_tensorflow_datasets};
+use lynceus_core::{
+    CostOracle, LynceusOptimizer, OptimizationReport, Optimizer, OptimizerSettings, PathEngine,
+    PruneStats, TableOracle,
+};
+use lynceus_datasets::scout;
 use lynceus_experiments::figures::fig6;
 use lynceus_experiments::report::render_figure;
+use lynceus_experiments::ExperimentConfig;
+use lynceus_space::SpaceBuilder;
+use std::time::Instant;
+
+/// One measured sweep cell.
+struct Cell {
+    space: &'static str,
+    lookahead: usize,
+    seed: u64,
+    decisions: u64,
+    pruned_ns_per_decision: f64,
+    exhaustive_ns_per_decision: Option<f64>,
+    speedup: Option<f64>,
+    stats: PruneStats,
+    identical: bool,
+}
+
+/// The warm synthetic space: 16×8 grid with a wide cost spread (~5–600),
+/// entered after a 50-point LHS bootstrap so the surrogate is already sharp
+/// — the "plan deeply on a well-explored space" scenario.
+fn wide_synthetic() -> TableOracle {
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..16).map(f64::from))
+        .numeric("y", (0..8).map(f64::from))
+        .build();
+    TableOracle::from_fn(space, 1.0, |f| {
+        5.0 + f[0].powi(2) * 2.0 + (f[1] - 3.0).powi(2) * 12.0 + f[0] * f[1]
+    })
+}
+
+fn wide_settings(lookahead: usize) -> OptimizerSettings {
+    OptimizerSettings {
+        budget: 14_000.0,
+        tmax_seconds: 1e6,
+        bootstrap_samples: Some(50),
+        lookahead,
+        // The paper-default rule size: deep subtrees dominate (`k^LA`), the
+        // regime pruning exists for.
+        gauss_hermite_nodes: 4,
+        ..OptimizerSettings::default()
+    }
+}
+
+/// Times one run and returns nanoseconds per decision plus the report.
+fn timed_run(
+    oracle: &dyn CostOracle,
+    settings: &OptimizerSettings,
+    engine: PathEngine,
+    seed: u64,
+) -> (f64, OptimizationReport, PruneStats, u64) {
+    let optimizer = LynceusOptimizer::new(settings.clone()).with_engine(engine);
+    let start = Instant::now();
+    let report = optimizer.optimize(oracle, seed);
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let decisions = (report.explorations.iter().filter(|e| !e.bootstrap).count() + 1) as u64;
+    (
+        elapsed / decisions as f64,
+        report,
+        optimizer.prune_stats(),
+        decisions,
+    )
+}
+
+fn sweep_cell(
+    space: &'static str,
+    oracle: &dyn CostOracle,
+    settings: &OptimizerSettings,
+    seed: u64,
+    run_exhaustive: bool,
+) -> Cell {
+    let (pruned_ns, pruned_report, stats, decisions) =
+        timed_run(oracle, settings, PathEngine::BoundAndPrune, seed);
+    let (exhaustive_ns, identical) = if run_exhaustive {
+        let (ns, exhaustive_report, _, _) = timed_run(oracle, settings, PathEngine::Batched, seed);
+        assert_eq!(
+            pruned_report, exhaustive_report,
+            "bound-and-prune diverged from exhaustive expansion on {space} at \
+             LA={}, seed {seed}",
+            settings.lookahead
+        );
+        (Some(ns), true)
+    } else {
+        (None, true)
+    };
+    Cell {
+        space,
+        lookahead: settings.lookahead,
+        seed,
+        decisions,
+        pruned_ns_per_decision: pruned_ns,
+        exhaustive_ns_per_decision: exhaustive_ns,
+        speedup: exhaustive_ns.map(|ns| ns / pruned_ns),
+        stats,
+        identical,
+    }
+}
 
 fn main() {
-    let datasets = bench_tensorflow_datasets();
-    for figure in fig6(&datasets, &bench_config()) {
-        println!("{}", render_figure(&figure));
+    // The original Figure 6 rendering (CNO CDFs for LA = 2/1/0) is heavy;
+    // keep it opt-in now that the default run is the lookahead sweep.
+    if std::env::var("LYNCEUS_FIG6_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        let datasets = bench_tensorflow_datasets();
+        for figure in fig6(&datasets, &bench_config()) {
+            println!("{}", render_figure(&figure));
+        }
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // Paper dataset, cold start (the regime the paper evaluates).
+    let dataset = scout::dataset(&scout::job_profiles()[0], 7);
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 5.0,
+        ..ExperimentConfig::default()
+    };
+    for lookahead in [2usize, 3, 4] {
+        let settings = config.settings_for(&dataset, lookahead);
+        cells.push(sweep_cell("scout/wordcount", &dataset, &settings, 1, true));
+    }
+
+    // Warm synthetic space: deep planning with the paper-default 4-node
+    // rule. Exhaustive LA=4 expands 340 states per candidate per decision
+    // here — the intractable regime; the pruned fraction is the evidence.
+    let wide = wide_synthetic();
+    for lookahead in [2usize, 3, 4] {
+        let settings = wide_settings(lookahead);
+        let run_exhaustive = lookahead < 4;
+        cells.push(sweep_cell(
+            "synthetic/wide128-warm",
+            &wide,
+            &settings,
+            1,
+            run_exhaustive,
+        ));
+    }
+
+    for cell in &cells {
+        let speedup = cell
+            .speedup
+            .map_or("    (exhaustive not run)".to_owned(), |s| {
+                format!("{s:>6.2}x vs exhaustive")
+            });
+        println!(
+            "{:<24} LA={} seed={} {:>12.0} ns/decision {speedup}  pruned {:>3.0}% of {} candidates over {} decisions",
+            cell.space,
+            cell.lookahead,
+            cell.seed,
+            cell.pruned_ns_per_decision,
+            cell.stats.pruned_fraction() * 100.0,
+            cell.stats.candidates,
+            cell.decisions,
+        );
+    }
+
+    // Persist (hand-rolled JSON: no serde in this environment).
+    let mut json = String::from("{\n  \"benchmark\": \"fig6_lookahead\",\n");
+    json.push_str(&format!("  \"cpus\": {cpus},\n  \"cells\": [\n"));
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let exhaustive = cell
+            .exhaustive_ns_per_decision
+            .map_or("null".to_owned(), |ns| format!("{ns:.1}"));
+        let speedup = cell
+            .speedup
+            .map_or("null".to_owned(), |s| format!("{s:.2}"));
+        json.push_str(&format!(
+            "    {{ \"space\": \"{}\", \"lookahead\": {}, \"seed\": {}, \"decisions\": {}, \"pruned_ns_per_decision\": {:.1}, \"exhaustive_ns_per_decision\": {exhaustive}, \"speedup\": {speedup}, \"candidates\": {}, \"pruned\": {}, \"pruned_fraction\": {:.3}, \"identical\": {} }}{comma}\n",
+            cell.space,
+            cell.lookahead,
+            cell.seed,
+            cell.decisions,
+            cell.pruned_ns_per_decision,
+            cell.stats.candidates,
+            cell.stats.pruned,
+            cell.stats.pruned_fraction(),
+            cell.identical,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let destination = std::env::var("LYNCEUS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_lookahead.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&destination, &json) {
+        Ok(()) => println!("wrote {destination}"),
+        Err(e) => eprintln!("could not write {destination}: {e}"),
     }
 }

@@ -72,9 +72,18 @@ fn feature_matrix(rows: usize, dims: usize) -> FeatureMatrix {
 }
 
 /// Times one full lookahead-2 optimization on a Scout job and returns
-/// `(nanos per decision, report)`. A "decision" is one `NextConfig` call:
-/// every non-bootstrap exploration plus the final call that returns `None`.
-fn lookahead2_run(engine: PathEngine, parallel: bool) -> (f64, lynceus_core::OptimizationReport) {
+/// `(nanos per decision, report, prune stats)`. A "decision" is one
+/// `NextConfig` call: every non-bootstrap exploration plus the final call
+/// that returns `None`. The prune stats are all zero for the engines that
+/// never prune.
+fn lookahead2_run(
+    engine: PathEngine,
+    parallel: bool,
+) -> (
+    f64,
+    lynceus_core::OptimizationReport,
+    lynceus_core::PruneStats,
+) {
     let dataset = scout::dataset(&scout::job_profiles()[0], 7);
     // The paper's high-budget setting (b = 5): enough explorations that the
     // surrogate's training set reaches a realistic size, where the
@@ -92,6 +101,7 @@ fn lookahead2_run(engine: PathEngine, parallel: bool) -> (f64, lynceus_core::Opt
     let mut best = f64::INFINITY;
     let mut report = None;
     for _ in 0..3 {
+        optimizer.reset_prune_stats();
         let start = Instant::now();
         let run = optimizer.optimize(&dataset, 1);
         let elapsed = start.elapsed().as_nanos() as f64;
@@ -99,7 +109,11 @@ fn lookahead2_run(engine: PathEngine, parallel: bool) -> (f64, lynceus_core::Opt
         best = best.min(elapsed / decisions as f64);
         report = Some(run);
     }
-    (best, report.expect("at least one run"))
+    (
+        best,
+        report.expect("at least one run"),
+        optimizer.prune_stats(),
+    )
 }
 
 fn main() {
@@ -192,16 +206,23 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let (naive_ns, naive_report) = lookahead2_run(PathEngine::NaiveReference, false);
-    let (batched_seq_ns, batched_seq_report) = lookahead2_run(PathEngine::Batched, false);
-    let (batched_ns, batched_report) = lookahead2_run(PathEngine::Batched, true);
+    let (naive_ns, naive_report, _) = lookahead2_run(PathEngine::NaiveReference, false);
+    let (batched_seq_ns, batched_seq_report, _) = lookahead2_run(PathEngine::Batched, false);
+    let (batched_ns, batched_report, _) = lookahead2_run(PathEngine::Batched, true);
+    let (pruned_ns, pruned_report, prune_stats) = lookahead2_run(PathEngine::BoundAndPrune, true);
     assert_eq!(
         naive_report, batched_report,
         "engines must make bit-identical decisions"
     );
     assert_eq!(naive_report, batched_seq_report);
+    assert_eq!(
+        naive_report, pruned_report,
+        "the branch-and-bound engine must make bit-identical decisions"
+    );
     let speedup = naive_ns / batched_ns;
     let speedup_sequential = naive_ns / batched_seq_ns;
+    let speedup_pruned = naive_ns / pruned_ns;
+    let pruned_fraction = prune_stats.pruned_fraction();
     println!(
         "{:<34} {:>12.1} ns/decision",
         "lookahead2_decision_naive", naive_ns
@@ -213,6 +234,10 @@ fn main() {
     println!(
         "{:<34} {:>12.1} ns/decision   ({speedup:.2}x vs naive, {cpus} cpu(s))",
         "lookahead2_decision_batched", batched_ns
+    );
+    println!(
+        "{:<34} {:>12.1} ns/decision   ({speedup_pruned:.2}x vs naive, {:.0}% of candidates pruned)",
+        "lookahead2_decision_pruned", pruned_ns, pruned_fraction * 100.0
     );
     println!(
         "recommended: {:?} (identical across engines)",
@@ -249,7 +274,7 @@ fn main() {
     ));
     json.push_str("  },\n  \"lookahead2_decision\": {\n");
     json.push_str(&format!(
-        "    \"cpus\": {cpus},\n    \"naive_ns\": {naive_ns:.1},\n    \"batched_sequential_ns\": {batched_seq_ns:.1},\n    \"batched_ns\": {batched_ns:.1},\n    \"speedup_sequential\": {speedup_sequential:.2},\n    \"speedup\": {speedup:.2},\n    \"identical_recommendation\": true\n"
+        "    \"cpus\": {cpus},\n    \"naive_ns\": {naive_ns:.1},\n    \"batched_sequential_ns\": {batched_seq_ns:.1},\n    \"batched_ns\": {batched_ns:.1},\n    \"pruned_ns\": {pruned_ns:.1},\n    \"speedup_sequential\": {speedup_sequential:.2},\n    \"speedup\": {speedup:.2},\n    \"speedup_pruned\": {speedup_pruned:.2},\n    \"pruned_fraction\": {pruned_fraction:.3},\n    \"identical_recommendation\": true\n"
     ));
     json.push_str("  }\n}\n");
 

@@ -91,6 +91,41 @@ pub fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
     }
 }
 
+/// Maps a (non-NaN) score to a `u64` key whose integer order matches
+/// [`score_cmp`]: `score_cmp(a, b) == score_key(a).cmp(&score_key(b))` for
+/// all non-NaN `a`, `b`.
+///
+/// The branch-and-bound speculation engine shares its running incumbent
+/// score across worker threads through a single `AtomicU64` updated with
+/// `fetch_max`; this mapping (the classical sign-flip trick behind
+/// `f64::total_cmp`) is what makes a lock-free monotone maximum correct.
+/// Every key of a non-NaN score is strictly greater than 0, so 0 can serve
+/// as the "no incumbent yet" sentinel. NaN scores must not be encoded (a
+/// NaN can never become the incumbent — [`score_cmp`] ranks it below every
+/// real score); callers filter them out.
+#[must_use]
+pub fn score_key(score: f64) -> u64 {
+    debug_assert!(!score.is_nan(), "NaN scores have no incumbent key");
+    let bits = score.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`score_key`]: recovers the score a key encodes. The
+/// branch-and-bound engine reads shared maxima (incumbent score, largest
+/// observed deep tail) back out of their atomic cells with this.
+#[must_use]
+pub fn score_from_key(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
 /// The incumbent `y*` used by the acquisition function.
 ///
 /// * `profiled` holds `(cost, feasible)` for every configuration profiled so
@@ -203,6 +238,35 @@ mod tests {
         // NaN predictions are never feasible.
         assert!(!fits_budget(pred(f64::NAN, 1.0), 100.0, z));
         assert!(!fits_budget(pred(f64::NAN, 0.0), 100.0, z));
+    }
+
+    #[test]
+    fn score_key_order_matches_score_cmp_and_leaves_zero_as_sentinel() {
+        let scores = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            0.25,
+            3.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for &a in &scores {
+            // Every real key clears the "no incumbent yet" sentinel.
+            assert!(score_key(a) > 0, "key of {a} collides with the sentinel");
+            // And the encoding round-trips bit-exactly.
+            assert_eq!(score_from_key(score_key(a)).to_bits(), a.to_bits());
+            for &b in &scores {
+                assert_eq!(
+                    score_key(a).cmp(&score_key(b)),
+                    score_cmp(a, b),
+                    "key order diverges from score_cmp at ({a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use bo::BoOptimizer;
 pub use budget::Budget;
 pub use constraints::SecondaryConstraint;
 pub use disjoint::{disjoint_optimization, DisjointOutcome};
-pub use lynceus::{LynceusOptimizer, PathEngine};
+pub use lynceus::{LynceusOptimizer, PathEngine, PruneStats};
 pub use optimizer::{
     Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
 };

@@ -24,28 +24,48 @@
 //!
 //! # Speculation engines
 //!
-//! Two implementations of the exploration-path simulation coexist:
+//! Three implementations of the exploration-path simulation coexist; all of
+//! them make **bit-identical** decisions for a fixed seed (asserted by the
+//! cross-engine equivalence suites):
 //!
-//! * [`PathEngine::Batched`] (the default) — the production engine. Each
-//!   (real or speculated) state is scored with **one** tree-major
-//!   [`Surrogate::predict_rows`] pass over the untested set into reusable
-//!   buffers; speculated states are a [`SpeculativeCursor`] push/pop overlay
-//!   instead of full-state clones; speculative surrogates are produced with
+//! * [`PathEngine::BoundAndPrune`] (the default) — the production engine: a
+//!   best-first branch-and-bound over the root candidates. Before any
+//!   exploration tree is expanded, every candidate gets an admissible upper
+//!   bound on its reward-to-cost score (best-case continuation: each future
+//!   step collects the next-largest root EIc, undamped by switching costs or
+//!   branch deaths; the score's denominator is bounded below by the
+//!   candidate's own first-step cost). Candidates are then expanded in bound
+//!   order — through the priority dispatch of [`crate::pool`] — while the
+//!   best exact score seen so far is shared across workers through one
+//!   atomic cell ([`crate::acquisition::score_key`]); a candidate whose
+//!   bound cannot beat the incumbent is pruned without expanding its
+//!   `k^LA`-branch subtree. Because a pruned candidate's exact score is
+//!   provably below the incumbent, the selected configuration is identical
+//!   to exhaustive expansion — which is what opens `LA ≥ 3`. Pruning is
+//!   automatically disabled for the (rare, early) decisions where the bound
+//!   argument does not hold — see [`PathEngine::BoundAndPrune`].
+//! * [`PathEngine::Batched`] — exhaustive expansion with every per-branch
+//!   optimization of the engine overhaul: each (real or speculated) state is
+//!   scored with **one** tree-major [`Surrogate::predict_rows`] pass over the
+//!   untested set into reusable buffers; speculated states are a
+//!   [`SpeculativeCursor`] push/pop overlay instead of full-state clones;
+//!   speculative surrogates are produced with
 //!   [`BaggingEnsemble::refit_with`], which extends the fitted ensemble by
 //!   one sample and rebuilds only the member trees whose bootstrap resample
 //!   draws it; the per-decision Gauss–Hermite rule is precomputed once; and
 //!   branch evaluations fan out over a work-stealing pool
 //!   ([`crate::pool`]) across `candidates × nodes` with index-ordered
-//!   reduction.
+//!   reduction. Retained as the unpruned baseline the pruning speedup is
+//!   measured against.
 //! * [`PathEngine::NaiveReference`] — the textbook transcription of
 //!   Algorithm 2: every branch clones the state, refits the full ensemble
 //!   from scratch and re-predicts configuration-by-configuration. It is kept
-//!   as the executable specification: for any fixed seed both engines make
-//!   **bit-identical** decisions (asserted by the cross-engine equivalence
-//!   tests and the `micro_components` benchmark, which also records the
-//!   speedup).
+//!   as the executable specification.
 
-use crate::acquisition::{budget_filter_z, constrained_ei, fits_budget, incumbent_cost, score_cmp};
+use crate::acquisition::{
+    budget_filter_z, constrained_ei, fits_budget, incumbent_cost, score_cmp, score_from_key,
+    score_key,
+};
 use crate::constraints::ConstraintModels;
 use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings, ProfileError};
 use crate::oracle::CostOracle;
@@ -57,24 +77,129 @@ use lynceus_math::quadrature::{discretize_normal_clamped, GaussHermiteRule, Weig
 use lynceus_math::rng::SeededRng;
 use lynceus_space::ConfigId;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Smallest cost used when predictions collapse to zero, so reward/cost
 /// ratios stay finite.
 const MIN_STEP_COST: f64 = 1e-9;
 
+/// Drift allowance `κ` of the branch-and-bound deep-tail bound: how much
+/// larger than the **largest deep tail measured this decision** (among the
+/// candidates already expanded) a not-yet-expanded candidate's deep tail is
+/// allowed to be before the bound would under-estimate.
+///
+/// The deep tail of a candidate — the discounted EIc its path collects
+/// below the first speculation level — is dominated by the same few
+/// high-EIc configurations regardless of which root candidate was
+/// speculated, so tails are tightly clustered *within* a decision; the
+/// measured anchor tracks them across regimes (cold/flat landscapes where
+/// tails rival the first-step reward, warm/sharp landscapes where they are
+/// tiny) far better than any bound assembled from the EIc landscape alone,
+/// whose worst case is exponentially sensitive to speculative σ-inflation.
+/// Empirically the cross-candidate tail spread stays well below this
+/// allowance; the seeded cross-engine suites pin the resulting decisions to
+/// the exhaustive engine's, and any future violation would surface there as
+/// a bit-identity failure, not silent corruption. Raising κ trades pruning
+/// power for margin.
+const PRUNE_TAIL_DRIFT: f64 = 1.5;
+
 /// Which exploration-path implementation drives the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PathEngine {
-    /// Batched predictions, fit caching, overlay states, work-stealing
-    /// parallelism. The production engine.
+    /// Best-first branch-and-bound over the root candidates, on top of every
+    /// batched-engine optimization. The production engine.
+    ///
+    /// # How a candidate is pruned, and when that is admissible
+    ///
+    /// Every candidate expands its **first** speculation level exactly (the
+    /// `|Γ|·k` work the exhaustive engine performs anyway, with the branch
+    /// surrogates cached), which yields its exact first-step rewards `r₁ₖ`
+    /// and expected costs `c₁ₖ`. From those the engine assembles an upper
+    /// bound on the candidate's full score,
+    ///
+    /// ```text
+    /// UB = (EIc(x) + Σ_k γ·w_k·r₁ₖ + κ·T) / (c₀ + Σ_k w_k·c₁ₖ)
+    /// ```
+    ///
+    /// where `T` is the largest deep-tail reward *measured* among the
+    /// candidates already expanded this decision (shared through an atomic
+    /// [`crate::acquisition::score_key`] cell, like the incumbent score)
+    /// and `κ` a cross-candidate drift allowance. A candidate whose bound
+    /// cannot beat the incumbent skips its `k² + … + k^LA` deep recursion —
+    /// the exponential part of the `|Γ|·k^LA` growth — entirely; candidates
+    /// are dispatched best-bound-first (`pool::run_order_with`) so the
+    /// incumbent and the tail anchor tighten as early as possible.
+    ///
+    /// The bound errs high whenever no candidate's deep tail exceeds `κ`
+    /// times the largest tail already measured — the reliable regime,
+    /// because a decision's deep tails are collected from near-identical
+    /// speculated states (they differ in one root sample) and are dominated
+    /// by the same few high-EIc configurations. Guard rails where the
+    /// premise could fail: until a first tail is measured every candidate
+    /// expands unconditionally; before the first feasible observation the
+    /// fallback incumbent (`max cost + 3σ`) can grow along a path, so those
+    /// decisions disable pruning and expand exhaustively; and at `LA = 1`
+    /// the bound is the exact score, making pruning exact by construction.
+    /// The seeded cross-engine suites (`tests/bound_and_prune.rs`,
+    /// `tests/engine_equivalence.rs`, `tests/pool_matrix.rs`) enforce
+    /// bit-identical reports against both retained engines at
+    /// `LA ∈ {1, 2, 3}` across seeds, switching models and worker counts.
     #[default]
+    BoundAndPrune,
+    /// Exhaustive expansion with batched predictions, fit caching, overlay
+    /// states and work-stealing parallelism. Retained as the unpruned
+    /// baseline of the pruning benchmarks; decisions are bit-identical to
+    /// [`PathEngine::BoundAndPrune`].
     Batched,
     /// Refit-from-scratch per branch, one prediction call per configuration,
     /// full state clones, sequential. Retained as the executable
     /// specification and the baseline of the speedup benchmark; decisions
     /// are bit-identical to [`PathEngine::Batched`].
     NaiveReference,
+}
+
+/// Cumulative branch-and-bound counters of a [`LynceusOptimizer`] (summed
+/// over every decision of every run the optimizer instance has performed
+/// since construction or the last [`LynceusOptimizer::reset_prune_stats`]).
+///
+/// Only decisions made by [`PathEngine::BoundAndPrune`] with `LA ≥ 1` are
+/// counted — the other engines never prune, and at `LA = 0` there is no
+/// subtree to skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Number of lookahead decisions.
+    pub decisions: u64,
+    /// Total `Γ` candidates across those decisions.
+    pub candidates: u64,
+    /// How many of those candidates were pruned without expanding their
+    /// exploration subtree.
+    pub pruned: u64,
+}
+
+impl PruneStats {
+    /// Fraction of candidates whose subtree was pruned (0 when nothing was
+    /// counted yet).
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Branch-and-bound counters, shared across the worker threads of a
+/// decision. The counts are diagnostics: scheduling can shift *which*
+/// candidates get pruned (a slow worker publishes the incumbent later), but
+/// must never shift the selected configuration — that invariant holds under
+/// the bound's tail premise and is what the cross-engine suites enforce.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    decisions: AtomicU64,
+    candidates: AtomicU64,
+    pruned: AtomicU64,
 }
 
 /// The Lynceus optimizer.
@@ -87,6 +212,9 @@ pub struct LynceusOptimizer {
     /// which [`crate::service::TuningService`] multiplexes many concurrent
     /// sessions over one thread budget.
     pool: Option<Arc<pool::Pool>>,
+    /// Report name, derived from the lookahead depth at construction.
+    name: String,
+    counters: EngineCounters,
 }
 
 impl LynceusOptimizer {
@@ -99,11 +227,18 @@ impl LynceusOptimizer {
     #[must_use]
     pub fn new(settings: OptimizerSettings) -> Self {
         settings.validate().expect("invalid optimizer settings");
+        let name = match settings.lookahead {
+            // The paper's default depth carries the bare name.
+            2 => "Lynceus".to_owned(),
+            depth => format!("Lynceus[LA={depth}]"),
+        };
         Self {
             settings,
             switching: Box::new(FreeSwitching),
-            engine: PathEngine::Batched,
+            engine: PathEngine::BoundAndPrune,
             pool: None,
+            name,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -124,7 +259,8 @@ impl LynceusOptimizer {
         self
     }
 
-    /// Selects the exploration-path engine (default: [`PathEngine::Batched`]).
+    /// Selects the exploration-path engine (default:
+    /// [`PathEngine::BoundAndPrune`]).
     #[must_use]
     pub fn with_engine(mut self, engine: PathEngine) -> Self {
         self.engine = engine;
@@ -150,6 +286,25 @@ impl LynceusOptimizer {
     #[must_use]
     pub fn settings(&self) -> &OptimizerSettings {
         &self.settings
+    }
+
+    /// Snapshot of the cumulative branch-and-bound counters (see
+    /// [`PruneStats`]).
+    #[must_use]
+    pub fn prune_stats(&self) -> PruneStats {
+        PruneStats {
+            decisions: self.counters.decisions.load(Ordering::Relaxed),
+            candidates: self.counters.candidates.load(Ordering::Relaxed),
+            pruned: self.counters.pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the cumulative branch-and-bound counters (e.g. between the
+    /// measured phases of a benchmark).
+    pub fn reset_prune_stats(&self) {
+        self.counters.decisions.store(0, Ordering::Relaxed);
+        self.counters.candidates.store(0, Ordering::Relaxed);
+        self.counters.pruned.store(0, Ordering::Relaxed);
     }
 
     // =====================================================================
@@ -363,12 +518,13 @@ impl LynceusOptimizer {
     }
 
     // =====================================================================
-    // Batched engine
+    // Batched engine (exhaustive) and branch-and-bound engine
     // =====================================================================
 
-    /// `NextConfig` under the batched engine. `model` is the incrementally
-    /// maintained root surrogate (bit-identical to a from-scratch fit on the
-    /// current training set).
+    /// `NextConfig` under the exhaustive batched engine. `model` is the
+    /// incrementally maintained root surrogate (bit-identical to a
+    /// from-scratch fit on the current training set); `scratch` is the
+    /// Driver-owned per-decision arena, reused across decisions.
     fn next_config_batched(
         &self,
         driver: &Driver<'_>,
@@ -376,76 +532,65 @@ impl LynceusOptimizer {
         model: &BaggingEnsemble,
         rule: &GaussHermiteRule,
         z: f64,
+        scratch: &mut DecisionScratch,
     ) -> Option<ConfigId> {
         if !model.is_fitted() {
             return driver.state.untested().first().copied();
         }
-        // The untested set of the real state, fixed for the whole decision:
-        // speculative states are subsets of it, so every evaluation predicts
-        // at these rows and skips the (at most `lookahead + 1`) speculated
-        // entries during selection.
-        let base_ids: Vec<ConfigId> = driver.state.untested().to_vec();
-        let base_rows: Vec<usize> = base_ids.iter().map(|id| id.index()).collect();
-        // Secondary-constraint models are fitted once per decision and the
-        // row universe is fixed, so their satisfaction probabilities are
-        // computed once here and shared by every speculated state.
-        let mut satisfaction = Vec::new();
-        if !constraint_models.is_empty() {
-            let mut prediction_scratch = Vec::new();
-            constraint_models.satisfaction_rows(
-                driver.feature_matrix(),
-                &base_rows,
-                &mut satisfaction,
-                &mut prediction_scratch,
-            );
-        }
-        let ctx = BatchedCtx {
+        let DecisionScratch {
+            base_ids,
+            base_rows,
+            positions,
+            satisfaction,
+            satisfaction_scratch,
+            root,
+            root_memo,
+            root_mask,
+            gamma,
+            tasks,
+            spans,
+            nodes,
+            workers,
+            ..
+        } = scratch;
+        let ctx = prepare_root(
+            self,
             driver,
             constraint_models,
-            settings: &self.settings,
-            switching: self.switching.as_ref(),
+            model,
             rule,
-            budget_z: z,
-            base_ids: &base_ids,
-            base_rows: &base_rows,
-            satisfaction: &satisfaction,
-        };
-
-        // Evaluate the root state once: one batched prediction pass serves
-        // the budget filter, the incumbent fallback and every EIc score.
-        let cursor = SpeculativeCursor::new(&driver.state);
-        let mut scratch = Scratch::default();
-        let mut root_memo = RowValueMemo::new();
-        let y_star = ctx.eval_state(&cursor, model, &mut scratch, &mut root_memo);
-        let beta = cursor.remaining_budget();
-
-        // Γ with each member's prediction and EIc extracted from the shared
-        // pass.
-        let gamma: Vec<RootCandidate> = ctx
-            .gamma_members(&scratch, &[], driver.state.current(), beta, z)
-            .map(|member| RootCandidate {
-                id: member.id,
-                prediction: member.prediction,
-                eic: ctx.eic_of(member, y_star),
-            })
-            .collect();
+            z,
+            RootBuffers {
+                base_ids,
+                base_rows,
+                positions,
+                satisfaction,
+                satisfaction_scratch: &mut *satisfaction_scratch,
+                root: &mut *root,
+                root_memo: &mut *root_memo,
+                root_mask: &mut *root_mask,
+                gamma: &mut *gamma,
+            },
+        );
         if gamma.is_empty() {
             return None;
         }
 
         // Flatten the first level of every candidate's exploration tree into
-        // `candidates × nodes` branch tasks.
-        let mut tasks: Vec<BranchTask> = Vec::new();
-        let mut spans: Vec<std::ops::Range<usize>> = Vec::with_capacity(gamma.len());
+        // `candidates × nodes` branch tasks (buffers reserved to their
+        // Γ-independent upper bounds so a growing Γ never reallocates them).
+        tasks.clear();
+        tasks.reserve(ctx.base_ids.len() * rule.len());
+        spans.clear();
+        spans.reserve(ctx.base_ids.len());
         if self.settings.lookahead > 0 {
-            let mut nodes = Vec::new();
-            for candidate in &gamma {
+            for candidate in gamma.iter() {
                 let start = tasks.len();
                 rule.discretize_clamped_into(
                     candidate.prediction.mean,
                     candidate.prediction.std,
                     MIN_STEP_COST,
-                    &mut nodes,
+                    nodes,
                 );
                 let cap = driver.constraint_cost_cap(candidate.id);
                 tasks.extend(nodes.iter().map(|&node| BranchTask {
@@ -468,18 +613,17 @@ impl LynceusOptimizer {
             1
         };
         let depth_left = self.settings.lookahead.saturating_sub(1);
-        let branch_task = |scratch: &mut BranchScratch, i: usize| {
-            ctx.evaluate_branch(model, &tasks[i], depth_left, scratch)
+        let base_len = ctx.base_ids.len();
+        let tasks = &*tasks;
+        let init = || WorkerLease::take(workers, base_len);
+        let branch_task = |lease: &mut WorkerLease<'_>, i: usize| {
+            ctx.evaluate_branch(model, &tasks[i], depth_left, lease.get())
         };
         let branch_results: Vec<Option<(f64, f64)>> = match &self.pool {
             // A shared pool leases workers from the cross-session budget;
             // the grant only changes scheduling, never results.
-            Some(shared) => {
-                shared.run_indexed_with(tasks.len(), threads, BranchScratch::default, branch_task)
-            }
-            None => {
-                pool::run_indexed_with(tasks.len(), threads, BranchScratch::default, branch_task)
-            }
+            Some(shared) => shared.run_indexed_with(tasks.len(), threads, init, branch_task),
+            None => pool::run_indexed_with(tasks.len(), threads, init, branch_task),
         };
 
         // Deterministic reduction: per candidate, accumulate branch rewards
@@ -487,7 +631,7 @@ impl LynceusOptimizer {
         // as the naive recursion).
         gamma
             .iter()
-            .zip(spans)
+            .zip(spans.iter().cloned())
             .map(|(candidate, span)| {
                 let switch = self.switching.cost(driver.state.current(), candidate.id);
                 let mut reward = candidate.eic;
@@ -503,6 +647,216 @@ impl LynceusOptimizer {
             .max_by(|a, b| score_cmp(a.1, b.1))
             .map(|(id, _)| id)
     }
+
+    /// `NextConfig` under the branch-and-bound engine: identical root pass,
+    /// then best-first expansion of the candidates with incumbent pruning.
+    /// The selected configuration is bit-identical to
+    /// [`LynceusOptimizer::next_config_batched`]; only the amount of work
+    /// (and therefore wall-clock time) differs.
+    fn next_config_pruned(
+        &self,
+        driver: &Driver<'_>,
+        constraint_models: &ConstraintModels,
+        model: &BaggingEnsemble,
+        rule: &GaussHermiteRule,
+        z: f64,
+        scratch: &mut DecisionScratch,
+    ) -> Option<ConfigId> {
+        if !model.is_fitted() {
+            return driver.state.untested().first().copied();
+        }
+        let DecisionScratch {
+            base_ids,
+            base_rows,
+            positions,
+            satisfaction,
+            satisfaction_scratch,
+            root,
+            root_memo,
+            root_mask,
+            gamma,
+            ranked,
+            bounds,
+            cont,
+            order,
+            workers,
+            ..
+        } = scratch;
+        let ctx = prepare_root(
+            self,
+            driver,
+            constraint_models,
+            model,
+            rule,
+            z,
+            RootBuffers {
+                base_ids,
+                base_rows,
+                positions,
+                satisfaction,
+                satisfaction_scratch: &mut *satisfaction_scratch,
+                root: &mut *root,
+                root_memo: &mut *root_memo,
+                root_mask: &mut *root_mask,
+                gamma: &mut *gamma,
+            },
+        );
+        if gamma.is_empty() {
+            return None;
+        }
+        let lookahead = self.settings.lookahead;
+        if lookahead == 0 {
+            // Myopic variant: the score is known in closed form, nothing to
+            // bound or expand (the arithmetic matches the batched engine's
+            // empty-span reduction).
+            return gamma
+                .iter()
+                .map(|candidate| {
+                    let switch = self.switching.cost(driver.state.current(), candidate.id);
+                    let cost = (candidate.prediction.mean + switch).max(MIN_STEP_COST);
+                    (candidate.id, candidate.eic / cost.max(MIN_STEP_COST))
+                })
+                .max_by(|a, b| score_cmp(a.1, b.1))
+                .map(|(id, _)| id);
+        }
+
+        // ------------------------------------------------------------------
+        // Priority phase. Candidates are *dispatched* best-first so the
+        // shared incumbent tightens as early as possible; the priority is a
+        // cheap estimate assembled from the root pass alone (own EIc plus a
+        // best-case continuation from the largest root EIc values, over the
+        // first-step cost). Priorities influence scheduling only — pruning
+        // decisions are made inside each candidate's expansion from exact
+        // first-level quantities — so they can be heuristic without
+        // endangering bit-identity.
+        // ------------------------------------------------------------------
+        ranked.clear();
+        {
+            let y_star = ctx.root_y_star;
+            ranked.extend(ctx.base_ids.iter().enumerate().map(|(index, &id)| {
+                let member = Member {
+                    id,
+                    index,
+                    prediction: root.predictions[index],
+                };
+                (ctx.eic_of(member, y_star), index as u32)
+            }));
+            ranked.sort_by(|a, b| score_cmp(b.0, a.0).then(a.1.cmp(&b.1)));
+            ranked.truncate(lookahead + 1);
+        }
+        bounds.clear();
+        bounds.reserve(ctx.base_ids.len());
+        for candidate in gamma.iter() {
+            let switch = self.switching.cost(driver.state.current(), candidate.id);
+            let first_step_cost = (candidate.prediction.mean + switch).max(MIN_STEP_COST);
+            cont.clear();
+            cont.extend(
+                ranked
+                    .iter()
+                    .filter(|(_, index)| ctx.base_ids[*index as usize] != candidate.id)
+                    .take(lookahead)
+                    .map(|&(eic, _)| eic),
+            );
+            let mut continuation = 0.0;
+            for &eic in cont.iter().rev() {
+                continuation = eic + ctx.discounted_mass * continuation;
+            }
+            bounds.push((candidate.eic + ctx.discounted_mass * continuation) / first_step_cost);
+        }
+
+        // Best-first dispatch order: highest priority first, ties in Γ order.
+        order.clear();
+        order.reserve(ctx.base_ids.len());
+        order.extend(0..gamma.len());
+        order.sort_by(|&a, &b| score_cmp(bounds[b], bounds[a]).then(a.cmp(&b)));
+
+        // ------------------------------------------------------------------
+        // Expansion phase. Every candidate expands its first level exactly
+        // (that work is the `|Γ|·k` part the exhaustive engine pays too) and
+        // assembles an upper bound on its full score from those exact
+        // quantities plus a bounded tail; only the `k² + … + k^LA` deep
+        // recursion is skipped when the bound cannot beat the incumbent.
+        // The incumbent (best exact score so far) lives in one atomic cell,
+        // encoded with the order-preserving `score_key` mapping so
+        // `fetch_max` implements the lock-free monotone maximum; 0 is the
+        // "no incumbent yet" sentinel below every real key. A stale read
+        // only reduces pruning, never changes any result.
+        // ------------------------------------------------------------------
+        let incumbent = AtomicU64::new(0);
+        let observed_tail = AtomicU64::new(0);
+        // Before the first feasible observation the incumbent fallback
+        // (`max cost + 3σ`) can grow along a speculated path, voiding the
+        // tail bound's premise; those (rare, early) decisions expand
+        // exhaustively.
+        let prunable = lookahead > 1 && driver.state.tested().iter().any(|t| t.feasible);
+        let base_len = ctx.base_ids.len();
+        let gamma = &*gamma;
+        let init = || WorkerLease::take(workers, base_len);
+        let expand = |lease: &mut WorkerLease<'_>, g: usize| -> CandidateOutcome {
+            ctx.expand_candidate(
+                model,
+                &gamma[g],
+                lookahead,
+                lease.get(),
+                &incumbent,
+                &observed_tail,
+                prunable,
+            )
+        };
+        let threads = if self.settings.parallel_paths && gamma.len() > 4 {
+            usize::MAX // capped at available parallelism by the pool
+        } else {
+            1
+        };
+        let outcomes: Vec<CandidateOutcome> = match &self.pool {
+            Some(shared) => shared.run_order_with(gamma.len(), threads, order, init, expand),
+            None => pool::run_order_with(gamma.len(), threads, order, init, expand),
+        };
+
+        let pruned = outcomes
+            .iter()
+            .filter(|o| matches!(o, CandidateOutcome::Pruned))
+            .count();
+        self.counters.decisions.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .candidates
+            .fetch_add(gamma.len() as u64, Ordering::Relaxed);
+        self.counters
+            .pruned
+            .fetch_add(pruned as u64, Ordering::Relaxed);
+
+        // Reduction in Γ order over the expanded candidates. A pruned
+        // candidate's bound was strictly below some incumbent ≤ the final
+        // maximum, so under the tail premise (its deep tail stays within
+        // κ·T of the anchor) its exact score can neither win nor tie:
+        // skipping it reproduces the exhaustive argmax (including the
+        // last-of-equals tie-break) for any schedule. The premise is
+        // empirical — κ is calibrated with margin and the cross-engine
+        // suites pin the behaviour — so a drift beyond κ would surface as a
+        // test failure, not silent corruption.
+        let mut best: Option<(ConfigId, f64)> = None;
+        for (g, outcome) in outcomes.iter().enumerate() {
+            if let CandidateOutcome::Scored(score) = outcome {
+                let replace = best
+                    .as_ref()
+                    .is_none_or(|(_, incumbent)| score_cmp(*score, *incumbent).is_ge());
+                if replace {
+                    best = Some((gamma[g].id, *score));
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+/// What happened to one root candidate during branch-and-bound expansion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CandidateOutcome {
+    /// The candidate's bound could not beat the incumbent; its deep subtree
+    /// was never expanded.
+    Pruned,
+    /// The candidate was expanded exhaustively; its exact score.
+    Scored(f64),
 }
 
 /// A `Γ` member at the root of the decision, with the shared-pass data the
@@ -521,7 +875,7 @@ struct BranchTask {
     speculated_feasible: bool,
 }
 
-/// Shared read-only context of one batched decision.
+/// Shared read-only context of one batched or branch-and-bound decision.
 struct BatchedCtx<'a> {
     driver: &'a Driver<'a>,
     constraint_models: &'a ConstraintModels,
@@ -536,18 +890,278 @@ struct BatchedCtx<'a> {
     base_ids: &'a [ConfigId],
     /// Feature-matrix rows aligned with `base_ids`.
     base_rows: &'a [usize],
+    /// Inverse of `base_ids` (`ConfigId::index` → position, or
+    /// [`SearchState::NOT_UNTESTED`]): the per-path speculated-membership
+    /// masks are indexed by these positions.
+    positions: &'a [u32],
     /// Joint secondary-constraint satisfaction probabilities aligned with
     /// `base_ids` (empty when no secondary constraints are configured);
     /// constant for the whole decision.
     satisfaction: &'a [f64],
+    /// The root state's incumbent `y*`, from the shared root pass.
+    root_y_star: f64,
+    /// `γ·W`: the discount times the Gauss–Hermite mass cap
+    /// (`weight_sum().max(1.0)`), the per-level factor of the bound folds.
+    discounted_mass: f64,
+}
+
+/// Mutable views into the [`DecisionScratch`] fields the root pass fills.
+///
+/// Two lifetimes keep the borrows honest: the `'ctx` buffers back the
+/// returned [`BatchedCtx`] (immutably, for the rest of the decision), while
+/// the `'tmp` buffers are only written during the root pass and hand back to
+/// the caller when `prepare_root` returns.
+struct RootBuffers<'ctx, 'tmp> {
+    base_ids: &'ctx mut Vec<ConfigId>,
+    base_rows: &'ctx mut Vec<usize>,
+    positions: &'ctx mut Vec<u32>,
+    satisfaction: &'ctx mut Vec<f64>,
+    satisfaction_scratch: &'tmp mut Vec<Prediction>,
+    root: &'tmp mut Scratch,
+    root_memo: &'tmp mut RowValueMemo,
+    root_mask: &'tmp mut Vec<bool>,
+    gamma: &'tmp mut Vec<RootCandidate>,
+}
+
+/// Shared setup of a batched or branch-and-bound decision: fixes the row
+/// universe, evaluates the root state with one batched pass, and extracts
+/// `Γ` with each member's prediction and EIc. Returns the decision context
+/// borrowing the now-filled buffers.
+fn prepare_root<'a>(
+    optimizer: &'a LynceusOptimizer,
+    driver: &'a Driver<'a>,
+    constraint_models: &'a ConstraintModels,
+    model: &BaggingEnsemble,
+    rule: &'a GaussHermiteRule,
+    z: f64,
+    buffers: RootBuffers<'a, '_>,
+) -> BatchedCtx<'a> {
+    let RootBuffers {
+        base_ids,
+        base_rows,
+        positions,
+        satisfaction,
+        satisfaction_scratch,
+        root,
+        root_memo,
+        root_mask,
+        gamma,
+    } = buffers;
+    // The untested set of the real state, fixed for the whole decision:
+    // speculative states are subsets of it, so every evaluation predicts
+    // at these rows and skips the (at most `lookahead + 1`) speculated
+    // entries during selection.
+    base_ids.clear();
+    base_ids.extend_from_slice(driver.state.untested());
+    base_rows.clear();
+    base_rows.extend(base_ids.iter().map(|id| id.index()));
+    driver
+        .state
+        .untested_positions(driver.feature_matrix().rows(), positions);
+    // Secondary-constraint models are fitted once per decision and the
+    // row universe is fixed, so their satisfaction probabilities are
+    // computed once here and shared by every speculated state.
+    satisfaction.clear();
+    if !constraint_models.is_empty() {
+        constraint_models.satisfaction_rows(
+            driver.feature_matrix(),
+            base_rows,
+            satisfaction,
+            satisfaction_scratch,
+        );
+    }
+    // The memoized tree values of the previous decision belong to a
+    // different row set; drop them before the root pass repopulates.
+    root_memo.clear();
+    root_mask.clear();
+    root_mask.resize(base_ids.len(), false);
+
+    let ctx = BatchedCtx {
+        driver,
+        constraint_models,
+        settings: &optimizer.settings,
+        switching: optimizer.switching.as_ref(),
+        rule,
+        budget_z: z,
+        base_ids,
+        base_rows,
+        positions,
+        satisfaction,
+        root_y_star: 0.0,
+        discounted_mass: optimizer.settings.discount * rule.weight_sum().max(1.0),
+    };
+
+    // Evaluate the root state once: one batched prediction pass serves
+    // the budget filter, the incumbent fallback and every EIc score.
+    let cursor = SpeculativeCursor::new(&driver.state);
+    let y_star = ctx.eval_state(&cursor, model, root, root_mask, root_memo);
+    let beta = cursor.remaining_budget();
+
+    // Γ with each member's prediction and EIc extracted from the shared
+    // pass. Γ can *grow* between decisions (a sharper surrogate admits more
+    // configurations), so the buffer is reserved to its upper bound — the
+    // untested set, which only shrinks — and the first decision establishes
+    // the high-water capacity for the whole run.
+    gamma.clear();
+    gamma.reserve(ctx.base_ids.len());
+    gamma.extend(
+        ctx.gamma_members(root, root_mask, driver.state.current(), beta, z)
+            .map(|member| RootCandidate {
+                id: member.id,
+                prediction: member.prediction,
+                eic: ctx.eic_of(member, y_star),
+            }),
+    );
+    BatchedCtx {
+        root_y_star: y_star,
+        ..ctx
+    }
 }
 
 /// Per-worker state of branch evaluation: one [`Scratch`] per recursion
-/// level plus the decision-wide tree-value memo.
+/// level, the decision-wide tree-value memo, the speculated-membership mask
+/// and the candidate-level Gauss–Hermite buffer.
 #[derive(Default)]
 struct BranchScratch {
     levels: Vec<Scratch>,
     memo: RowValueMemo,
+    /// `mask[p]` is true iff `base_ids[p]` is currently speculated on the
+    /// worker's path — the incremental form of `Γ` membership across
+    /// depths, updated in `O(1)` per cursor push/pop instead of re-scanning
+    /// the speculation stack for every candidate of every re-filtered state.
+    mask: Vec<bool>,
+    /// First-level Gauss–Hermite nodes of the candidate under expansion
+    /// (branch-and-bound engine; deeper levels use their [`Scratch`]'s own
+    /// buffer).
+    root_nodes: Vec<WeightedValue>,
+    /// The branch surrogates built during phase A of
+    /// [`BatchedCtx::expand_candidate`], reused verbatim by phase B.
+    branch_models: Vec<BaggingEnsemble>,
+    /// Each branch's selected next step and its EIc from phase A (`None`
+    /// when the branch died on an empty Γ), so phase B resumes the deep
+    /// recursion directly instead of re-evaluating the first level.
+    branch_next: Vec<Option<(Member, f64)>>,
+}
+
+/// A per-worker [`BranchScratch`] checked out of the decision's recycler:
+/// taken when a pool worker initializes, returned (with capacities intact)
+/// when the worker finishes — which is what makes the arena survive across
+/// decisions instead of being reallocated per `select_next` fan-out.
+struct WorkerLease<'a> {
+    home: &'a Mutex<Vec<BranchScratch>>,
+    scratch: Option<BranchScratch>,
+}
+
+impl<'a> WorkerLease<'a> {
+    fn take(home: &'a Mutex<Vec<BranchScratch>>, base_len: usize) -> Self {
+        let mut scratch = home
+            .lock()
+            .expect("scratch recycler poisoned")
+            .pop()
+            .unwrap_or_default();
+        // The previous decision's memo refers to a different row set.
+        scratch.memo.clear();
+        scratch.mask.clear();
+        scratch.mask.resize(base_len, false);
+        Self {
+            home,
+            scratch: Some(scratch),
+        }
+    }
+
+    fn get(&mut self) -> &mut BranchScratch {
+        self.scratch.as_mut().expect("lease already returned")
+    }
+}
+
+impl Drop for WorkerLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            if let Ok(mut home) = self.home.lock() {
+                home.push(scratch);
+            }
+        }
+    }
+}
+
+/// The Driver-owned per-decision arena of the batched and branch-and-bound
+/// engines. Every buffer is `clear()`ed and refilled per decision, so across
+/// the decisions of a run the engine performs a bounded number of heap
+/// allocations: capacities are established by the first (largest) decision
+/// and reused from then on (`tests` assert the signature stabilizes).
+#[derive(Default)]
+pub(crate) struct DecisionScratch {
+    base_ids: Vec<ConfigId>,
+    base_rows: Vec<usize>,
+    positions: Vec<u32>,
+    satisfaction: Vec<f64>,
+    satisfaction_scratch: Vec<Prediction>,
+    root: Scratch,
+    root_memo: RowValueMemo,
+    root_mask: Vec<bool>,
+    gamma: Vec<RootCandidate>,
+    /// Batched engine: the flattened `candidates × nodes` task list and the
+    /// per-candidate spans into it.
+    tasks: Vec<BranchTask>,
+    spans: Vec<std::ops::Range<usize>>,
+    nodes: Vec<WeightedValue>,
+    /// Branch-and-bound engine: `(EIc, base position)` ranking, per-candidate
+    /// bounds, the continuation fold buffer and the dispatch order.
+    ranked: Vec<(f64, u32)>,
+    bounds: Vec<f64>,
+    cont: Vec<f64>,
+    order: Vec<usize>,
+    /// Recycler of per-worker branch scratches (leased at worker init,
+    /// returned on completion).
+    workers: Mutex<Vec<BranchScratch>>,
+}
+
+impl DecisionScratch {
+    /// A coarse fingerprint of the arena's reserved capacities, used by the
+    /// reuse tests: once the first decisions have sized the buffers, the
+    /// signature must stay constant — per-decision heap growth would show up
+    /// as a growing signature.
+    #[cfg(test)]
+    pub(crate) fn capacity_signature(&self) -> usize {
+        let workers = self.workers.lock().expect("scratch recycler poisoned");
+        let worker_capacity: usize = workers
+            .iter()
+            .map(|w| {
+                w.mask.capacity()
+                    + w.root_nodes.capacity()
+                    + w.branch_models.capacity()
+                    + w.branch_next.capacity()
+                    + w.levels.capacity()
+                    + w.levels
+                        .iter()
+                        .map(|level| {
+                            level.predictions.capacity()
+                                + level.pairs.capacity()
+                                + level.nodes.capacity()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        self.base_ids.capacity()
+            + self.base_rows.capacity()
+            + self.positions.capacity()
+            + self.satisfaction.capacity()
+            + self.satisfaction_scratch.capacity()
+            + self.root.predictions.capacity()
+            + self.root.pairs.capacity()
+            + self.root.nodes.capacity()
+            + self.root_mask.capacity()
+            + self.gamma.capacity()
+            + self.tasks.capacity()
+            + self.spans.capacity()
+            + self.nodes.capacity()
+            + self.ranked.capacity()
+            + self.bounds.capacity()
+            + self.cont.capacity()
+            + self.order.capacity()
+            + workers.capacity()
+            + worker_capacity
+    }
 }
 
 /// Reusable per-state evaluation buffers. One `Scratch` lives per recursion
@@ -577,16 +1191,16 @@ struct Member {
 impl BatchedCtx<'_> {
     /// The state's untested configurations whose predicted cost fits the
     /// budget `beta` at the precomputed confidence threshold `z`, in base
-    /// untested order. `speculated` lists the ids the cursor has pushed
-    /// (present in the base ids but tested in the speculated state), and
-    /// `current` is the state's deployed configuration `χ`: profiling a
-    /// member also pays `switch(χ, x)`, so each prediction is tested against
-    /// `β − switch(χ, x)`, mirroring the reference engine's
+    /// untested order. `mask` flags the base positions the path has
+    /// speculated (present in the base ids but tested in the speculated
+    /// state), and `current` is the state's deployed configuration `χ`:
+    /// profiling a member also pays `switch(χ, x)`, so each prediction is
+    /// tested against `β − switch(χ, x)`, mirroring the reference engine's
     /// `budget_feasible`.
     fn gamma_members<'s>(
         &'s self,
         scratch: &'s Scratch,
-        speculated: &'s [crate::state::TestedConfig],
+        mask: &'s [bool],
         current: Option<ConfigId>,
         beta: f64,
         z: f64,
@@ -596,8 +1210,8 @@ impl BatchedCtx<'_> {
             .iter()
             .zip(&scratch.predictions)
             .enumerate()
-            .filter(move |(_, (id, prediction))| {
-                if speculated.iter().any(|t| t.id == **id) {
+            .filter(move |(index, (id, prediction))| {
+                if mask[*index] {
                     return false;
                 }
                 let cap = if free {
@@ -621,6 +1235,7 @@ impl BatchedCtx<'_> {
         cursor: &SpeculativeCursor<'_>,
         model: &BaggingEnsemble,
         scratch: &mut Scratch,
+        mask: &[bool],
         memo: &mut RowValueMemo,
     ) -> f64 {
         model.predict_rows_memo(
@@ -629,6 +1244,15 @@ impl BatchedCtx<'_> {
             &mut scratch.predictions,
             memo,
         );
+        // The pair list tracks the training set, which grows by one per
+        // decision; reserving its run-constant upper bound (every
+        // configuration profiled) up front keeps the buffer from
+        // reallocating as the run progresses. Clear before reserving so the
+        // request is measured against an empty buffer (a no-op once the
+        // capacity is established), not on top of the previous state's
+        // leftover length.
+        scratch.pairs.clear();
+        scratch.pairs.reserve(self.driver.feature_matrix().rows());
         cursor.profiled_pairs_into(&mut scratch.pairs);
         if scratch.pairs.iter().any(|(_, feasible)| *feasible) {
             incumbent_cost(&scratch.pairs, 0.0)
@@ -636,13 +1260,12 @@ impl BatchedCtx<'_> {
             // Fold over the *state's* untested set: speculated entries are
             // predicted (their rows are in the fixed base list) but must not
             // contribute, mirroring the reference engine's iteration.
-            let speculated = cursor.speculated();
-            let max_std = self
-                .base_ids
+            let max_std = scratch
+                .predictions
                 .iter()
-                .zip(&scratch.predictions)
-                .filter(|(id, _)| !speculated.iter().any(|t| t.id == **id))
-                .map(|(_, p)| p.std)
+                .zip(mask)
+                .filter(|(_, &speculated)| !speculated)
+                .map(|(p, _)| p.std)
                 .fold(0.0_f64, f64::max);
             incumbent_cost(&scratch.pairs, max_std)
         }
@@ -668,13 +1291,13 @@ impl BatchedCtx<'_> {
     fn select_next(
         &self,
         scratch: &Scratch,
-        speculated: &[crate::state::TestedConfig],
+        mask: &[bool],
         current: Option<ConfigId>,
         y_star: f64,
         beta: f64,
     ) -> Option<(Member, f64)> {
         let mut best: Option<(Member, f64)> = None;
-        for member in self.gamma_members(scratch, speculated, current, beta, self.budget_z) {
+        for member in self.gamma_members(scratch, mask, current, beta, self.budget_z) {
             let score = self.eic_of(member, y_star);
             let replace = best
                 .as_ref()
@@ -684,6 +1307,197 @@ impl BatchedCtx<'_> {
             }
         }
         best
+    }
+
+    /// Branch-and-bound expansion of one root candidate.
+    ///
+    /// **Phase A** expands the candidate's first level exactly: every
+    /// Gauss–Hermite branch gets its incremental surrogate, its batched
+    /// state evaluation and its exact selected step — the same `|Γ|·k` work
+    /// the exhaustive engine performs, with the branch surrogates cached for
+    /// reuse. Those exact quantities yield an upper bound on the candidate's
+    /// full score:
+    ///
+    /// ```text
+    /// UB = (EIc(x) + Σ_k γ·w_k·r₁ₖ + κ·T) / (c₀ + Σ_k w_k·c₁ₖ)
+    /// ```
+    ///
+    /// with `r₁ₖ`/`c₁ₖ` branch `k`'s exact first-step reward/expected cost,
+    /// `T` the largest deep-tail reward measured among the candidates
+    /// already expanded this decision (shared through an atomic cell), and
+    /// `κ` the cross-candidate drift allowance ([`PRUNE_TAIL_DRIFT`]). The
+    /// true score only *adds* non-negative deeper costs to the denominator,
+    /// so the bound errs high whenever no candidate's deep tail exceeds `κ`
+    /// times the largest one seen. Until a first tail has been measured the
+    /// candidate expands unconditionally (best-first dispatch makes that
+    /// first expansion the likely winner), and at `LA = 1` there is no
+    /// tail: the "bound" *is* the exact score and phase B is skipped.
+    ///
+    /// **Phase B** (only when the bound survives the incumbent) resumes
+    /// each live branch from its cached surrogate and selected step
+    /// straight into the deep recursion — bit-identical arithmetic, in the
+    /// same order, as the exhaustive engine's task fan-out plus reduction —
+    /// and publishes the candidate's exact score and measured deep tail.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_candidate(
+        &self,
+        root_model: &BaggingEnsemble,
+        candidate: &RootCandidate,
+        lookahead: usize,
+        scratch: &mut BranchScratch,
+        incumbent: &AtomicU64,
+        observed_tail: &AtomicU64,
+        prunable: bool,
+    ) -> CandidateOutcome {
+        let depth_left = lookahead - 1;
+        let switch = self
+            .switching
+            .cost(self.driver.state.current(), candidate.id);
+        let first_step_cost = (candidate.prediction.mean + switch).max(MIN_STEP_COST);
+        let constraint_cap = self.driver.constraint_cost_cap(candidate.id);
+        let BranchScratch {
+            levels,
+            memo,
+            mask,
+            root_nodes,
+            branch_models,
+            branch_next,
+        } = scratch;
+        self.rule.discretize_clamped_into(
+            candidate.prediction.mean,
+            candidate.prediction.std,
+            MIN_STEP_COST,
+            root_nodes,
+        );
+        if levels.len() < depth_left + 2 {
+            levels.resize_with(depth_left + 2, Scratch::default);
+        }
+        let x_position = self.positions[candidate.id.index()] as usize;
+
+        // Phase A: exact first level.
+        branch_models.clear();
+        branch_next.clear();
+        let mut exact_reward = candidate.eic;
+        let mut exact_cost = first_step_cost;
+        {
+            let (first, _) = levels
+                .split_first_mut()
+                .expect("at least one scratch level");
+            for &node in root_nodes.iter() {
+                let mut cursor = SpeculativeCursor::new(&self.driver.state);
+                cursor.push(candidate.id, node.value, node.value <= constraint_cap);
+                mask[x_position] = true;
+                // Mirror the reference engine (and the real driver): a
+                // speculated run charges its switching cost after its run
+                // cost. The candidate passed the root Γ filter, so the
+                // charge is finite.
+                if switch > 0.0 {
+                    cursor.charge_extra(switch);
+                }
+                let model =
+                    root_model.refit_with(&[(self.driver.features_of(candidate.id), node.value)]);
+                let y_star = self.eval_state(&cursor, &model, first, mask, memo);
+                let selected = self.select_next(
+                    first,
+                    mask,
+                    cursor.current(),
+                    y_star,
+                    cursor.remaining_budget(),
+                );
+                if let Some((next, r1)) = selected {
+                    // The branch's exact first-step contributions, in the
+                    // exhaustive engine's accumulation order and expressions
+                    // (`explore` returns `(r₁, c₁)` verbatim at the leaf).
+                    let next_switch = self.switching.cost(cursor.current(), next.id);
+                    let c1 = (next.prediction.mean + next_switch).max(MIN_STEP_COST);
+                    exact_cost += node.weight * c1;
+                    exact_reward += self.settings.discount * node.weight * r1;
+                }
+                mask[x_position] = false;
+                branch_models.push(model);
+                branch_next.push(selected);
+            }
+        }
+        if depth_left == 0 {
+            // No tail: the assembled quantities are the exact reward and
+            // cost, so the candidate is fully scored already.
+            let score = exact_reward / exact_cost.max(MIN_STEP_COST);
+            if !score.is_nan() {
+                incumbent.fetch_max(score_key(score), Ordering::Relaxed);
+            }
+            return CandidateOutcome::Scored(score);
+        }
+        // The bound needs a measured tail anchor; until one exists (the
+        // first best-first expansion publishes it) the candidate expands
+        // unconditionally. A NaN bound signals degenerate arithmetic;
+        // expanding is always safe (the exact score decides), pruning on it
+        // would not be.
+        let observed = observed_tail.load(Ordering::Relaxed);
+        let bound = if observed == 0 {
+            f64::NAN
+        } else {
+            (exact_reward + PRUNE_TAIL_DRIFT * score_from_key(observed))
+                / exact_cost.max(MIN_STEP_COST)
+        };
+        if prunable && !bound.is_nan() && score_key(bound) < incumbent.load(Ordering::Relaxed) {
+            return CandidateOutcome::Pruned;
+        }
+
+        // Phase B: deep expansion only — each live branch resumes from its
+        // phase-A surrogate and selected step straight into the `explore`
+        // recursion, so the first level is never evaluated twice. The cursor
+        // rebuild and the `explore` call are the exhaustive engine's, so the
+        // accumulated reward and cost are bit-identical to its fan-out.
+        let mut reward = candidate.eic;
+        let mut cost = first_step_cost;
+        {
+            let (first, rest) = levels
+                .split_first_mut()
+                .expect("at least one scratch level");
+            for k in 0..root_nodes.len() {
+                let Some((next, r1)) = branch_next[k] else {
+                    // Budget exhausted along this branch: the path ends here.
+                    continue;
+                };
+                let node = root_nodes[k];
+                let mut cursor = SpeculativeCursor::new(&self.driver.state);
+                cursor.push(candidate.id, node.value, node.value <= constraint_cap);
+                mask[x_position] = true;
+                if switch > 0.0 {
+                    cursor.charge_extra(switch);
+                }
+                let (r, c) = self.explore(
+                    &mut cursor,
+                    &branch_models[k],
+                    next,
+                    r1,
+                    depth_left,
+                    first,
+                    rest,
+                    mask,
+                    memo,
+                );
+                cost += node.weight * c;
+                reward += self.settings.discount * node.weight * r;
+                mask[x_position] = false;
+            }
+        }
+        let score = reward / cost.max(MIN_STEP_COST);
+        if !score.is_nan() {
+            incumbent.fetch_max(score_key(score), Ordering::Relaxed);
+        }
+        // Publish the measured deep tail (what the deep recursion added on
+        // top of the exact first level) as the decision's shared anchor —
+        // but only a *positive* one: a zero tail (every branch died early)
+        // would anchor the allowance `κ·T` at zero and strip later
+        // candidates of any tail headroom, the opposite of what an anchor
+        // is for. Until some candidate measures a positive tail, everyone
+        // keeps expanding unconditionally.
+        let tail = reward - exact_reward;
+        if tail > 0.0 {
+            observed_tail.fetch_max(score_key(tail), Ordering::Relaxed);
+        }
+        CandidateOutcome::Scored(score)
     }
 
     /// Evaluates one first-level branch task: speculate `(x, cost)`, extend
@@ -696,8 +1510,35 @@ impl BatchedCtx<'_> {
         depth_left: usize,
         scratch: &mut BranchScratch,
     ) -> Option<(f64, f64)> {
+        let model = root_model.refit_with(&[(self.driver.features_of(task.x), task.node.value)]);
+        self.branch_outcome(
+            &model,
+            task,
+            depth_left,
+            &mut scratch.levels,
+            &mut scratch.memo,
+            &mut scratch.mask,
+        )
+    }
+
+    /// The body of a first-level branch evaluation, with the branch's
+    /// (incrementally refit) surrogate supplied by the caller — shared by
+    /// the exhaustive task fan-out (which refits on the spot) and the
+    /// branch-and-bound phase B (which reuses the surrogates cached during
+    /// phase A).
+    fn branch_outcome(
+        &self,
+        model: &BaggingEnsemble,
+        task: &BranchTask,
+        depth_left: usize,
+        levels: &mut Vec<Scratch>,
+        memo: &mut RowValueMemo,
+        mask: &mut [bool],
+    ) -> Option<(f64, f64)> {
         let mut cursor = SpeculativeCursor::new(&self.driver.state);
+        let x_position = self.positions[task.x.index()] as usize;
         cursor.push(task.x, task.node.value, task.speculated_feasible);
+        mask[x_position] = true;
         // Mirror the reference engine (and the real driver): a speculated
         // run charges its switching cost after its run cost. `task.x` passed
         // the root Γ filter, so the charge is finite.
@@ -705,33 +1546,36 @@ impl BatchedCtx<'_> {
         if switch > 0.0 {
             cursor.charge_extra(switch);
         }
-        let model = root_model.refit_with(&[(self.driver.features_of(task.x), task.node.value)]);
-        if scratch.levels.len() < depth_left + 2 {
-            scratch.levels.resize_with(depth_left + 2, Scratch::default);
+        if levels.len() < depth_left + 2 {
+            levels.resize_with(depth_left + 2, Scratch::default);
         }
-        let memo = &mut scratch.memo;
-        let (first, rest) = scratch
-            .levels
+        let (first, rest) = levels
             .split_first_mut()
             .expect("at least one scratch level");
-        let y_star = self.eval_state(&cursor, &model, first, memo);
-        let (next, eic) = self.select_next(
+        let y_star = self.eval_state(&cursor, model, first, mask, memo);
+        let selected = self.select_next(
             first,
-            cursor.speculated(),
+            mask,
             cursor.current(),
             y_star,
             cursor.remaining_budget(),
-        )?;
-        Some(self.explore(
-            &mut cursor,
-            &model,
-            next,
-            eic,
-            depth_left,
-            first,
-            rest,
-            memo,
-        ))
+        );
+        let result = selected.map(|(next, eic)| {
+            self.explore(
+                &mut cursor,
+                model,
+                next,
+                eic,
+                depth_left,
+                first,
+                rest,
+                mask,
+                memo,
+            )
+        });
+        // Unwind the membership mask so the worker's next task starts clean.
+        mask[x_position] = false;
+        result
     }
 
     /// The overlay-based transcription of `ExplorePaths`: reward and cost of
@@ -748,6 +1592,7 @@ impl BatchedCtx<'_> {
         depth_left: usize,
         level: &mut Scratch,
         deeper: &mut [Scratch],
+        mask: &mut [bool],
         memo: &mut RowValueMemo,
     ) -> (f64, f64) {
         let switch = self.switching.cost(cursor.current(), x.id);
@@ -771,6 +1616,7 @@ impl BatchedCtx<'_> {
         for node_index in 0..level.nodes.len() {
             let node = level.nodes[node_index];
             cursor.push(x.id, node.value, node.value <= constraint_cap);
+            mask[x.index] = true;
             // The speculated β pays the switch `χ → x` too (same charge
             // order as `Driver::try_profile`; `x` passed its state's Γ
             // filter, so `switch` is finite).
@@ -781,10 +1627,10 @@ impl BatchedCtx<'_> {
             let (child, grandchildren) = deeper
                 .split_first_mut()
                 .expect("scratch levels cover the lookahead depth");
-            let y_star = self.eval_state(cursor, &next_model, child, memo);
+            let y_star = self.eval_state(cursor, &next_model, child, mask, memo);
             if let Some((next, next_eic)) = self.select_next(
                 child,
-                cursor.speculated(),
+                mask,
                 cursor.current(),
                 y_star,
                 cursor.remaining_budget(),
@@ -797,6 +1643,7 @@ impl BatchedCtx<'_> {
                     depth_left - 1,
                     child,
                     grandchildren,
+                    mask,
                     memo,
                 );
                 cost += node.weight * c;
@@ -804,6 +1651,7 @@ impl BatchedCtx<'_> {
             }
             // Budget exhausted along this branch: the path ends here.
             cursor.pop();
+            mask[x.index] = false;
         }
         (reward, cost)
     }
@@ -900,7 +1748,7 @@ impl<'a> LynceusSession<'a> {
                 .fit(self.driver.oracle.space(), self.driver.observed_metrics());
         }
         let id = match optimizer.engine {
-            PathEngine::Batched => {
+            PathEngine::Batched | PathEngine::BoundAndPrune => {
                 let tested = self.driver.state.tested();
                 if tested.len() > self.model_len {
                     let extra: Vec<(&[f64], f64)> = tested[self.model_len..]
@@ -910,13 +1758,31 @@ impl<'a> LynceusSession<'a> {
                     self.model = self.model.refit_with(&extra);
                     self.model_len = tested.len();
                 }
-                optimizer.next_config_batched(
-                    &self.driver,
-                    &self.constraint_models,
-                    &self.model,
-                    &self.rule,
-                    self.z,
-                )
+                // The Driver owns the decision arena so it survives across
+                // decisions; taking it out for the call keeps the borrows
+                // disjoint and moves only empty-capacity-preserving `Vec`
+                // headers.
+                let mut scratch = std::mem::take(&mut self.driver.decision_scratch);
+                let id = match optimizer.engine {
+                    PathEngine::BoundAndPrune => optimizer.next_config_pruned(
+                        &self.driver,
+                        &self.constraint_models,
+                        &self.model,
+                        &self.rule,
+                        self.z,
+                        &mut scratch,
+                    ),
+                    _ => optimizer.next_config_batched(
+                        &self.driver,
+                        &self.constraint_models,
+                        &self.model,
+                        &self.rule,
+                        self.z,
+                        &mut scratch,
+                    ),
+                };
+                self.driver.decision_scratch = scratch;
+                id
             }
             PathEngine::NaiveReference => {
                 optimizer.next_config_naive(&self.driver, &self.constraint_models, self.z)
@@ -929,6 +1795,12 @@ impl<'a> LynceusSession<'a> {
         Ok(SessionStep::Profiled(id))
     }
 
+    /// The decision arena (for the scratch-reuse assertions in the tests).
+    #[cfg(test)]
+    pub(crate) fn decision_scratch(&self) -> &DecisionScratch {
+        &self.driver.decision_scratch
+    }
+
     /// Builds the final report from whatever has been profiled so far (also
     /// used to produce the partial report of a failed session).
     pub(crate) fn finish(self, optimizer_name: &str) -> OptimizationReport {
@@ -938,12 +1810,7 @@ impl<'a> LynceusSession<'a> {
 
 impl Optimizer for LynceusOptimizer {
     fn name(&self) -> &str {
-        match self.settings.lookahead {
-            0 => "Lynceus[LA=0]",
-            1 => "Lynceus[LA=1]",
-            2 => "Lynceus",
-            _ => "Lynceus[LA>2]",
-        }
+        &self.name
     }
 
     fn optimize(&self, oracle: &dyn CostOracle, seed: u64) -> OptimizationReport {
@@ -1030,12 +1897,19 @@ mod tests {
     }
 
     #[test]
-    fn lookahead_two_uses_the_default_name() {
+    fn names_render_the_actual_lookahead_depth() {
         let optimizer = LynceusOptimizer::new(settings(100.0, 2));
         assert_eq!(optimizer.name(), "Lynceus");
         let optimizer = LynceusOptimizer::with_lookahead(settings(100.0, 2), 1);
         assert_eq!(optimizer.name(), "Lynceus[LA=1]");
         assert_eq!(optimizer.settings().lookahead, 1);
+        // Depths beyond the paper's default are reachable now that the
+        // branch-and-bound engine makes them affordable; the name must say
+        // which one is running instead of a catch-all "LA>2".
+        for depth in [3usize, 4, 7] {
+            let optimizer = LynceusOptimizer::with_lookahead(settings(100.0, 2), depth);
+            assert_eq!(optimizer.name(), format!("Lynceus[LA={depth}]"));
+        }
     }
 
     #[test]
@@ -1060,15 +1934,22 @@ mod tests {
     }
 
     #[test]
-    fn batched_and_naive_engines_make_identical_decisions() {
+    fn all_three_engines_make_identical_decisions() {
         let oracle = valley_oracle();
         for lookahead in 0..=2 {
             for seed in [1, 5, 9] {
                 let s = settings(700.0, lookahead);
-                let batched = LynceusOptimizer::new(s.clone()).optimize(&oracle, seed);
+                let pruned = LynceusOptimizer::new(s.clone()).optimize(&oracle, seed);
+                let batched = LynceusOptimizer::new(s.clone())
+                    .with_engine(PathEngine::Batched)
+                    .optimize(&oracle, seed);
                 let naive = LynceusOptimizer::new(s)
                     .with_engine(PathEngine::NaiveReference)
                     .optimize(&oracle, seed);
+                assert_eq!(
+                    pruned, batched,
+                    "bound-and-prune diverged from exhaustive at LA={lookahead}, seed {seed}"
+                );
                 assert_eq!(
                     batched, naive,
                     "engines diverged at LA={lookahead}, seed {seed}"
@@ -1078,9 +1959,60 @@ mod tests {
     }
 
     #[test]
+    fn pruning_skips_candidates_and_reports_stats() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(1_500.0, 2));
+        assert_eq!(optimizer.prune_stats(), PruneStats::default());
+        let report = optimizer.optimize(&oracle, 3);
+        let stats = optimizer.prune_stats();
+        assert!(stats.decisions > 0, "no lookahead decisions were counted");
+        assert!(stats.candidates >= stats.pruned);
+        assert!(
+            stats.pruned > 0,
+            "expected at least one pruned candidate over {} candidates",
+            stats.candidates
+        );
+        assert!(stats.pruned_fraction() > 0.0 && stats.pruned_fraction() <= 1.0);
+        // The pruned run still matches the exhaustive engine.
+        let exhaustive = LynceusOptimizer::new(settings(1_500.0, 2))
+            .with_engine(PathEngine::Batched)
+            .optimize(&oracle, 3);
+        assert_eq!(report, exhaustive);
+        optimizer.reset_prune_stats();
+        assert_eq!(optimizer.prune_stats(), PruneStats::default());
+    }
+
+    #[test]
+    fn decision_arena_stops_growing_after_the_first_decisions() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(1_500.0, 2));
+        let mut session = LynceusSession::new(&optimizer, &oracle, 3);
+        let mut signatures = Vec::new();
+        while let SessionStep::Profiled(_) = session.step().expect("healthy oracle") {
+            signatures.push(session.decision_scratch().capacity_signature());
+        }
+        // Bootstrap steps never touch the arena; the first decision sizes it
+        // for the largest untested set of the run and later (smaller)
+        // decisions must reuse those buffers without growing them.
+        let decisions: Vec<usize> = signatures.into_iter().filter(|&s| s > 0).collect();
+        assert!(
+            decisions.len() >= 3,
+            "run too short to observe reuse: {decisions:?}"
+        );
+        let settled = decisions[1];
+        assert!(settled > 0);
+        for (i, &signature) in decisions.iter().enumerate().skip(2) {
+            assert_eq!(
+                signature, settled,
+                "decision {i} grew the arena: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
     fn engine_accessor_reports_the_selection() {
         let optimizer = LynceusOptimizer::new(settings(100.0, 1));
-        assert_eq!(optimizer.engine(), PathEngine::Batched);
+        assert_eq!(optimizer.engine(), PathEngine::BoundAndPrune);
         let optimizer = optimizer.with_engine(PathEngine::NaiveReference);
         assert_eq!(optimizer.engine(), PathEngine::NaiveReference);
     }
@@ -1186,7 +2118,7 @@ mod tests {
 
         // The switching-aware budget accounting (Γ filter and the charges
         // against speculated budgets) must be implemented identically by
-        // both engines at every lookahead depth: a per-step charge shifts Γ
+        // every engine at every lookahead depth: a per-step charge shifts Γ
         // membership, and any asymmetry would diverge the exploration
         // sequences.
         let oracle = valley_oracle();
@@ -1202,8 +2134,14 @@ mod tests {
                     )))
                     .optimize(&oracle, seed)
             };
+            let pruned = make(PathEngine::BoundAndPrune);
+            let batched = make(PathEngine::Batched);
             assert_eq!(
-                make(PathEngine::Batched),
+                pruned, batched,
+                "bound-and-prune diverged under switching costs at seed {seed}"
+            );
+            assert_eq!(
+                batched,
                 make(PathEngine::NaiveReference),
                 "engines diverged under switching costs at seed {seed}"
             );

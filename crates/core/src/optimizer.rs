@@ -271,6 +271,13 @@ pub(crate) struct Driver<'a> {
     /// Metric vectors of profiled configurations (for secondary constraints).
     observed_metrics: Vec<(Vec<f64>, Vec<f64>)>,
     model_seed: u64,
+    /// The per-decision arena of the batched / branch-and-bound speculation
+    /// engines (prediction buffers, Γ extraction, bound and dispatch
+    /// buffers, per-worker scratch recycler). Driver-owned — like the
+    /// feature matrix above — so capacities established by the first
+    /// decision are reused by every later `select_next` call instead of
+    /// being reallocated per decision.
+    pub(crate) decision_scratch: crate::lynceus::DecisionScratch,
 }
 
 impl<'a> Driver<'a> {
@@ -300,6 +307,7 @@ impl<'a> Driver<'a> {
             price_rates,
             observed_metrics: Vec::new(),
             model_seed: seed,
+            decision_scratch: crate::lynceus::DecisionScratch::default(),
         }
     }
 

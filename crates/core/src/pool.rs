@@ -112,18 +112,48 @@ impl Pool {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> R + Sync,
     {
+        self.leased(n, threads, |granted| {
+            run_indexed_with(n, granted, &init, &task)
+        })
+    }
+
+    /// [`run_order_with`] through the shared budget: like
+    /// [`Pool::run_indexed_with`], but tasks are *dispatched* in the order
+    /// given by `order` while results still come back in index order. The
+    /// branch-and-bound speculation engine uses it to expand candidates
+    /// best-bound-first so its shared incumbent tightens as early as
+    /// possible.
+    pub fn run_order_with<S, R, I, F>(
+        &self,
+        n: usize,
+        threads: usize,
+        order: &[usize],
+        init: I,
+        task: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        self.leased(n, threads, |granted| {
+            run_order_with(n, granted, order, &init, &task)
+        })
+    }
+
+    /// Runs `batch` on a lease of up to `threads` slots (inline for trivial
+    /// batches), returning the slots before propagating any panic.
+    fn leased<R>(&self, n: usize, threads: usize, batch: impl FnOnce(usize) -> R) -> R {
         let want = threads.min(default_threads()).min(n.max(1));
         if want <= 1 || n <= 1 {
             // Trivial batches run inline without touching the shared budget:
             // the calling thread is always available.
-            return run_indexed_with(n, 1, init, task);
+            return batch(1);
         }
         let granted = self.lease(want);
         // The fork-join below must not panic past the release; results are
         // collected first and the slots returned before propagating.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_indexed_with(n, granted, &init, &task)
-        }));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch(granted)));
         self.release(granted);
         match outcome {
             Ok(results) => results,
@@ -180,6 +210,76 @@ where
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w * chunk..((w + 1) * chunk).min(n)).collect()))
         .collect();
+    fork_join(n, queues, init, task)
+}
+
+/// Like [`run_indexed_with`], but tasks are *dispatched* in the order given
+/// by `order` (a permutation of `0..n`) while results still come back in
+/// index order `0, 1, …, n-1`.
+///
+/// Priority dispatch matters for batches whose tasks share monotone state —
+/// the branch-and-bound speculation engine publishes its incumbent score
+/// through an atomic cell, and expanding the highest-bound candidates first
+/// maximizes how much of the remaining batch the incumbent can prune. The
+/// order affects *scheduling only*: for tasks whose results do not depend on
+/// execution order the output is bit-identical to [`run_indexed_with`], and
+/// the multi-worker dispatch interleaves `order` round-robin across the
+/// worker deques so the globally best-ranked tasks start first no matter
+/// which worker picks them up.
+///
+/// # Panics
+///
+/// Panics if `order` is not `n` elements long (a permutation is the caller's
+/// responsibility; a repeated index would make a task run twice and another
+/// not at all) and propagates panics from `init` and `task`.
+pub fn run_order_with<S, R, I, F>(
+    n: usize,
+    threads: usize,
+    order: &[usize],
+    init: I,
+    task: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    assert_eq!(order.len(), n, "dispatch order must cover every task index");
+    let workers = threads.min(default_threads()).min(n);
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for &index in order {
+            results[index] = Some(task(&mut state, index));
+        }
+        return results
+            .into_iter()
+            .map(|r| r.expect("every task index produces exactly one result"))
+            .collect();
+    }
+
+    // Deal the ranked order round-robin: worker `w` owns ranks `w`,
+    // `w + workers`, `w + 2·workers`, … so the front of every deque holds
+    // the best-ranked task not yet started.
+    let mut hands: Vec<VecDeque<usize>> = (0..workers)
+        .map(|w| VecDeque::with_capacity(n.div_ceil(workers) + usize::from(w == 0)))
+        .collect();
+    for (rank, &index) in order.iter().enumerate() {
+        hands[rank % workers].push_back(index);
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = hands.into_iter().map(Mutex::new).collect();
+    fork_join(n, queues, init, task)
+}
+
+/// The shared fork-join core: runs every queued task index on one worker per
+/// queue (with stealing) and collects the results in index order.
+fn fork_join<S, R, I, F>(n: usize, queues: Vec<Mutex<VecDeque<usize>>>, init: I, task: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = queues.len();
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
 
     std::thread::scope(|scope| {
@@ -329,6 +429,50 @@ mod tests {
             run_indexed(10, 1, |i| i + 1)
         );
         assert!(Pool::with_default_capacity().capacity() >= 1);
+    }
+
+    #[test]
+    fn ordered_dispatch_returns_index_ordered_results() {
+        let work = |i: usize| -> u64 {
+            let spins = if i.is_multiple_of(9) { 10_000 } else { 5 };
+            (0..spins).fold(i as u64, |acc, j| acc.wrapping_mul(31).wrapping_add(j))
+        };
+        let n = 120;
+        // Reverse-priority order: the last index is dispatched first.
+        let order: Vec<usize> = (0..n).rev().collect();
+        let reference = run_indexed(n, 1, work);
+        for threads in [1, 4, 8] {
+            let out = run_order_with(n, threads, &order, || (), |(), i| work(i));
+            assert_eq!(
+                out, reference,
+                "ordered dispatch diverged at {threads} threads"
+            );
+        }
+        let via_pool = Pool::new(3).run_order_with(n, 8, &order, || (), |(), i| work(i));
+        assert_eq!(via_pool, reference);
+    }
+
+    #[test]
+    fn ordered_dispatch_runs_high_priority_tasks_first_sequentially() {
+        // Single-threaded, the dispatch order IS the execution order: record
+        // it through the scratch state and check against the given ranking.
+        let n = 16;
+        let order: Vec<usize> = (0..n).rev().collect();
+        let executed = Mutex::new(Vec::new());
+        let _ = run_order_with(
+            n,
+            1,
+            &order,
+            || (),
+            |(), i| executed.lock().unwrap().push(i),
+        );
+        assert_eq!(*executed.lock().unwrap(), order);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch order must cover")]
+    fn ordered_dispatch_rejects_short_orders() {
+        let _ = run_order_with(4, 2, &[0, 1], || (), |(), i| i);
     }
 
     #[test]

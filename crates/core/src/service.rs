@@ -122,7 +122,8 @@ impl SessionSpec {
         self
     }
 
-    /// Overrides the speculation engine (default: [`PathEngine::Batched`]).
+    /// Overrides the speculation engine (default:
+    /// [`PathEngine::BoundAndPrune`]).
     #[must_use]
     pub fn with_engine(mut self, engine: PathEngine) -> Self {
         self.engine = engine;
@@ -473,10 +474,10 @@ mod tests {
         for i in 0..8u64 {
             let shift = 1.0 + (i % 5) as f64;
             let s = settings(450.0 + 40.0 * i as f64, (i % 2) as usize);
-            let engine = if i == 3 {
-                PathEngine::NaiveReference
-            } else {
-                PathEngine::Batched
+            let engine = match i % 3 {
+                0 => PathEngine::BoundAndPrune,
+                1 => PathEngine::Batched,
+                _ => PathEngine::NaiveReference,
             };
             let mut solo = LynceusOptimizer::new(s.clone()).with_engine(engine);
             let mut spec =

@@ -151,6 +151,29 @@ impl SearchState {
             .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
     }
 
+    /// Writes the inverse of the untested list into `out` (resized to
+    /// `universe`, the number of grid configurations): `out[id.index()]` is
+    /// the position of `id` in [`SearchState::untested`], or
+    /// [`SearchState::NOT_UNTESTED`] for tested / non-candidate ids.
+    ///
+    /// The speculation engine rebuilds this map once per decision and then
+    /// maintains per-path "speculated" membership as a dense bitmask indexed
+    /// by position — updated in `O(1)` on every cursor push/pop — instead of
+    /// re-scanning the speculation stack for every candidate of every
+    /// (re-)filtered `Γ`.
+    pub fn untested_positions(&self, universe: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(universe, Self::NOT_UNTESTED);
+        for (position, id) in self.untested.iter().enumerate() {
+            out[id.index()] =
+                u32::try_from(position).expect("untested sets stay far below 2^32 entries");
+        }
+    }
+
+    /// Sentinel of [`SearchState::untested_positions`] for ids that are not
+    /// in the untested set.
+    pub const NOT_UNTESTED: u32 = u32::MAX;
+
     /// Builds the surrogate training set (configuration features → cost) for
     /// the given space.
     #[must_use]
@@ -391,6 +414,27 @@ mod tests {
             speculated.untested(),
             &[ConfigId(0), ConfigId(1), ConfigId(3), ConfigId(4)]
         );
+    }
+
+    #[test]
+    fn untested_positions_invert_the_untested_list() {
+        let mut state = SearchState::new(candidates(6), Budget::new(100.0));
+        state.record(ConfigId(1), 3.0, true);
+        state.record(ConfigId(4), 3.0, true);
+        let mut positions = Vec::new();
+        state.untested_positions(8, &mut positions);
+        assert_eq!(positions.len(), 8);
+        for (position, &id) in state.untested().iter().enumerate() {
+            assert_eq!(positions[id.index()], position as u32);
+        }
+        // Tested ids and ids outside the candidate set map to the sentinel.
+        for index in [1usize, 4, 6, 7] {
+            assert_eq!(positions[index], SearchState::NOT_UNTESTED);
+        }
+        // Reuse keeps the buffer consistent after the set shrinks.
+        state.record(ConfigId(0), 1.0, true);
+        state.untested_positions(8, &mut positions);
+        assert_eq!(positions[0], SearchState::NOT_UNTESTED);
     }
 
     #[test]

@@ -473,6 +473,14 @@ impl RowValueMemo {
         Self::default()
     }
 
+    /// Drops every memoized tree (and the `Arc`s keeping them alive) while
+    /// retaining the map's capacity. Callers that reuse one memo across
+    /// decisions **must** clear it whenever the row set changes — the cached
+    /// values are per-row, keyed only by tree identity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Number of distinct trees memoized.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -808,6 +816,14 @@ mod tests {
         // Memo hits on a repeat call produce the same values.
         model.predict_rows_memo(&matrix, &rows, &mut memoized, &mut memo);
         assert_eq!(memoized, out);
+        // Clearing empties the memo (for reuse under a new row set) and the
+        // next pass repopulates it with identical results.
+        assert!(!memo.is_empty());
+        memo.clear();
+        assert!(memo.is_empty());
+        model.predict_rows_memo(&matrix, &rows, &mut memoized, &mut memo);
+        assert_eq!(memoized, out);
+        assert_eq!(memo.len(), 10);
     }
 
     #[test]

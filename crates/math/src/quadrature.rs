@@ -208,6 +208,19 @@ impl GaussHermiteRule {
         self.nodes.is_empty()
     }
 
+    /// Sum of the normalized weights.
+    ///
+    /// Mathematically 1; numerically it can differ in the last few ulps,
+    /// and the degenerate single-point expansion of
+    /// [`GaussHermiteRule::discretize_clamped_into`] uses exactly 1. Callers
+    /// that need an upper bound on the probability mass of *any* expansion
+    /// this rule can produce (the branch-and-bound speculation engine does)
+    /// should use `weight_sum().max(1.0)`.
+    #[must_use]
+    pub fn weight_sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
     /// Discretizes `N(mean, std²)` into `out` (cleared first), clamping
     /// values below `floor` like [`discretize_normal_clamped`]; with a
     /// degenerate `std` a single point mass at `mean` (clamped) is produced.
@@ -356,6 +369,15 @@ mod tests {
         assert!(nodes.iter().all(|p| p.value >= 0.0));
         let total_w: f64 = nodes.iter().map(|p| p.weight).sum();
         assert!((total_w - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn precomputed_rule_weight_sum_is_one_up_to_rounding() {
+        for k in [1, 2, 3, 4, 8, 16] {
+            let sum = GaussHermiteRule::new(k).weight_sum();
+            assert!((sum - 1.0).abs() < 1e-10, "rule k={k} weight sum {sum}");
+            assert!(sum.max(1.0) >= sum);
+        }
     }
 
     #[test]

@@ -1,33 +1,41 @@
-//! Optimization-equivalence property tests: the batched/cached speculation
-//! engine must recommend the **identical** configuration sequence as the
-//! retained naive reference engine (refit-from-scratch per branch,
-//! per-configuration predictions, full state clones) for any fixed seed.
+//! Optimization-equivalence property tests: the branch-and-bound production
+//! engine and the exhaustive batched engine must recommend the **identical**
+//! configuration sequence as the retained naive reference engine
+//! (refit-from-scratch per branch, per-configuration predictions, full state
+//! clones) for any fixed seed.
 //!
-//! This is the executable contract of the speculation-engine overhaul: every
+//! This is the executable contract of the speculation-engine work: every
 //! optimization — batched predictions, incremental surrogate extension,
-//! overlay states, memoized tree values, work-stealing branch evaluation —
-//! is a pure implementation change, observable only as wall-clock time.
+//! overlay states, memoized tree values, work-stealing branch evaluation,
+//! and best-first bound-and-prune expansion — is a pure implementation
+//! change, observable only as wall-clock time. (`tests/bound_and_prune.rs`
+//! adds the seeded random-space matrix at `LA = 3`.)
 
 use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine};
 use lynceus::datasets::{catalog, cherrypick, scout, LookupDataset};
 use lynceus::experiments::ExperimentConfig;
 
-/// Runs both engines on a dataset with identical settings and seed, and
+/// Runs all three engines on a dataset with identical settings and seed, and
 /// asserts the full reports (exploration sequence, recommendation, budget
 /// accounting) are equal.
 fn assert_engines_agree(dataset: &LookupDataset, settings: OptimizerSettings, seed: u64) {
-    let batched = LynceusOptimizer::new(settings.clone()).optimize(dataset, seed);
+    let pruned = LynceusOptimizer::new(settings.clone()).optimize(dataset, seed);
+    let batched = LynceusOptimizer::new(settings.clone())
+        .with_engine(PathEngine::Batched)
+        .optimize(dataset, seed);
     let naive = LynceusOptimizer::new(settings)
         .with_engine(PathEngine::NaiveReference)
         .optimize(dataset, seed);
     assert_eq!(
-        batched
-            .explorations
-            .iter()
-            .map(|e| e.id)
-            .collect::<Vec<_>>(),
+        pruned.explorations.iter().map(|e| e.id).collect::<Vec<_>>(),
         naive.explorations.iter().map(|e| e.id).collect::<Vec<_>>(),
         "engines explored different sequences on {} with seed {seed}",
+        dataset.name(),
+    );
+    assert_eq!(
+        pruned,
+        batched,
+        "bound-and-prune diverged from the exhaustive engine on {} with seed {seed}",
         dataset.name(),
     );
     assert_eq!(
@@ -69,10 +77,30 @@ fn engines_recommend_identically_on_cherrypick_datasets() {
 
 #[test]
 fn engines_recommend_identically_at_full_lookahead() {
-    // Lookahead 2 (the paper's default) exercises the deep recursion of both
+    // Lookahead 2 (the paper's default) exercises the deep recursion of all
     // engines; one scout job keeps the reference path affordable.
     let dataset = scout::dataset(&scout::job_profiles()[0], 7);
     assert_engines_agree(&dataset, settings_for(&dataset, 2), 5);
+}
+
+#[test]
+fn pruned_engine_matches_exhaustive_at_lookahead_three_on_a_real_dataset() {
+    // LA=3 is the depth the branch-and-bound engine opens up; the naive
+    // reference is too slow at this depth on a real dataset, so the pruned
+    // engine is pinned to the exhaustive batched engine (which is itself
+    // pinned to the reference at shallower depths above).
+    let dataset = scout::dataset(&scout::job_profiles()[0], 7);
+    let settings = settings_for(&dataset, 3);
+    let pruned = LynceusOptimizer::new(settings.clone()).optimize(&dataset, 5);
+    let exhaustive = LynceusOptimizer::new(settings)
+        .with_engine(PathEngine::Batched)
+        .optimize(&dataset, 5);
+    assert_eq!(
+        pruned,
+        exhaustive,
+        "bound-and-prune diverged from exhaustive expansion at LA=3 on {}",
+        dataset.name(),
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@
 //! workflow sweeps so the suite is exercised under an explicit thread
 //! matrix.
 
-use lynceus::core::pool::{map_slice, run_indexed, run_indexed_with, Pool};
+use lynceus::core::pool::{map_slice, run_indexed, run_indexed_with, run_order_with, Pool};
+use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine, TableOracle};
+use lynceus::space::SpaceBuilder;
+use std::sync::Arc;
 
 /// The thread counts under test: the fixed matrix plus `LYNCEUS_TEST_THREADS`.
 fn thread_matrix() -> Vec<usize> {
@@ -106,6 +109,66 @@ fn shared_pool_grants_are_bit_identical_across_capacities() {
         assert_eq!(
             out, reference,
             "a Pool of capacity {capacity} changed results"
+        );
+    }
+}
+
+#[test]
+fn ordered_dispatch_is_bit_identical_across_the_thread_matrix() {
+    // The branch-and-bound engine dispatches candidates best-bound-first
+    // through run_order_with; like the indexed form, its results must be
+    // independent of worker count and of the dispatch order itself.
+    let n = 96;
+    let order: Vec<usize> = (0..n).rev().collect();
+    let reference: Vec<u64> = run_indexed(n, 1, skewed_task)
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    for threads in thread_matrix() {
+        let out: Vec<u64> = run_order_with(n, threads, &order, || (), |(), i| skewed_task(i))
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        assert_eq!(
+            out, reference,
+            "run_order_with diverged at {threads} thread(s)"
+        );
+    }
+}
+
+/// LA=3 smoke for the CI thread matrix: on a small space, the
+/// branch-and-bound engine must match the exhaustive batched engine
+/// bit-for-bit no matter how many workers the shared pool grants (the grant
+/// changes which candidates are pruned, never the selected configuration).
+#[test]
+fn lookahead_three_pruning_is_bit_identical_across_pool_capacities() {
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..8).map(f64::from))
+        .numeric("y", (0..3).map(f64::from))
+        .build();
+    let oracle = TableOracle::from_fn(space, 1.0, |f| {
+        16.0 + (f[0] - 5.0).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 7.0
+    });
+    let settings = OptimizerSettings {
+        budget: 1_000.0,
+        tmax_seconds: 1e6,
+        bootstrap_samples: Some(5),
+        lookahead: 3,
+        gauss_hermite_nodes: 2,
+        ..OptimizerSettings::default()
+    };
+    let seed = 5;
+    let exhaustive = LynceusOptimizer::new(settings.clone())
+        .with_engine(PathEngine::Batched)
+        .optimize(&oracle, seed);
+    for capacity in thread_matrix() {
+        let pool = Arc::new(Pool::new(capacity));
+        let pruned = LynceusOptimizer::new(settings.clone())
+            .with_pool(pool)
+            .optimize(&oracle, seed);
+        assert_eq!(
+            pruned, exhaustive,
+            "LA=3 pruning diverged from exhaustive expansion with a pool of capacity {capacity}"
         );
     }
 }
