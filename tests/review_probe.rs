@@ -1,0 +1,73 @@
+//! Reviewer probe (not for commit): broad randomized pruned-vs-exhaustive sweep.
+
+use lynceus::core::switching::FnSwitching;
+use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine, TableOracle};
+use lynceus::math::rng::SeededRng;
+use lynceus::space::{ConfigId, SpaceBuilder};
+
+fn random_oracle(rng: &mut SeededRng) -> TableOracle {
+    let nx = 3 + (rng.uniform(0.0, 4.0) as usize);
+    let ny = 2 + (rng.uniform(0.0, 3.0) as usize);
+    let cx = rng.uniform(0.0, nx as f64);
+    let cy = rng.uniform(0.0, ny as f64);
+    let base = rng.uniform(5.0, 60.0);
+    let sx = rng.uniform(0.5, 10.0);
+    let sy = rng.uniform(0.5, 14.0);
+    let noise_seed = rng.uniform(0.0, 1e6) as u64;
+    let noise_amp = rng.uniform(0.0, 8.0);
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..nx).map(|v| v as f64))
+        .numeric("y", (0..ny).map(|v| v as f64))
+        .build();
+    TableOracle::from_fn(space, 1.0, move |f| {
+        let mut noise = SeededRng::new(noise_seed ^ ((f[0] as u64) << 8) ^ f[1] as u64);
+        base + (f[0] - cx).powi(2) * sx + (f[1] - cy).powi(2) * sy + noise.uniform(0.0, noise_amp)
+    })
+}
+
+#[test]
+fn probe_pruned_vs_exhaustive_many_random_cases() {
+    let mut rng = SeededRng::new(0xDEAD_BEEF);
+    let mut divergences = Vec::new();
+    for case in 0..60u64 {
+        let lookahead = 2 + (case % 2) as usize; // LA in {2,3}
+        let oracle = random_oracle(&mut rng);
+        // Deliberately include tight budgets where speculated paths die early.
+        let budget = rng.uniform(120.0, 1_500.0);
+        let tmax = if rng.uniform(0.0, 1.0) < 0.5 {
+            rng.uniform(20.0, 150.0)
+        } else {
+            1e6
+        };
+        let settings = OptimizerSettings {
+            budget,
+            tmax_seconds: tmax,
+            bootstrap_samples: Some(4),
+            lookahead,
+            gauss_hermite_nodes: 2,
+            ..OptimizerSettings::default()
+        };
+        let with_switching = case % 3 == 0;
+        let seed = 1 + case * 13;
+        let make = |engine: PathEngine| {
+            let mut optimizer = LynceusOptimizer::new(settings.clone()).with_engine(engine);
+            if with_switching {
+                optimizer = optimizer.with_switching_cost(Box::new(FnSwitching(
+                    |from: Option<ConfigId>, to: ConfigId| match from {
+                        Some(f) if f != to => 1.0 + (f.index().abs_diff(to.index())) as f64 * 0.7,
+                        _ => 0.0,
+                    },
+                )));
+            }
+            optimizer.optimize(&oracle, seed)
+        };
+        let pruned = make(PathEngine::BoundAndPrune);
+        let batched = make(PathEngine::Batched);
+        if pruned != batched {
+            divergences.push(format!(
+                "case {case}: LA={lookahead} budget={budget:.0} tmax={tmax:.0} switching={with_switching} seed={seed}"
+            ));
+        }
+    }
+    assert!(divergences.is_empty(), "divergences:\n{}", divergences.join("\n"));
+}
