@@ -1,0 +1,145 @@
+//! CI gate over the committed benchmark artifacts: every `BENCH_*.json`
+//! the benches write self-asserts its equivalence invariants (pruned ≡
+//! exhaustive decisions, multiplexed ≡ solo reports, …) as boolean flags
+//! whose key contains `identical`. This binary scans those files and fails
+//! — with a per-file report — if any flag is `false`, or if a file carries
+//! no flag at all (a bench that stopped asserting would otherwise pass
+//! vacuously).
+//!
+//! Usage: `cargo run -p lynceus-bench --bin bench_check [files…]` —
+//! defaults to every `BENCH_*.json` at the workspace root.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Every `"<key>": <bool>` pair in `json` whose key contains `identical`,
+/// in file order. A hand-rolled scan: the bench JSONs are flat hand-written
+/// documents and this environment has no serde.
+fn identical_flags(json: &str) -> Vec<(String, bool)> {
+    let mut flags = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        let key = &tail[..close];
+        let after = &tail[close + 1..];
+        if key.contains("identical") {
+            let value = after.trim_start().strip_prefix(':').map(str::trim_start);
+            match value {
+                Some(v) if v.starts_with("true") => flags.push((key.to_owned(), true)),
+                Some(v) if v.starts_with("false") => flags.push((key.to_owned(), false)),
+                _ => {}
+            }
+        }
+        rest = after;
+    }
+    flags
+}
+
+fn workspace_bench_files() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let Ok(entries) = std::fs::read_dir(&root) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() {
+        workspace_bench_files()
+    } else {
+        args
+    };
+    if files.is_empty() {
+        eprintln!("bench_check: no BENCH_*.json files found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let json = match std::fs::read_to_string(file) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("bench_check: cannot read {}: {e}", file.display());
+                failed = true;
+                continue;
+            }
+        };
+        let flags = identical_flags(&json);
+        if flags.is_empty() {
+            eprintln!(
+                "bench_check: {} asserts no equivalence flag — a bench must \
+                 self-assert its invariants",
+                file.display()
+            );
+            failed = true;
+            continue;
+        }
+        let false_flags: Vec<&str> = flags
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(key, _)| key.as_str())
+            .collect();
+        if false_flags.is_empty() {
+            println!(
+                "bench_check: {} ok ({} equivalence flag(s) true)",
+                file.display(),
+                flags.len()
+            );
+        } else {
+            eprintln!(
+                "bench_check: {} FAILED its self-asserted equivalence: {}",
+                file.display(),
+                false_flags.join(", ")
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::identical_flags;
+
+    #[test]
+    fn finds_true_and_false_flags() {
+        let json = r#"{
+          "identical_recommendation": true,
+          "cells": [ { "identical": false }, { "identical": true } ],
+          "bit_identical_reports": true,
+          "speedup": 2.0
+        }"#;
+        let flags = identical_flags(json);
+        assert_eq!(
+            flags,
+            vec![
+                ("identical_recommendation".to_owned(), true),
+                ("identical".to_owned(), false),
+                ("identical".to_owned(), true),
+                ("bit_identical_reports".to_owned(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_non_boolean_and_unrelated_keys() {
+        let flags = identical_flags(r#"{ "identical_count": 3, "speedup": 1.0 }"#);
+        assert!(flags.is_empty());
+    }
+}

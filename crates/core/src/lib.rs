@@ -21,9 +21,11 @@
 //! * [`disjoint`] — the "ideal disjoint optimization" analysis of Figure 1b;
 //! * extensions of Section 4.4: [`constraints`] (multiple constraints) and
 //!   [`switching`] (setup costs);
-//! * [`service`] — the multi-job serving layer: [`TuningService`] drives
-//!   many concurrent sessions over one shared worker [`pool::Pool`], with
-//!   fair round-robin scheduling and per-session error isolation.
+//! * [`service`] — the multi-job serving layer: [`TuningService`] steps
+//!   many concurrent sessions in parallel over one shared worker
+//!   [`pool::Pool`], with steady submission from any thread, pluggable
+//!   scheduling policies ([`SchedulePolicy`]) under a starvation guard,
+//!   and per-session error isolation.
 //!
 //! # Example
 //!
@@ -81,7 +83,8 @@ pub use oracle::{CostOracle, Observation, TableOracle};
 pub use pool::Pool;
 pub use random::RandomOptimizer;
 pub use service::{
-    SessionError, SessionId, SessionOutcome, SessionSpec, SessionStatus, TuningService,
+    SchedulePolicy, SessionError, SessionId, SessionOutcome, SessionSpec, SessionStatus,
+    TuningService, STARVATION_LIMIT,
 };
 pub use state::{SearchState, SpeculativeCursor};
 pub use switching::SwitchingCost;

@@ -84,10 +84,11 @@ use std::sync::{Arc, Mutex};
 /// ratios stay finite.
 const MIN_STEP_COST: f64 = 1e-9;
 
-/// Drift allowance `κ` of the branch-and-bound deep-tail bound: how much
-/// larger than the **largest deep tail measured this decision** (among the
-/// candidates already expanded) a not-yet-expanded candidate's deep tail is
-/// allowed to be before the bound would under-estimate.
+/// Default drift allowance `κ` of the branch-and-bound deep-tail bound
+/// (override per optimizer with [`LynceusOptimizer::with_drift_allowance`]):
+/// how much larger than the **largest deep tail measured this decision**
+/// (among the candidates already expanded) a not-yet-expanded candidate's
+/// deep tail is allowed to be before the bound would under-estimate.
 ///
 /// The deep tail of a candidate — the discounted EIc its path collects
 /// below the first speculation level — is dominated by the same few
@@ -214,6 +215,8 @@ pub struct LynceusOptimizer {
     pool: Option<Arc<pool::Pool>>,
     /// Report name, derived from the lookahead depth at construction.
     name: String,
+    /// Drift allowance `κ` of the deep-tail bound (see [`PRUNE_TAIL_DRIFT`]).
+    tail_drift: f64,
     counters: EngineCounters,
 }
 
@@ -238,6 +241,7 @@ impl LynceusOptimizer {
             engine: PathEngine::BoundAndPrune,
             pool: None,
             name,
+            tail_drift: PRUNE_TAIL_DRIFT,
             counters: EngineCounters::default(),
         }
     }
@@ -265,6 +269,33 @@ impl LynceusOptimizer {
     pub fn with_engine(mut self, engine: PathEngine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Overrides the drift allowance `κ` of the branch-and-bound deep-tail
+    /// bound (default 1.5). Lower values prune more candidates with thinner
+    /// empirical margins — `κ = 1.0` stayed divergence-free across the full
+    /// validation matrix, but 1.5 is the shipped default because the margin
+    /// is what absorbs unseen regimes. Only [`PathEngine::BoundAndPrune`]
+    /// reads it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa` is negative, NaN or infinite.
+    #[must_use]
+    pub fn with_drift_allowance(mut self, kappa: f64) -> Self {
+        assert!(
+            kappa.is_finite() && kappa >= 0.0,
+            "drift allowance must be a finite non-negative factor, got {kappa}"
+        );
+        self.tail_drift = kappa;
+        self
+    }
+
+    /// The drift allowance `κ` in use (see
+    /// [`LynceusOptimizer::with_drift_allowance`]).
+    #[must_use]
+    pub fn drift_allowance(&self) -> f64 {
+        self.tail_drift
     }
 
     /// Routes parallel branch evaluation through a shared [`pool::Pool`]
@@ -315,7 +346,7 @@ impl LynceusOptimizer {
     fn fit_model(&self, driver: &Driver<'_>, state: &SearchState) -> BaggingEnsemble {
         let mut model =
             BaggingEnsemble::with_seed(self.settings.ensemble_size, driver.model_seed());
-        let data = state.training_set(driver.oracle.space());
+        let data = state.training_set(driver.oracle().space());
         if !data.is_empty() {
             // Reference components: materializing fit and collecting
             // predictions preserve the original implementation's cost
@@ -903,6 +934,9 @@ struct BatchedCtx<'a> {
     /// `γ·W`: the discount times the Gauss–Hermite mass cap
     /// (`weight_sum().max(1.0)`), the per-level factor of the bound folds.
     discounted_mass: f64,
+    /// Drift allowance `κ` of the deep-tail bound
+    /// ([`LynceusOptimizer::with_drift_allowance`]).
+    tail_drift: f64,
 }
 
 /// Mutable views into the [`DecisionScratch`] fields the root pass fills.
@@ -989,6 +1023,7 @@ fn prepare_root<'a>(
         satisfaction,
         root_y_star: 0.0,
         discounted_mass: optimizer.settings.discount * rule.weight_sum().max(1.0),
+        tail_drift: optimizer.tail_drift,
     };
 
     // Evaluate the root state once: one batched prediction pass serves
@@ -1436,7 +1471,7 @@ impl BatchedCtx<'_> {
         let bound = if observed == 0 {
             f64::NAN
         } else {
-            (exact_reward + PRUNE_TAIL_DRIFT * score_from_key(observed))
+            (exact_reward + self.tail_drift * score_from_key(observed))
                 / exact_cost.max(MIN_STEP_COST)
         };
         if prunable && !bound.is_nan() && score_key(bound) < incumbent.load(Ordering::Relaxed) {
@@ -1666,16 +1701,40 @@ pub(crate) enum SessionStep {
     Done,
 }
 
+/// How a [`LynceusSession`] holds its optimizer: borrowed for the standalone
+/// `optimize()` path, owned for the service's registry sessions (which must
+/// be `'static` and [`Send`] so scheduler lanes can step them from any
+/// thread).
+pub(crate) enum OptimizerHandle<'a> {
+    Borrowed(&'a LynceusOptimizer),
+    Owned(Box<LynceusOptimizer>),
+}
+
+impl OptimizerHandle<'_> {
+    fn get(&self) -> &LynceusOptimizer {
+        match self {
+            OptimizerHandle::Borrowed(optimizer) => optimizer,
+            OptimizerHandle::Owned(optimizer) => optimizer.as_ref(),
+        }
+    }
+}
+
 /// One in-flight Lynceus optimization, advanced one profiling run at a time.
 ///
 /// [`LynceusOptimizer::optimize`] is exactly `new` + `step` to completion +
 /// `finish`; the stepped form exists so the multi-session
-/// [`crate::service::TuningService`] can interleave many sessions fairly on
-/// one scheduler while each session's own sequence of random draws, model
-/// refits and profiling runs stays identical to a standalone run — which is
-/// what makes multiplexed reports bit-identical to solo reports.
+/// [`crate::service::TuningService`] can interleave many sessions on one
+/// concurrent scheduler while each session's own sequence of random draws,
+/// model refits and profiling runs stays identical to a standalone run —
+/// which is what makes multiplexed reports bit-identical to solo reports.
+///
+/// The owned form ([`LynceusSession::owned`]) is self-contained (`'static`)
+/// and `Send`: the scheduler checks a session out of its registry, steps it
+/// on whichever lane thread picked it up, and puts it back — per-session
+/// state (RNG, surrogate, decision arena) moves with the session, so no
+/// interleaving can leak state across sessions.
 pub(crate) struct LynceusSession<'a> {
-    optimizer: &'a LynceusOptimizer,
+    optimizer: OptimizerHandle<'a>,
     driver: Driver<'a>,
     rng: SeededRng,
     constraint_models: ConstraintModels,
@@ -1697,18 +1756,44 @@ impl<'a> LynceusSession<'a> {
         oracle: &'a dyn CostOracle,
         seed: u64,
     ) -> Self {
-        let mut rng = SeededRng::new(seed);
         let driver = Driver::new(oracle, &optimizer.settings, seed);
+        Self::from_parts(OptimizerHandle::Borrowed(optimizer), driver, seed)
+    }
+
+    /// A self-contained session owning both its optimizer and its oracle:
+    /// `'static` and `Send`, so the service scheduler can store it in a
+    /// registry and step it from any lane thread.
+    pub(crate) fn owned(
+        optimizer: LynceusOptimizer,
+        oracle: Box<dyn CostOracle>,
+        seed: u64,
+    ) -> LynceusSession<'static> {
+        let driver = Driver::owned(oracle, &optimizer.settings, seed);
+        LynceusSession::from_parts(OptimizerHandle::Owned(Box::new(optimizer)), driver, seed)
+    }
+
+    fn from_parts(optimizer: OptimizerHandle<'a>, driver: Driver<'a>, seed: u64) -> Self {
+        let settings = &optimizer.get().settings;
+        // The driver carries its own settings copy (it must own one to be
+        // 'static for the service registry); the engine reads the
+        // optimizer's. Both are cloned from the same value before any
+        // stepping, and nothing may mutate either afterwards — a future
+        // post-construction settings setter would break this invariant and
+        // trips here.
+        debug_assert_eq!(
+            &driver.settings, settings,
+            "driver and optimizer settings diverged"
+        );
+        let mut rng = SeededRng::new(seed);
         let constraint_models = ConstraintModels::new(
-            &optimizer.settings.secondary_constraints,
-            optimizer.settings.ensemble_size,
+            &settings.secondary_constraints,
+            settings.ensemble_size,
             seed,
         );
         let bootstrap_plan: VecDeque<Vec<usize>> = driver.bootstrap_plan(&mut rng).into();
-        let rule = GaussHermiteRule::new(optimizer.settings.gauss_hermite_nodes);
-        let z = budget_filter_z(optimizer.settings.budget_confidence);
-        let model =
-            BaggingEnsemble::with_seed(optimizer.settings.ensemble_size, driver.model_seed());
+        let rule = GaussHermiteRule::new(settings.gauss_hermite_nodes);
+        let z = budget_filter_z(settings.budget_confidence);
+        let model = BaggingEnsemble::with_seed(settings.ensemble_size, driver.model_seed());
         Self {
             optimizer,
             driver,
@@ -1722,12 +1807,17 @@ impl<'a> LynceusSession<'a> {
         }
     }
 
+    /// The optimizer driving this session.
+    pub(crate) fn optimizer(&self) -> &LynceusOptimizer {
+        self.optimizer.get()
+    }
+
     /// Runs one profiling step: the next bootstrap sample while the plan
     /// lasts, then one decision of the configured engine. A misbehaving
     /// oracle or switching model surfaces as a [`ProfileError`] with the
     /// session state untouched by the failed run.
     pub(crate) fn step(&mut self) -> Result<SessionStep, ProfileError> {
-        let optimizer = self.optimizer;
+        let optimizer = self.optimizer.get();
         let switching = optimizer.switching.as_ref();
         while let Some(sample) = self.bootstrap_plan.pop_front() {
             match self
@@ -1745,7 +1835,7 @@ impl<'a> LynceusSession<'a> {
 
         if !self.constraint_models.is_empty() {
             self.constraint_models
-                .fit(self.driver.oracle.space(), self.driver.observed_metrics());
+                .fit(self.driver.oracle().space(), self.driver.observed_metrics());
         }
         let id = match optimizer.engine {
             PathEngine::Batched | PathEngine::BoundAndPrune => {
@@ -2007,6 +2097,43 @@ mod tests {
                 "decision {i} grew the arena: {decisions:?}"
             );
         }
+    }
+
+    #[test]
+    fn drift_allowance_defaults_and_overrides() {
+        let optimizer = LynceusOptimizer::new(settings(100.0, 2));
+        assert!((optimizer.drift_allowance() - PRUNE_TAIL_DRIFT).abs() < 1e-12);
+        let optimizer = optimizer.with_drift_allowance(1.0);
+        assert!((optimizer.drift_allowance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift allowance")]
+    fn drift_allowance_rejects_nan() {
+        let _ = LynceusOptimizer::new(settings(100.0, 2)).with_drift_allowance(f64::NAN);
+    }
+
+    #[test]
+    fn tight_drift_allowance_prunes_more_and_stays_bit_identical_here() {
+        // κ trades pruning power for empirical margin; on this valley the
+        // tightest allowance must still reproduce the exhaustive decisions
+        // (the broad random-matrix check lives in tests/bound_and_prune.rs).
+        let oracle = valley_oracle();
+        let s = settings(1_500.0, 2);
+        let exhaustive = LynceusOptimizer::new(s.clone())
+            .with_engine(PathEngine::Batched)
+            .optimize(&oracle, 3);
+        let default_kappa = LynceusOptimizer::new(s.clone());
+        let report = default_kappa.optimize(&oracle, 3);
+        assert_eq!(report, exhaustive);
+        let tight = LynceusOptimizer::new(s).with_drift_allowance(1.0);
+        assert_eq!(tight.optimize(&oracle, 3), exhaustive);
+        assert!(
+            tight.prune_stats().pruned >= default_kappa.prune_stats().pruned,
+            "a tighter κ must never prune fewer candidates: {:?} vs {:?}",
+            tight.prune_stats(),
+            default_kappa.prune_stats()
+        );
     }
 
     #[test]

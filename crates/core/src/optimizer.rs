@@ -254,12 +254,29 @@ impl OptimizationReport {
     }
 }
 
+/// How a [`Driver`] holds its oracle: borrowed for the standalone
+/// `optimize()` entry points, owned for the service's long-lived sessions
+/// (which outlive the submission call and hop between scheduler threads).
+pub(crate) enum OracleHandle<'a> {
+    Borrowed(&'a dyn CostOracle),
+    Owned(Box<dyn CostOracle>),
+}
+
+impl OracleHandle<'_> {
+    fn get(&self) -> &dyn CostOracle {
+        match self {
+            OracleHandle::Borrowed(oracle) => *oracle,
+            OracleHandle::Owned(oracle) => oracle.as_ref(),
+        }
+    }
+}
+
 /// The shared optimization driver: bootstrap, profiling, bookkeeping and
 /// report generation. Each optimizer plugs its own "pick the next
 /// configuration" policy into this scaffold.
 pub(crate) struct Driver<'a> {
-    pub(crate) oracle: &'a dyn CostOracle,
-    pub(crate) settings: &'a OptimizerSettings,
+    oracle: OracleHandle<'a>,
+    pub(crate) settings: OptimizerSettings,
     pub(crate) state: SearchState,
     pub(crate) explorations: Vec<Exploration>,
     /// Row-major feature matrix of the whole grid: row `i` is the feature
@@ -281,13 +298,24 @@ pub(crate) struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
-    pub(crate) fn new(
-        oracle: &'a dyn CostOracle,
-        settings: &'a OptimizerSettings,
+    pub(crate) fn new(oracle: &'a dyn CostOracle, settings: &OptimizerSettings, seed: u64) -> Self {
+        Self::build(OracleHandle::Borrowed(oracle), settings, seed)
+    }
+
+    /// A driver that owns its oracle, so the resulting `Driver<'static>` can
+    /// live in the service's session registry and be stepped from any
+    /// scheduler thread.
+    pub(crate) fn owned(
+        oracle: Box<dyn CostOracle>,
+        settings: &OptimizerSettings,
         seed: u64,
-    ) -> Self {
-        let space = oracle.space();
-        let candidates = oracle.candidates();
+    ) -> Driver<'static> {
+        Driver::build(OracleHandle::Owned(oracle), settings, seed)
+    }
+
+    fn build(oracle: OracleHandle<'a>, settings: &OptimizerSettings, seed: u64) -> Self {
+        let space = oracle.get().space();
+        let candidates = oracle.get().candidates();
         let features =
             FeatureMatrix::from_rows(space.dims(), space.ids().map(|id| space.features_of(id)));
         // Price rates are only defined for candidate configurations (the grid
@@ -295,12 +323,12 @@ impl<'a> Driver<'a> {
         // queried.
         let mut price_rates = vec![0.0; space.len()];
         for &id in &candidates {
-            price_rates[id.index()] = oracle.price_rate(id);
+            price_rates[id.index()] = oracle.get().price_rate(id);
         }
         let state = SearchState::new(candidates, Budget::new(settings.budget));
         Self {
             oracle,
-            settings,
+            settings: settings.clone(),
             state,
             explorations: Vec::new(),
             features,
@@ -309,6 +337,11 @@ impl<'a> Driver<'a> {
             model_seed: seed,
             decision_scratch: crate::lynceus::DecisionScratch::default(),
         }
+    }
+
+    /// The oracle this run profiles.
+    pub(crate) fn oracle(&self) -> &dyn CostOracle {
+        self.oracle.get()
     }
 
     /// Feature vector of a configuration (cached).
@@ -376,7 +409,7 @@ impl<'a> Driver<'a> {
                 cost: switch_cost,
             });
         }
-        let observation = self.oracle.run(id);
+        let observation = self.oracle.get().run(id);
         if !(observation.cost.is_finite() && observation.cost >= 0.0) {
             return Err(ProfileError::InvalidCost {
                 id,
@@ -406,7 +439,7 @@ impl<'a> Driver<'a> {
     /// the split exists so the multi-session scheduler can interleave
     /// bootstrap runs of different sessions fairly.
     pub(crate) fn bootstrap_plan(&self, rng: &mut SeededRng) -> Vec<Vec<usize>> {
-        let space = self.oracle.space();
+        let space = self.oracle.get().space();
         let n = self
             .settings
             .bootstrap_count(self.state.untested().len(), space.dims());
@@ -422,7 +455,7 @@ impl<'a> Driver<'a> {
         rng: &mut SeededRng,
         switching: &dyn SwitchingCost,
     ) -> Result<Option<ConfigId>, ProfileError> {
-        let space = self.oracle.space();
+        let space = self.oracle.get().space();
         let config = lynceus_space::Config::new(sample.to_vec());
         let id = space.id_of(&config).map(ConfigId);
         // Fall back to a random untested candidate when the LHS point is
@@ -455,7 +488,7 @@ impl<'a> Driver<'a> {
     /// Fits the cost surrogate on the current training set.
     pub(crate) fn fit_cost_model(&self) -> BaggingEnsemble {
         let mut model = BaggingEnsemble::with_seed(self.settings.ensemble_size, self.model_seed);
-        let data = self.state.training_set(self.oracle.space());
+        let data = self.state.training_set(self.oracle.get().space());
         if !data.is_empty() {
             model.fit(&data);
         }

@@ -1,49 +1,61 @@
 //! Multi-job serving: one process, one worker-thread budget, many
-//! concurrent tuning sessions.
+//! concurrent tuning sessions stepping **in parallel**.
 //!
 //! The single-job entry point ([`crate::LynceusOptimizer::optimize`]) runs
 //! one optimization to completion on the calling thread and fans its branch
 //! evaluations out over up to one worker per CPU. A tuning *service* has a
 //! different shape: N independent jobs — each with its own seed, budget,
 //! oracle and switching-cost model — must share the machine without
-//! oversubscribing it N-fold, with bounded head-of-line blocking, and
-//! without one misbehaving oracle taking down every other session.
+//! oversubscribing it N-fold, accept new jobs while old ones are still
+//! running, and survive one misbehaving oracle without taking down every
+//! other session.
 //!
 //! [`TuningService`] provides that layer:
 //!
-//! * **One shared work-stealing pool.** Every session's speculation engine
-//!   leases workers from a single [`Pool`], so the process-wide thread count
-//!   stays at the configured capacity no matter how many sessions are in
-//!   flight. Because the pool's reductions are index-ordered, the lease size
-//!   only changes scheduling — never results.
-//! * **Fair round-robin scheduling.** The scheduler itself is cooperative
-//!   and single-threaded — parallelism lives *inside* each decision's
-//!   branch fan-out over the shared pool — and sessions advance one
-//!   profiling run per round (bootstrap runs included). A session with an
-//!   expensive lookahead therefore delays a round by at most one decision,
-//!   cannot starve its neighbours, and short sessions stream their reports
-//!   out while long ones keep running.
+//! * **A concurrent scheduler over one shared pool.** The service spawns one
+//!   scheduler *lane* per [`Pool`] slot. Each lane checks a ready session
+//!   out of the registry, leases one pool slot for the duration of the step
+//!   (the lane's own thread is the computing thread the slot pays for), and
+//!   puts the session back — so up to `capacity` sessions genuinely step in
+//!   parallel while the process-wide computing-thread count stays at the
+//!   configured capacity. A stepping session's branch fan-out grabs whatever
+//!   *extra* slots happen to be free without blocking, which makes the
+//!   two-level arbitration deadlock-free by construction (see
+//!   [`Pool::acquire`]).
+//! * **Steady submission.** [`TuningService::submit`] takes `&self` and may
+//!   be called from any thread at any time — including while the service is
+//!   mid-run. New sessions join the ready queue immediately;
+//!   [`TuningService::run_until_idle`] waits for the current population to
+//!   drain and [`TuningService::shutdown`] ends the service.
+//! * **Pluggable scheduling policies.** [`SchedulePolicy::RoundRobin`]
+//!   (default) steps every live session once per round;
+//!   [`SchedulePolicy::Priority`] steps the highest
+//!   [`SessionSpec::with_priority`] first;
+//!   [`SchedulePolicy::EarliestDeadline`] steps the smallest
+//!   [`SessionSpec::with_deadline`] first. All three share a starvation
+//!   guard: a session passed over for [`STARVATION_LIMIT`] consecutive
+//!   dispatches is scheduled next regardless of policy, so no priority or
+//!   deadline mix can park a session forever.
 //! * **Per-session error isolation.** An oracle that reports a NaN/infinite
-//!   cost, or a switching model that produces an unusable charge, would
-//!   panic the budget bookkeeping in the single-job path. The service
-//!   validates every charge first (see
-//!   [`crate::optimizer::Driver::try_profile`]) and moves only the offending
-//!   session to [`SessionStatus::Failed`], keeping its partial report as a
-//!   diagnostic; every other session is untouched.
-//! * **Bit-identical reports.** Each session's own sequence of random draws,
-//!   surrogate refits and profiling runs is exactly the standalone sequence
-//!   (the per-session state is overlaid with [`crate::SpeculativeCursor`]s,
-//!   never cloned or shared), so the [`OptimizationReport`] a multiplexed
-//!   session produces equals the report of running it alone — regardless of
-//!   how many neighbours it shared the pool with.
+//!   cost (or a switching model with an unusable charge) moves only its own
+//!   session to [`SessionStatus::Failed`] with a partial report (see
+//!   [`crate::optimizer::Driver::try_profile`]); an oracle that *panics* is
+//!   likewise contained to its session ([`SessionError::Panicked`]). Every
+//!   other session is untouched.
+//! * **Bit-identical reports.** Each session owns its full state (RNG,
+//!   surrogate, decision arena) and moves with it between lanes, so its
+//!   sequence of random draws, refits and profiling runs is exactly the
+//!   standalone sequence. The [`OptimizationReport`] a multiplexed session
+//!   produces equals the report of running it alone — regardless of thread
+//!   count, scheduling policy, or how the steps interleaved.
 //!
 //! ```
 //! use lynceus_core::{
-//!     OptimizerSettings, SessionSpec, SessionStatus, TableOracle, TuningService,
+//!     OptimizerSettings, SchedulePolicy, SessionSpec, SessionStatus, TableOracle, TuningService,
 //! };
 //! use lynceus_space::SpaceBuilder;
 //!
-//! let mut service = TuningService::with_threads(2);
+//! let service = TuningService::with_threads(2).with_policy(SchedulePolicy::Priority);
 //! for seed in 0..4 {
 //!     let space = SpaceBuilder::new()
 //!         .numeric("x", (0..6).map(f64::from))
@@ -57,12 +69,10 @@
 //!         gauss_hermite_nodes: 2,
 //!         ..OptimizerSettings::default()
 //!     };
-//!     service.submit(SessionSpec::new(
-//!         format!("job-{seed}"),
-//!         settings,
-//!         Box::new(oracle),
-//!         seed,
-//!     ));
+//!     service.submit(
+//!         SessionSpec::new(format!("job-{seed}"), settings, Box::new(oracle), seed)
+//!             .with_priority(seed as i64),
+//!     );
 //! }
 //! for outcome in service.run() {
 //!     assert!(matches!(outcome.status, SessionStatus::Finished(_)));
@@ -76,16 +86,42 @@ use crate::optimizer::{
 use crate::oracle::CostOracle;
 use crate::pool::Pool;
 use crate::switching::SwitchingCost;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Identifies a session within one [`TuningService`], in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(pub usize);
 
+/// How the scheduler orders ready sessions. Policies affect *scheduling
+/// only*: every session's report is bit-identical under any policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Fair rotation: ready sessions step in first-in-first-out order, so
+    /// every live session performs one profiling run per round.
+    #[default]
+    RoundRobin,
+    /// Highest [`SessionSpec::with_priority`] first; ties step
+    /// round-robin. Low-priority sessions are still guaranteed progress by
+    /// the [`STARVATION_LIMIT`] aging guard.
+    Priority,
+    /// Smallest [`SessionSpec::with_deadline`] first; ties step
+    /// round-robin. Deadline-less sessions (the default,
+    /// `f64::INFINITY`) run after every deadlined one, subject to the
+    /// aging guard.
+    EarliestDeadline,
+}
+
+/// Starvation guard shared by every [`SchedulePolicy`]: a ready session that
+/// has been passed over for this many consecutive dispatches is scheduled
+/// next regardless of priority or deadline, so the policies bound waiting
+/// time instead of allowing indefinite parking.
+pub const STARVATION_LIMIT: u64 = 16;
+
 /// Everything one tuning session needs: a name for reporting, the optimizer
 /// settings (budget, constraint, lookahead, …), the black-box oracle to
-/// profile, a seed, and optionally a switching-cost model and an engine
-/// override.
+/// profile, a seed, and optionally a switching-cost model, an engine
+/// override, a scheduling priority and a deadline.
 pub struct SessionSpec {
     name: String,
     settings: OptimizerSettings,
@@ -93,6 +129,8 @@ pub struct SessionSpec {
     oracle: Box<dyn CostOracle>,
     switching: Option<Box<dyn SwitchingCost>>,
     engine: PathEngine,
+    priority: i64,
+    deadline: f64,
 }
 
 impl SessionSpec {
@@ -112,6 +150,8 @@ impl SessionSpec {
             oracle,
             switching: None,
             engine: PathEngine::default(),
+            priority: 0,
+            deadline: f64::INFINITY,
         }
     }
 
@@ -130,10 +170,45 @@ impl SessionSpec {
         self
     }
 
+    /// Scheduling priority under [`SchedulePolicy::Priority`]: higher values
+    /// step sooner (default 0). Ignored by the other policies.
+    #[must_use]
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Deadline key under [`SchedulePolicy::EarliestDeadline`]: smaller
+    /// values step sooner (default `f64::INFINITY` — after every deadlined
+    /// session). Any monotone key works (epoch seconds, an ordinal, …); NaN
+    /// is sanitized to no-deadline. Ignored by the other policies.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = if deadline.is_nan() {
+            f64::INFINITY
+        } else {
+            deadline
+        };
+        self
+    }
+
     /// The session's name.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The session's scheduling priority (see
+    /// [`SessionSpec::with_priority`]).
+    #[must_use]
+    pub fn priority(&self) -> i64 {
+        self.priority
+    }
+
+    /// The session's deadline key (see [`SessionSpec::with_deadline`]).
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
     }
 }
 
@@ -145,6 +220,9 @@ pub enum SessionError {
     /// The oracle or switching model produced a charge the budget cannot
     /// accept (NaN, infinite or negative cost).
     Profile(ProfileError),
+    /// The oracle (or other per-session code) panicked mid-step; the panic
+    /// was contained to this session and its message captured.
+    Panicked(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -152,6 +230,7 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::InvalidSettings(e) => write!(f, "session rejected: {e}"),
             SessionError::Profile(e) => write!(f, "session failed: {e}"),
+            SessionError::Panicked(message) => write!(f, "session panicked: {message}"),
         }
     }
 }
@@ -181,7 +260,7 @@ pub enum SessionStatus {
 }
 
 /// The terminal outcome of one session.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SessionOutcome {
     /// The session's id (submission order).
     pub id: SessionId,
@@ -208,178 +287,386 @@ impl SessionOutcome {
     }
 }
 
-/// A session prepared for the scheduler: spec fields split so the optimizer
-/// (which consumes the switching model) and the oracle can be borrowed
-/// independently by the in-flight [`LynceusSession`].
-struct Prepared {
-    id: SessionId,
+/// One registry entry. The session is *checked out* (`session: None`, not
+/// terminal) while a lane is stepping it, and replaced by its outcome when
+/// it reaches a terminal state.
+struct Slot {
     name: String,
-    seed: u64,
-    oracle: Box<dyn CostOracle>,
-    optimizer: Result<LynceusOptimizer, OptimizerError>,
+    priority: i64,
+    deadline: f64,
+    /// Dispatch count at which the session (re-)joined the ready queue;
+    /// FIFO key of the round-robin order and the aging guard.
+    enqueued_at: u64,
+    session: Option<LynceusSession<'static>>,
+    /// The terminal outcome, held until a drain call delivers it.
+    outcome: Option<SessionOutcome>,
+}
+
+/// Scheduler state, guarded by one mutex.
+struct Sched {
+    policy: SchedulePolicy,
+    slots: Vec<Slot>,
+    /// Ids of sessions ready to step (not running, not terminal).
+    ready: Vec<usize>,
+    /// Ready + running (checked-out) sessions: 0 means idle.
+    live: usize,
+    /// Total dispatches performed; drives FIFO ordering and aging.
+    dispatches: u64,
+    /// Terminal sessions whose outcome has not been delivered yet, in
+    /// completion order.
+    undelivered: Vec<usize>,
+    shutdown: bool,
+}
+
+impl Sched {
+    /// The next session to dispatch under the active policy, or `None` when
+    /// nothing is ready. The starvation guard overrides every policy: any
+    /// session that waited [`STARVATION_LIMIT`] dispatches goes first
+    /// (oldest first).
+    fn pick(&self) -> Option<usize> {
+        let fifo = |&id: &usize| (self.slots[id].enqueued_at, id);
+        let starving = self
+            .ready
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.dispatches.saturating_sub(self.slots[id].enqueued_at) >= STARVATION_LIMIT
+            })
+            .min_by_key(|id| fifo(id));
+        if starving.is_some() {
+            return starving;
+        }
+        match self.policy {
+            SchedulePolicy::RoundRobin => self.ready.iter().copied().min_by_key(|id| fifo(id)),
+            SchedulePolicy::Priority => self.ready.iter().copied().min_by(|&a, &b| {
+                self.slots[b]
+                    .priority
+                    .cmp(&self.slots[a].priority)
+                    .then_with(|| fifo(&a).cmp(&fifo(&b)))
+            }),
+            SchedulePolicy::EarliestDeadline => self.ready.iter().copied().min_by(|&a, &b| {
+                self.slots[a]
+                    .deadline
+                    .total_cmp(&self.slots[b].deadline)
+                    .then_with(|| fifo(&a).cmp(&fifo(&b)))
+            }),
+        }
+    }
+
+    /// Records a terminal outcome and queues it for delivery.
+    fn finalize(&mut self, index: usize, status: SessionStatus) {
+        let outcome = SessionOutcome {
+            id: SessionId(index),
+            name: self.slots[index].name.clone(),
+            status,
+        };
+        self.slots[index].outcome = Some(outcome);
+        self.undelivered.push(index);
+        self.live -= 1;
+    }
+}
+
+/// The scheduler core shared between the service handle and its lanes.
+struct Shared {
+    pool: Arc<Pool>,
+    state: Mutex<Sched>,
+    /// Lanes wait here for ready sessions.
+    work: Condvar,
+    /// Drain calls ([`TuningService::run_until_idle`] & co.) wait here for
+    /// completions.
+    progress: Condvar,
 }
 
 /// Serves many concurrent tuning sessions from one process over one shared
 /// worker pool. See the [module docs](self) for the guarantees.
 pub struct TuningService {
-    pool: Arc<Pool>,
-    specs: Vec<SessionSpec>,
+    shared: Arc<Shared>,
+    /// Scheduler lane threads, spawned on first submission.
+    lanes: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl TuningService {
     /// A service whose shared pool is sized to the machine (one worker slot
-    /// per available CPU).
+    /// — and one scheduler lane — per available CPU).
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            pool: Arc::new(Pool::with_default_capacity()),
-            specs: Vec::new(),
-        }
+        Self::with_pool(Arc::new(Pool::with_default_capacity()))
     }
 
     /// A service with an explicit worker-thread budget shared by all
-    /// sessions.
+    /// sessions: up to `threads` sessions step concurrently (one scheduler
+    /// lane per slot), and a stepping session's branch fan-out uses
+    /// whatever slots its neighbours leave free.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_pool(Arc::new(Pool::new(threads)))
+    }
+
+    fn with_pool(pool: Arc<Pool>) -> Self {
         Self {
-            pool: Arc::new(Pool::new(threads)),
-            specs: Vec::new(),
+            shared: Arc::new(Shared {
+                pool,
+                state: Mutex::new(Sched {
+                    policy: SchedulePolicy::default(),
+                    slots: Vec::new(),
+                    ready: Vec::new(),
+                    live: 0,
+                    dispatches: 0,
+                    undelivered: Vec::new(),
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                progress: Condvar::new(),
+            }),
+            lanes: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Selects the scheduling policy (builder form of
+    /// [`TuningService::set_policy`]).
+    #[must_use]
+    pub fn with_policy(self, policy: SchedulePolicy) -> Self {
+        self.set_policy(policy);
+        self
+    }
+
+    /// Changes the scheduling policy. Takes effect from the next dispatch;
+    /// sessions already stepping finish their current run first.
+    pub fn set_policy(&self, policy: SchedulePolicy) {
+        self.lock_state().policy = policy;
+    }
+
+    /// The active scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulePolicy {
+        self.lock_state().policy
     }
 
     /// The pool shared by every session of this service.
     #[must_use]
     pub fn shared_pool(&self) -> &Arc<Pool> {
-        &self.pool
+        &self.shared.pool
     }
 
-    /// Number of submitted sessions.
+    /// Number of sessions ever submitted (terminal ones included).
     #[must_use]
     pub fn session_count(&self) -> usize {
-        self.specs.len()
+        self.lock_state().slots.len()
     }
 
-    /// Queues a session; it starts when [`TuningService::run`] is called.
-    pub fn submit(&mut self, spec: SessionSpec) -> SessionId {
-        self.specs.push(spec);
-        SessionId(self.specs.len() - 1)
+    /// Queues a session; scheduling starts immediately. May be called from
+    /// any thread, including while the service is mid-run — the steady
+    /// submission path of a long-lived service.
+    ///
+    /// A spec whose settings fail validation produces a
+    /// [`SessionStatus::Failed`] outcome right away (with
+    /// [`SessionError::InvalidSettings`] and no partial report); nothing
+    /// else is affected.
+    pub fn submit(&self, spec: SessionSpec) -> SessionId {
+        let SessionSpec {
+            name,
+            settings,
+            seed,
+            oracle,
+            switching,
+            engine,
+            priority,
+            deadline,
+        } = spec;
+        // Build the owned session outside the scheduler lock: constructing
+        // the optimizer draws the bootstrap plan and allocates the decision
+        // arena, none of which should serialize concurrent submitters.
+        let prepared = settings.validate().map(|()| {
+            let mut optimizer = LynceusOptimizer::new(settings)
+                .with_engine(engine)
+                .with_pool(Arc::clone(&self.shared.pool));
+            if let Some(switching) = switching {
+                optimizer = optimizer.with_switching_cost(switching);
+            }
+            LynceusSession::owned(optimizer, oracle, seed)
+        });
+
+        let mut state = self.lock_state();
+        let index = state.slots.len();
+        let enqueued_at = state.dispatches;
+        match prepared {
+            Ok(session) => {
+                state.slots.push(Slot {
+                    name,
+                    priority,
+                    deadline,
+                    enqueued_at,
+                    session: Some(session),
+                    outcome: None,
+                });
+                state.ready.push(index);
+                state.live += 1;
+                drop(state);
+                self.shared.work.notify_one();
+                self.ensure_lanes();
+            }
+            Err(error) => {
+                // Rejected before any run: terminal immediately, never live.
+                let outcome = SessionOutcome {
+                    id: SessionId(index),
+                    name: name.clone(),
+                    status: SessionStatus::Failed {
+                        error: SessionError::InvalidSettings(error),
+                        partial: None,
+                    },
+                };
+                state.slots.push(Slot {
+                    name,
+                    priority,
+                    deadline,
+                    enqueued_at,
+                    session: None,
+                    outcome: Some(outcome),
+                });
+                state.undelivered.push(index);
+                drop(state);
+                self.shared.progress.notify_all();
+            }
+        }
+        SessionId(index)
     }
 
-    /// Drives every submitted session to a terminal state and returns the
-    /// outcomes in submission order.
+    /// Blocks until every submitted session has reached a terminal state and
+    /// returns the outcomes that have not been delivered yet (each outcome
+    /// is delivered exactly once across
+    /// [`TuningService::run_until_idle`]/[`TuningService::shutdown`] calls),
+    /// in submission order. Sessions submitted by other threads while this
+    /// call waits extend the wait — "idle" means the whole population
+    /// drained.
+    #[must_use]
+    pub fn run_until_idle(&self) -> Vec<SessionOutcome> {
+        let mut delivered = Vec::new();
+        let mut state = self.lock_state();
+        loop {
+            let batch = std::mem::take(&mut state.undelivered);
+            for index in batch {
+                delivered.push(take_outcome(&mut state, index));
+            }
+            if state.live == 0 {
+                break;
+            }
+            state = self
+                .shared
+                .progress
+                .wait(state)
+                .expect("service state poisoned");
+        }
+        drop(state);
+        delivered.sort_by_key(|o| o.id.0);
+        delivered
+    }
+
+    /// Stops the scheduler (lanes finish their in-flight step and exit; any
+    /// session still non-terminal is abandoned without an outcome) and
+    /// returns the undelivered outcomes in submission order. Called
+    /// implicitly on drop; use [`TuningService::run_until_idle`] first to
+    /// let the population drain.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<SessionOutcome> {
+        self.stop_lanes();
+        let mut state = self.lock_state();
+        let batch = std::mem::take(&mut state.undelivered);
+        let mut delivered: Vec<SessionOutcome> = batch
+            .into_iter()
+            .map(|index| take_outcome(&mut state, index))
+            .collect();
+        drop(state);
+        delivered.sort_by_key(|o| o.id.0);
+        delivered
+    }
+
+    /// Drives every submitted session to a terminal state, shuts the
+    /// scheduler down and returns the outcomes in submission order.
     #[must_use]
     pub fn run(self) -> Vec<SessionOutcome> {
         self.run_with(|_| {})
     }
 
     /// Like [`TuningService::run`], but also streams each outcome to
-    /// `on_complete` the moment its session reaches a terminal state — short
-    /// sessions report while long ones are still being scheduled.
+    /// `on_complete` (on the calling thread, in completion order) the moment
+    /// its session reaches a terminal state — short sessions report while
+    /// long ones are still being scheduled.
     pub fn run_with<F>(self, mut on_complete: F) -> Vec<SessionOutcome>
     where
         F: FnMut(&SessionOutcome),
     {
-        let pool = self.pool;
-        let prepared: Vec<Prepared> = self
-            .specs
-            .into_iter()
-            .enumerate()
-            .map(|(index, spec)| {
-                let SessionSpec {
-                    name,
-                    settings,
-                    seed,
-                    oracle,
-                    switching,
-                    engine,
-                } = spec;
-                let optimizer = settings.validate().map(|()| {
-                    let mut optimizer = LynceusOptimizer::new(settings)
-                        .with_engine(engine)
-                        .with_pool(Arc::clone(&pool));
-                    if let Some(switching) = switching {
-                        optimizer = optimizer.with_switching_cost(switching);
-                    }
-                    optimizer
-                });
-                Prepared {
-                    id: SessionId(index),
-                    name,
-                    seed,
-                    oracle,
-                    optimizer,
+        let mut delivered = Vec::new();
+        let mut state = self.lock_state();
+        loop {
+            let batch = std::mem::take(&mut state.undelivered);
+            if batch.is_empty() {
+                if state.live == 0 {
+                    break;
                 }
-            })
-            .collect();
-
-        let mut outcomes: Vec<Option<SessionOutcome>> = Vec::new();
-        let mut lanes: Vec<Option<LynceusSession<'_>>> = Vec::new();
-        let mut remaining = 0usize;
-        for p in &prepared {
-            match &p.optimizer {
-                Ok(optimizer) => {
-                    lanes.push(Some(LynceusSession::new(
-                        optimizer,
-                        p.oracle.as_ref(),
-                        p.seed,
-                    )));
-                    outcomes.push(None);
-                    remaining += 1;
-                }
-                Err(e) => {
-                    // Rejected before any run: terminal immediately.
-                    let outcome = SessionOutcome {
-                        id: p.id,
-                        name: p.name.clone(),
-                        status: SessionStatus::Failed {
-                            error: SessionError::InvalidSettings(e.clone()),
-                            partial: None,
-                        },
-                    };
-                    on_complete(&outcome);
-                    lanes.push(None);
-                    outcomes.push(Some(outcome));
-                }
+                state = self
+                    .shared
+                    .progress
+                    .wait(state)
+                    .expect("service state poisoned");
+                continue;
             }
-        }
-
-        // Fair round-robin: every live session performs exactly one
-        // profiling run per round. Terminal sessions free their lane (and
-        // their per-session state) immediately.
-        while remaining > 0 {
-            for (index, lane) in lanes.iter_mut().enumerate() {
-                let Some(session) = lane.as_mut() else {
-                    continue;
-                };
-                let status = match session.step() {
-                    Ok(SessionStep::Profiled(_)) => continue,
-                    Ok(SessionStep::Done) => {
-                        let session = lane.take().expect("lane checked above");
-                        SessionStatus::Finished(session.finish(prepared_name(&prepared, index)))
-                    }
-                    Err(error) => {
-                        let session = lane.take().expect("lane checked above");
-                        SessionStatus::Failed {
-                            error: error.into(),
-                            partial: Some(session.finish(prepared_name(&prepared, index))),
-                        }
-                    }
-                };
-                let outcome = SessionOutcome {
-                    id: prepared[index].id,
-                    name: prepared[index].name.clone(),
-                    status,
-                };
+            let outcomes: Vec<SessionOutcome> = batch
+                .into_iter()
+                .map(|index| take_outcome(&mut state, index))
+                .collect();
+            // The callback runs without the scheduler lock so it can take as
+            // long as it likes (print, persist, resubmit…).
+            drop(state);
+            for outcome in outcomes {
                 on_complete(&outcome);
-                outcomes[index] = Some(outcome);
-                remaining -= 1;
+                delivered.push(outcome);
             }
+            state = self.lock_state();
         }
+        drop(state);
+        self.stop_lanes();
+        delivered.sort_by_key(|o| o.id.0);
+        delivered
+    }
 
-        outcomes
-            .into_iter()
-            .map(|o| o.expect("every session reached a terminal state"))
-            .collect()
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.shared.state.lock().expect("service state poisoned")
+    }
+
+    /// Spawns the scheduler lanes (one per pool slot) if they are not
+    /// running yet.
+    fn ensure_lanes(&self) {
+        let mut lanes = self.lanes.lock().expect("service lanes poisoned");
+        if !lanes.is_empty() {
+            return;
+        }
+        for lane in 0..self.shared.pool.capacity() {
+            let shared = Arc::clone(&self.shared);
+            lanes.push(
+                std::thread::Builder::new()
+                    .name(format!("lynceus-lane-{lane}"))
+                    .spawn(move || run_lane(&shared))
+                    .expect("failed to spawn a scheduler lane"),
+            );
+        }
+    }
+
+    /// Signals the lanes to exit and joins them. Idempotent.
+    fn stop_lanes(&self) {
+        let lanes: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.lanes.lock().expect("service lanes poisoned"));
+        self.lock_state().shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.progress.notify_all();
+        for lane in lanes {
+            let _ = lane.join();
+        }
+    }
+}
+
+impl Drop for TuningService {
+    fn drop(&mut self) {
+        self.stop_lanes();
     }
 }
 
@@ -389,14 +676,106 @@ impl Default for TuningService {
     }
 }
 
-/// The optimizer label for a prepared session (only called for sessions
-/// whose optimizer was built successfully).
-fn prepared_name(prepared: &[Prepared], index: usize) -> &str {
-    prepared[index]
-        .optimizer
-        .as_ref()
-        .expect("terminal transition only happens on built optimizers")
-        .name()
+/// Moves a terminal outcome out of its slot for delivery.
+fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
+    state.slots[index]
+        .outcome
+        .take()
+        .expect("undelivered entries always hold an outcome")
+}
+
+/// One scheduler lane: repeatedly checks the policy's next ready session out
+/// of the registry, leases one pool slot, performs one step on this thread,
+/// and returns the session (or records its terminal outcome).
+fn run_lane(shared: &Shared) {
+    loop {
+        let (index, mut session) = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(index) = state.pick() {
+                    state.dispatches += 1;
+                    let position = state
+                        .ready
+                        .iter()
+                        .position(|&id| id == index)
+                        .expect("picked sessions come from the ready queue");
+                    state.ready.swap_remove(position);
+                    let session = state.slots[index]
+                        .session
+                        .take()
+                        .expect("ready sessions are checked in");
+                    break (index, session);
+                }
+                state = shared.work.wait(state).expect("service state poisoned");
+            }
+        };
+
+        // One slot per stepping session: this lane's thread is the computing
+        // thread the slot pays for, held only for the duration of the step.
+        // Branch fan-outs inside the step take free slots non-blockingly, so
+        // no lock ordering between lanes and fan-outs can deadlock.
+        let slot = shared.pool.acquire();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.step()));
+        drop(slot);
+
+        let mut state = shared.state.lock().expect("service state poisoned");
+        match result {
+            Ok(Ok(SessionStep::Profiled(_))) => {
+                state.slots[index].enqueued_at = state.dispatches;
+                state.slots[index].session = Some(session);
+                state.ready.push(index);
+                drop(state);
+                shared.work.notify_one();
+            }
+            Ok(Ok(SessionStep::Done)) => {
+                let status = SessionStatus::Finished(finish_session(session));
+                state.finalize(index, status);
+                drop(state);
+                shared.progress.notify_all();
+            }
+            Ok(Err(error)) => {
+                let status = SessionStatus::Failed {
+                    error: error.into(),
+                    partial: Some(finish_session(session)),
+                };
+                state.finalize(index, status);
+                drop(state);
+                shared.progress.notify_all();
+            }
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_owned());
+                let status = SessionStatus::Failed {
+                    error: SessionError::Panicked(message),
+                    partial: Some(finish_session(session)),
+                };
+                state.finalize(index, status);
+                drop(state);
+                shared.progress.notify_all();
+            }
+        }
+    }
+}
+
+/// Builds a session's report under its own optimizer's name.
+fn finish_session(session: LynceusSession<'static>) -> OptimizationReport {
+    let name = session.optimizer().name().to_owned();
+    session.finish(&name)
+}
+
+/// Owned sessions must be `Send` for lanes to carry them; keep the
+/// guarantee explicit so a non-`Send` field added to the session stack is a
+/// compile error here instead of an inference failure somewhere in the
+/// scheduler.
+fn _assert_sessions_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<LynceusSession<'static>>();
 }
 
 #[cfg(test)]
@@ -467,7 +846,7 @@ mod tests {
 
     #[test]
     fn multiplexed_sessions_are_bit_identical_to_solo_runs() {
-        let mut service = TuningService::with_threads(2);
+        let service = TuningService::with_threads(2);
         let mut expected = Vec::new();
         // Eight sessions with distinct surfaces, budgets, seeds, lookaheads
         // and engines — including one with a switching-cost model.
@@ -511,7 +890,7 @@ mod tests {
 
     #[test]
     fn a_poisoned_oracle_fails_its_session_and_spares_the_rest() {
-        let mut service = TuningService::with_threads(2);
+        let service = TuningService::with_threads(2);
         for i in 0..3u64 {
             service.submit(SessionSpec::new(
                 format!("healthy-{i}"),
@@ -564,7 +943,7 @@ mod tests {
 
     #[test]
     fn nan_costs_are_also_survivable() {
-        let mut service = TuningService::with_threads(1);
+        let service = TuningService::with_threads(1);
         service.submit(SessionSpec::new(
             "nan",
             settings(500.0, 0),
@@ -582,9 +961,68 @@ mod tests {
         assert!(!outcomes[1].is_failed());
     }
 
+    /// An oracle that panics after a number of clean runs.
+    struct PanickingOracle {
+        inner: TableOracle,
+        clean_runs: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CostOracle for PanickingOracle {
+        fn space(&self) -> &ConfigSpace {
+            self.inner.space()
+        }
+        fn candidates(&self) -> Vec<ConfigId> {
+            self.inner.candidates()
+        }
+        fn run(&self, id: ConfigId) -> Observation {
+            use std::sync::atomic::Ordering;
+            let left = self.clean_runs.load(Ordering::Relaxed);
+            assert!(left != 0, "cloud exploded");
+            self.clean_runs.store(left - 1, Ordering::Relaxed);
+            self.inner.run(id)
+        }
+        fn price_rate(&self, id: ConfigId) -> f64 {
+            self.inner.price_rate(id)
+        }
+    }
+
+    #[test]
+    fn a_panicking_oracle_is_contained_to_its_session() {
+        let service = TuningService::with_threads(2);
+        service.submit(SessionSpec::new(
+            "panics",
+            settings(500.0, 0),
+            Box::new(PanickingOracle {
+                inner: valley_oracle(4.0),
+                clean_runs: std::sync::atomic::AtomicUsize::new(3),
+            }),
+            2,
+        ));
+        service.submit(SessionSpec::new(
+            "fine",
+            settings(500.0, 0),
+            Box::new(valley_oracle(4.0)),
+            5,
+        ));
+        let outcomes = service.run();
+        let SessionStatus::Failed { error, partial } = &outcomes[0].status else {
+            panic!("the panicking session must fail");
+        };
+        assert!(
+            matches!(error, SessionError::Panicked(m) if m.contains("cloud exploded")),
+            "unexpected diagnostic: {error}"
+        );
+        assert_eq!(
+            partial.as_ref().map(OptimizationReport::num_explorations),
+            Some(3)
+        );
+        let solo = LynceusOptimizer::new(settings(500.0, 0)).optimize(&valley_oracle(4.0), 5);
+        assert_eq!(outcomes[1].report(), Some(&solo));
+    }
+
     #[test]
     fn invalid_settings_fail_at_submission_without_a_partial_report() {
-        let mut service = TuningService::new();
+        let service = TuningService::new();
         let bad = OptimizerSettings {
             budget: -1.0,
             ..OptimizerSettings::default()
@@ -619,9 +1057,63 @@ mod tests {
     }
 
     #[test]
-    fn spec_accessors_expose_the_name() {
+    fn run_until_idle_supports_submission_between_waves() {
+        let service = TuningService::with_threads(2);
+        let solo = |seed: u64| {
+            LynceusOptimizer::new(settings(400.0, 0)).optimize(&valley_oracle(2.0), seed)
+        };
+        let first = service.submit(SessionSpec::new(
+            "wave1",
+            settings(400.0, 0),
+            Box::new(valley_oracle(2.0)),
+            1,
+        ));
+        let wave1 = service.run_until_idle();
+        assert_eq!(wave1.len(), 1);
+        assert_eq!(wave1[0].id, first);
+        assert_eq!(wave1[0].report(), Some(&solo(1)));
+
+        // The service is idle but alive: a second wave reuses the lanes.
+        let second = service.submit(SessionSpec::new(
+            "wave2",
+            settings(400.0, 0),
+            Box::new(valley_oracle(2.0)),
+            2,
+        ));
+        assert_eq!(second, SessionId(1));
+        let wave2 = service.run_until_idle();
+        assert_eq!(wave2.len(), 1);
+        assert_eq!(wave2[0].report(), Some(&solo(2)));
+
+        // Everything was already delivered; shutdown has nothing left.
+        assert!(service.shutdown().is_empty());
+    }
+
+    #[test]
+    fn policies_are_reported_and_switchable() {
+        let service = TuningService::with_threads(1);
+        assert_eq!(service.policy(), SchedulePolicy::RoundRobin);
+        service.set_policy(SchedulePolicy::EarliestDeadline);
+        assert_eq!(service.policy(), SchedulePolicy::EarliestDeadline);
+        let service = service.with_policy(SchedulePolicy::Priority);
+        assert_eq!(service.policy(), SchedulePolicy::Priority);
+    }
+
+    #[test]
+    fn spec_accessors_expose_name_priority_and_deadline() {
         let spec = SessionSpec::new("named", settings(100.0, 0), Box::new(valley_oracle(1.0)), 0);
         assert_eq!(spec.name(), "named");
+        assert_eq!(spec.priority(), 0);
+        assert_eq!(spec.deadline(), f64::INFINITY);
+        let spec = spec.with_priority(-3).with_deadline(f64::NAN);
+        assert_eq!(spec.priority(), -3);
+        assert_eq!(
+            spec.deadline(),
+            f64::INFINITY,
+            "NaN deadlines are sanitized"
+        );
+        let spec = spec.with_deadline(12.5);
+        assert_eq!(spec.deadline(), 12.5);
         assert_eq!(SessionId(2), SessionId(2));
     }
 }

@@ -1,16 +1,20 @@
 //! Multi-job serving: one process, one shared worker pool, many tuning
-//! sessions.
+//! sessions stepping concurrently.
 //!
 //! Nine sessions — Spark jobs from the Scout and CherryPick datasets and
-//! TensorFlow training jobs, each with its own budget and seed — are
-//! multiplexed through one `TuningService`. A tenth session wraps its
-//! oracle so that it starts reporting an infinite cost mid-run: it ends in
-//! a `Failed` state with a diagnostic and a partial report while every
-//! other session finishes untouched.
+//! TensorFlow training jobs, each with its own budget, seed and scheduling
+//! priority — run through one `TuningService` under the `Priority` policy:
+//! the scheduler steps up to one session per worker slot in parallel, higher
+//! priorities drain first, and the starvation guard keeps priority-0 jobs
+//! progressing. A tenth session wraps its oracle so that it starts
+//! reporting an infinite cost mid-run: it ends in a `Failed` state with a
+//! diagnostic and a partial report while every other session finishes
+//! untouched. Finally, two late sessions are submitted after the first wave
+//! drained — the steady-submission path of a long-lived service.
 //!
 //! Run with `cargo run --release --example multi_job`.
 
-use lynceus::core::{CostOracle, SessionStatus};
+use lynceus::core::{CostOracle, SchedulePolicy, SessionOutcome, SessionStatus};
 use lynceus::datasets::{catalog, LookupDataset};
 use lynceus::experiments::ExperimentConfig;
 use lynceus::prelude::*;
@@ -45,6 +49,27 @@ impl CostOracle for FlakyOracle {
     }
 }
 
+fn print_outcome(outcome: &SessionOutcome) {
+    match &outcome.status {
+        SessionStatus::Finished(report) => println!(
+            "[done]   {:<42} {:>2} runs, ${:>8.2} spent, best {}",
+            outcome.name,
+            report.num_explorations(),
+            report.budget_spent,
+            report
+                .recommended_cost
+                .map_or_else(|| "-".into(), |c| format!("${c:.2}")),
+        ),
+        SessionStatus::Failed { error, partial } => println!(
+            "[FAILED] {:<42} after {} runs: {error}",
+            outcome.name,
+            partial
+                .as_ref()
+                .map_or(0, OptimizationReport::num_explorations),
+        ),
+    }
+}
+
 fn main() {
     // A cheap-but-realistic setup: lookahead 1, 2 Gauss–Hermite nodes, the
     // paper's low-budget rule.
@@ -59,27 +84,43 @@ fn main() {
         s
     };
 
-    // Nine heterogeneous jobs: 4 Scout, 3 CherryPick, 2 TensorFlow.
-    let mut jobs: Vec<LookupDataset> = Vec::new();
-    jobs.extend(catalog::scout_datasets().into_iter().take(4));
-    jobs.extend(catalog::cherrypick_datasets().into_iter().take(3));
-    jobs.extend(catalog::tensorflow_datasets().into_iter().take(2));
-
-    let mut service = TuningService::new();
-    println!(
-        "serving {} sessions over a shared pool of {} worker thread(s)\n",
-        jobs.len() + 1,
-        service.shared_pool().capacity()
+    // Nine heterogeneous jobs: 4 Scout, 3 CherryPick, 2 TensorFlow. The
+    // TensorFlow trainings are marked urgent; everything else shares the
+    // default priority and steps round-robin among equals.
+    let mut jobs: Vec<(LookupDataset, i64)> = Vec::new();
+    jobs.extend(
+        catalog::scout_datasets()
+            .into_iter()
+            .take(4)
+            .map(|d| (d, 0)),
     );
-    for (i, dataset) in jobs.into_iter().enumerate() {
+    jobs.extend(
+        catalog::cherrypick_datasets()
+            .into_iter()
+            .take(3)
+            .map(|d| (d, 0)),
+    );
+    jobs.extend(
+        catalog::tensorflow_datasets()
+            .into_iter()
+            .take(2)
+            .map(|d| (d, 5)),
+    );
+
+    let service = TuningService::new().with_policy(SchedulePolicy::Priority);
+    println!(
+        "serving {} sessions over {} worker slot(s) / scheduler lane(s), policy {:?}\n",
+        jobs.len() + 1,
+        service.shared_pool().capacity(),
+        service.policy(),
+    );
+    for (i, (dataset, priority)) in jobs.into_iter().enumerate() {
         let settings = settings_of(&dataset);
         let name = dataset.name().to_owned();
-        service.submit(SessionSpec::new(
-            name,
-            settings,
-            Box::new(dataset),
-            7 + i as u64,
-        ));
+        service.submit(
+            SessionSpec::new(name, settings, Box::new(dataset), 7 + i as u64)
+                .with_priority(priority),
+        );
     }
     // The deliberately flaky session: clean for 2 runs, then poisoned.
     let flaky_base = catalog::scout_datasets()
@@ -97,28 +138,39 @@ fn main() {
         99,
     ));
 
-    let outcomes = service.run_with(|outcome| {
-        // Outcomes stream in completion order, not submission order.
-        match &outcome.status {
-            SessionStatus::Finished(report) => println!(
-                "[done]   {:<42} {:>2} runs, ${:>8.2} spent, best {}",
-                outcome.name,
-                report.num_explorations(),
-                report.budget_spent,
-                report
-                    .recommended_cost
-                    .map_or_else(|| "-".into(), |c| format!("${c:.2}")),
-            ),
-            SessionStatus::Failed { error, partial } => println!(
-                "[FAILED] {:<42} after {} runs: {error}",
-                outcome.name,
-                partial
-                    .as_ref()
-                    .map_or(0, OptimizationReport::num_explorations),
-            ),
-        }
-    });
+    // First wave: drain the initial population (outcomes arrive in
+    // completion order while the scheduler is still stepping the rest).
+    let first_wave = service.run_until_idle();
+    for outcome in &first_wave {
+        print_outcome(outcome);
+    }
 
+    // Steady submission: the service is idle but alive — late arrivals
+    // reuse the same lanes and pool.
+    println!("\ntwo late sessions join the running service…\n");
+    for (i, dataset) in catalog::scout_datasets()
+        .into_iter()
+        .skip(6)
+        .take(2)
+        .enumerate()
+    {
+        let settings = settings_of(&dataset);
+        let name = format!("{} (late)", dataset.name());
+        service.submit(SessionSpec::new(
+            name,
+            settings,
+            Box::new(dataset),
+            40 + i as u64,
+        ));
+    }
+    let second_wave = service.run_until_idle();
+    for outcome in &second_wave {
+        print_outcome(outcome);
+    }
+    let leftovers = service.shutdown();
+    assert!(leftovers.is_empty(), "every outcome was already delivered");
+
+    let outcomes: Vec<SessionOutcome> = first_wave.into_iter().chain(second_wave).collect();
     let finished = outcomes.iter().filter(|o| !o.is_failed()).count();
     let failed = outcomes.len() - finished;
     println!("\n{finished} sessions finished, {failed} failed (isolated)");

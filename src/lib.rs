@@ -39,18 +39,39 @@
 //!
 //! One process can serve many concurrent tuning sessions through
 //! [`core::TuningService`]: each session brings its own oracle, budget,
-//! seed and (optionally) switching-cost model, and all of them share a
-//! single worker-thread budget ([`core::Pool`]) instead of oversubscribing
-//! the machine per session. The scheduler is a fair round-robin — one
-//! profiling run per live session per round — with per-session error
-//! isolation: an oracle that reports a NaN or infinite cost moves its own
-//! session to a `Failed` state with a diagnostic and a partial report,
-//! while every other session runs on untouched. Because per-session
-//! speculation state is overlaid ([`core::SpeculativeCursor`]) rather than
-//! cloned or shared, a multiplexed session's
-//! [`core::OptimizationReport`] is bit-identical to running that session
-//! alone. See `examples/multi_job.rs` for a service serving the
-//! Scout/CherryPick/TensorFlow datasets concurrently.
+//! seed and (optionally) switching-cost model, a scheduling priority and a
+//! deadline, and all of them share a single worker-thread budget
+//! ([`core::Pool`]) instead of oversubscribing the machine per session.
+//!
+//! The scheduler is **concurrent**: one scheduler lane per pool slot checks
+//! ready sessions out of a registry and steps them in parallel, each
+//! stepping session holding one slot (its lane's thread is the computing
+//! thread the slot pays for) while its branch fan-out soaks up whatever
+//! extra slots the neighbours leave free, non-blockingly — which is what
+//! makes M concurrent decisions share N workers deadlock-free, and what
+//! lets the service *outrun* back-to-back execution on multicore hardware
+//! (the committed `BENCH_multi_session.json` records one cell per lane
+//! count; its 1-lane cell is the sequential overhead guard, ~1.0 on the
+//! 1-CPU measurement container). Sessions can be submitted from any thread
+//! while the service is mid-run (`submit`/`run_until_idle`/`shutdown`
+//! lifecycle), and three scheduling policies are built in
+//! ([`core::SchedulePolicy`]): round-robin (default), highest-priority
+//! first, and earliest-deadline first — all three bounded by a starvation
+//! guard (`core::STARVATION_LIMIT`) so no session can be parked forever.
+//!
+//! Error isolation is per-session: an oracle that reports a NaN or
+//! infinite cost — or panics outright — moves its own session to a
+//! `Failed` state with a diagnostic and a partial report, while every
+//! other session runs on untouched. And because each session owns its full
+//! state (RNG, surrogate, decision arena) and speculation is overlaid
+//! ([`core::SpeculativeCursor`]) rather than cloned or shared, a
+//! multiplexed session's [`core::OptimizationReport`] is bit-identical to
+//! running that session alone — regardless of thread count, policy or
+//! interleaving, which is what the `concurrent_service` and
+//! `multi_session` suites (and the CI `service-stress` matrix over
+//! `LYNCEUS_TEST_THREADS` × policy) enforce. See `examples/multi_job.rs`
+//! for a service serving the Scout/CherryPick/TensorFlow datasets under
+//! the priority policy with steady submission.
 //!
 //! # Performance
 //!
@@ -89,7 +110,11 @@
 //!   (`PathEngine::BoundAndPrune`) expands every candidate's first
 //!   speculation level exactly, assembles an upper bound on the candidate's
 //!   reward-to-cost score from those exact first-step quantities plus a
-//!   drift-allowance (κ = 1.5) times the largest deep-tail reward measured
+//!   drift-allowance (κ, default 1.5, configurable via
+//!   `LynceusOptimizer::with_drift_allowance`; κ = 1.0 prunes more with
+//!   thinner margins and is divergence-free on the original validation
+//!   matrix, though one landscape of the wider 60-case sweep defeats it —
+//!   which is why 1.5 ships) times the largest deep-tail reward measured
 //!   among the candidates already expanded this decision (tails cluster
 //!   tightly within a decision, so the measured anchor tracks them across
 //!   regimes), and dispatches candidates bound-first
@@ -107,8 +132,8 @@
 //!   committed `BENCH_lookahead.json` (from the `fig6_lookahead` bench,
 //!   which records the CPU count and pruning stats per sweep cell) shows
 //!   the engine pruning 62% of candidates at `LA = 3` on a warm 128-point
-//!   synthetic space for a 2.20× per-decision speedup over exhaustive
-//!   expansion (74% / 2.39× at `LA = 2`; at `LA = 4`, where exhaustive
+//!   synthetic space for a 2.77× per-decision speedup over exhaustive
+//!   expansion (74% / 2.50× at `LA = 2`; at `LA = 4`, where exhaustive
 //!   expansion is intractable, the pruned run completes with 38% of
 //!   candidates skipped), while cold-start runs on the Scout dataset prune
 //!   a more modest 8–22% — early-run scores cluster too tightly to
@@ -158,8 +183,8 @@ pub use lynceus_space as space;
 pub mod prelude {
     pub use crate::core::{
         BoOptimizer, CostOracle, LynceusOptimizer, Observation, OptimizationReport, Optimizer,
-        OptimizerSettings, RandomOptimizer, SecondaryConstraint, SessionSpec, SessionStatus,
-        TableOracle, TuningService,
+        OptimizerSettings, RandomOptimizer, SchedulePolicy, SecondaryConstraint, SessionSpec,
+        SessionStatus, TableOracle, TuningService,
     };
     pub use crate::datasets::{catalog, LookupDataset};
     pub use crate::experiments::{ExperimentConfig, OptimizerKind};

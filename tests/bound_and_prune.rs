@@ -125,6 +125,61 @@ fn engines_are_bit_identical_under_switching_costs_at_lookahead_three() {
     }
 }
 
+/// The measured κ trade-off the ROADMAP records: the tightest allowance
+/// κ = 1.0 prunes more candidates with thinner empirical margins, and on
+/// the original validation matrix (the same seeded generators as the
+/// three-engine suite above, LA ∈ {1, 2, 3}, with and without switching
+/// costs) it stays divergence-free against the exhaustive engine. The
+/// broader folded-in sweep is where the margin finally runs out — see the
+/// note on `pruned_matches_exhaustive_on_the_wide_random_matrix`.
+#[test]
+fn drift_allowance_one_is_divergence_free_on_the_original_matrix() {
+    let mut rng = SeededRng::new(0xB0B5);
+    for lookahead in [1usize, 2, 3] {
+        let cases = if lookahead == 3 { 3 } else { 5 };
+        for case in 0..cases {
+            let oracle = random_oracle(&mut rng);
+            let settings = settings(&mut rng, lookahead);
+            let seed = 1 + case as u64 * 7;
+            let batched = LynceusOptimizer::new(settings.clone())
+                .with_engine(PathEngine::Batched)
+                .optimize(&oracle, seed);
+            let tight = LynceusOptimizer::new(settings)
+                .with_drift_allowance(1.0)
+                .optimize(&oracle, seed);
+            assert_eq!(
+                tight, batched,
+                "κ=1.0 diverged at LA={lookahead}, case {case}, seed {seed}"
+            );
+        }
+    }
+    let mut rng = SeededRng::new(0x5EED);
+    for case in 0..3u64 {
+        let oracle = random_oracle(&mut rng);
+        let settings = settings(&mut rng, 3);
+        let switching = || {
+            Box::new(FnSwitching(
+                |from: Option<ConfigId>, to: ConfigId| match from {
+                    Some(f) if f != to => 2.0 + (f.index().abs_diff(to.index())) as f64 * 0.5,
+                    _ => 0.0,
+                },
+            ))
+        };
+        let batched = LynceusOptimizer::new(settings.clone())
+            .with_engine(PathEngine::Batched)
+            .with_switching_cost(switching())
+            .optimize(&oracle, 11 + case);
+        let tight = LynceusOptimizer::new(settings)
+            .with_drift_allowance(1.0)
+            .with_switching_cost(switching())
+            .optimize(&oracle, 11 + case);
+        assert_eq!(
+            tight, batched,
+            "κ=1.0 diverged under switching, case {case}"
+        );
+    }
+}
+
 #[test]
 fn pruning_reports_skipped_candidates_and_matches_exhaustive_counts() {
     // A wider valley with enough budget that the decision loop runs long
@@ -159,6 +214,96 @@ fn pruning_reports_skipped_candidates_and_matches_exhaustive_counts() {
         .with_engine(PathEngine::Batched)
         .optimize(&oracle, 3);
     assert_eq!(report, exhaustive);
+}
+
+/// A broader random surface than [`random_oracle`] (up to ~6×4
+/// configurations, per-case noise amplitude): the generator of the wide
+/// pruned-vs-exhaustive sweep below, which runs pruned-vs-batched only so
+/// it can afford many more landscapes than the three-engine matrix above.
+fn broad_random_oracle(rng: &mut SeededRng) -> TableOracle {
+    let nx = 3 + (rng.uniform(0.0, 4.0) as usize);
+    let ny = 2 + (rng.uniform(0.0, 3.0) as usize);
+    let cx = rng.uniform(0.0, nx as f64);
+    let cy = rng.uniform(0.0, ny as f64);
+    let base = rng.uniform(5.0, 60.0);
+    let sx = rng.uniform(0.5, 10.0);
+    let sy = rng.uniform(0.5, 14.0);
+    let noise_seed = rng.uniform(0.0, 1e6) as u64;
+    let noise_amp = rng.uniform(0.0, 8.0);
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..nx).map(|v| v as f64))
+        .numeric("y", (0..ny).map(|v| v as f64))
+        .build();
+    TableOracle::from_fn(space, 1.0, move |f| {
+        let mut noise = SeededRng::new(noise_seed ^ ((f[0] as u64) << 8) ^ f[1] as u64);
+        base + (f[0] - cx).powi(2) * sx + (f[1] - cy).powi(2) * sy + noise.uniform(0.0, noise_amp)
+    })
+}
+
+/// The wide randomized sweep: 60 random landscapes at LA ∈ {2, 3}, half
+/// with switching costs and tight budgets where speculated paths die early,
+/// pruned-vs-batched at the shipped drift allowance. (Folded in from the
+/// former `tests/review_probe.rs` reviewer probe.)
+///
+/// Measured trade-off note: κ = 1.0 passes this sweep on 119 of its 120
+/// engine pairs but *diverges on one* (case 45: LA = 3, switching costs, a
+/// binding `tmax`) — the thin-margin failure mode the κ = 1.5 default
+/// exists to absorb. The κ = 1.0 divergence-free guarantee therefore covers
+/// the original validation matrix (see
+/// `drift_allowance_one_is_divergence_free_on_the_original_matrix`), not
+/// this broader one.
+#[test]
+fn pruned_matches_exhaustive_on_the_wide_random_matrix() {
+    let mut rng = SeededRng::new(0xDEAD_BEEF);
+    let mut divergences = Vec::new();
+    for case in 0..60u64 {
+        let lookahead = 2 + (case % 2) as usize; // LA in {2,3}
+        let oracle = broad_random_oracle(&mut rng);
+        // Deliberately include tight budgets where speculated paths die early.
+        let budget = rng.uniform(120.0, 1_500.0);
+        let tmax = if rng.uniform(0.0, 1.0) < 0.5 {
+            rng.uniform(20.0, 150.0)
+        } else {
+            1e6
+        };
+        let settings = OptimizerSettings {
+            budget,
+            tmax_seconds: tmax,
+            bootstrap_samples: Some(4),
+            lookahead,
+            gauss_hermite_nodes: 2,
+            ..OptimizerSettings::default()
+        };
+        let with_switching = case % 3 == 0;
+        let seed = 1 + case * 13;
+        let make = |engine: PathEngine, kappa: Option<f64>| {
+            let mut optimizer = LynceusOptimizer::new(settings.clone()).with_engine(engine);
+            if let Some(kappa) = kappa {
+                optimizer = optimizer.with_drift_allowance(kappa);
+            }
+            if with_switching {
+                optimizer = optimizer.with_switching_cost(Box::new(FnSwitching(
+                    |from: Option<ConfigId>, to: ConfigId| match from {
+                        Some(f) if f != to => 1.0 + (f.index().abs_diff(to.index())) as f64 * 0.7,
+                        _ => 0.0,
+                    },
+                )));
+            }
+            optimizer.optimize(&oracle, seed)
+        };
+        let batched = make(PathEngine::Batched, None);
+        if make(PathEngine::BoundAndPrune, None) != batched {
+            divergences.push(format!(
+                "case {case}: LA={lookahead} budget={budget:.0} tmax={tmax:.0} \
+                 switching={with_switching} seed={seed}"
+            ));
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "divergences:\n{}",
+        divergences.join("\n")
+    );
 }
 
 #[test]

@@ -76,7 +76,7 @@ fn eight_concurrent_sessions_match_their_solo_runs_bit_for_bit() {
 
     // The same jobs multiplexed through one service on a small shared pool
     // (2 worker slots for 8 sessions: leases are contended by design).
-    let mut service = TuningService::with_threads(2);
+    let service = TuningService::with_threads(2);
     for (i, dataset) in jobs.into_iter().enumerate() {
         let settings = settings_for(&dataset);
         let name = dataset.name().to_owned();
@@ -111,7 +111,7 @@ fn a_failing_oracle_session_is_isolated_from_its_neighbours() {
         })
         .collect();
 
-    let mut service = TuningService::with_threads(2);
+    let service = TuningService::with_threads(2);
     // Interleave the poisoned session *first*, so its failure happens while
     // every healthy session is still mid-flight.
     let flaky = catalog::scout_datasets()
