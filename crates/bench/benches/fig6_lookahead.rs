@@ -69,24 +69,37 @@ fn wide_settings(lookahead: usize) -> OptimizerSettings {
     }
 }
 
-/// Times one run and returns nanoseconds per decision plus the report.
+/// Times a run (best of two samples — container timing noise regularly
+/// exceeds ±15%, and a single polluted sample would land in the committed
+/// artifact as a phantom regression) and returns nanoseconds per decision
+/// plus the report. The two samples double as a free determinism check.
 fn timed_run(
     oracle: &dyn CostOracle,
     settings: &OptimizerSettings,
     engine: PathEngine,
     seed: u64,
 ) -> (f64, OptimizationReport, PruneStats, u64) {
-    let optimizer = LynceusOptimizer::new(settings.clone()).with_engine(engine);
-    let start = Instant::now();
-    let report = optimizer.optimize(oracle, seed);
-    let elapsed = start.elapsed().as_nanos() as f64;
+    let mut best: Option<(f64, OptimizationReport, PruneStats)> = None;
+    for _ in 0..2 {
+        let optimizer = LynceusOptimizer::new(settings.clone()).with_engine(engine);
+        let start = Instant::now();
+        let report = optimizer.optimize(oracle, seed);
+        let elapsed = start.elapsed().as_nanos() as f64;
+        let stats = optimizer.prune_stats();
+        if let Some((best_ns, best_report, _)) = &best {
+            assert_eq!(
+                report, *best_report,
+                "a repeated run produced a different report"
+            );
+            if elapsed >= *best_ns {
+                continue;
+            }
+        }
+        best = Some((elapsed, report, stats));
+    }
+    let (elapsed, report, stats) = best.expect("at least one sample");
     let decisions = (report.explorations.iter().filter(|e| !e.bootstrap).count() + 1) as u64;
-    (
-        elapsed / decisions as f64,
-        report,
-        optimizer.prune_stats(),
-        decisions,
-    )
+    (elapsed / decisions as f64, report, stats, decisions)
 }
 
 fn sweep_cell(
@@ -176,12 +189,13 @@ fn main() {
                 format!("{s:>6.2}x vs exhaustive")
             });
         println!(
-            "{:<24} LA={} seed={} {:>12.0} ns/decision {speedup}  pruned {:>3.0}% of {} candidates over {} decisions",
+            "{:<24} LA={} seed={} {:>12.0} ns/decision {speedup}  pruned {:>3.0}% (+{:>2.0}% deep cuts) of {} candidates over {} decisions",
             cell.space,
             cell.lookahead,
             cell.seed,
             cell.pruned_ns_per_decision,
             cell.stats.pruned_fraction() * 100.0,
+            (cell.stats.cut_fraction() - cell.stats.pruned_fraction()) * 100.0,
             cell.stats.candidates,
             cell.decisions,
         );
@@ -198,8 +212,14 @@ fn main() {
         let speedup = cell
             .speedup
             .map_or("null".to_owned(), |s| format!("{s:.2}"));
+        // Per-level pruning cells: `deep_cuts` is indexed by cut depth
+        // (entry 0 = cuts between first-level branches, entry 1 = between a
+        // branch's Gauss–Hermite nodes, …); `bench_check` validates the
+        // counters stay monotone (`pruned + deep_pruned ≤ candidates`,
+        // fractions within [0, 1], the level sum matching the total).
+        let deep_cuts: Vec<String> = cell.stats.deep_cuts.iter().map(|c| c.to_string()).collect();
         json.push_str(&format!(
-            "    {{ \"space\": \"{}\", \"lookahead\": {}, \"seed\": {}, \"decisions\": {}, \"pruned_ns_per_decision\": {:.1}, \"exhaustive_ns_per_decision\": {exhaustive}, \"speedup\": {speedup}, \"candidates\": {}, \"pruned\": {}, \"pruned_fraction\": {:.3}, \"identical\": {} }}{comma}\n",
+            "    {{ \"space\": \"{}\", \"lookahead\": {}, \"seed\": {}, \"decisions\": {}, \"pruned_ns_per_decision\": {:.1}, \"exhaustive_ns_per_decision\": {exhaustive}, \"speedup\": {speedup}, \"candidates\": {}, \"pruned\": {}, \"pruned_fraction\": {:.3}, \"deep_pruned\": {}, \"deep_cuts\": [{}], \"cut_fraction\": {:.3}, \"identical\": {} }}{comma}\n",
             cell.space,
             cell.lookahead,
             cell.seed,
@@ -208,6 +228,9 @@ fn main() {
             cell.stats.candidates,
             cell.stats.pruned,
             cell.stats.pruned_fraction(),
+            cell.stats.deep_pruned(),
+            deep_cuts.join(", "),
+            cell.stats.cut_fraction(),
             cell.identical,
         ));
     }

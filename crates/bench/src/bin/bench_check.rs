@@ -36,6 +36,100 @@ fn identical_flags(json: &str) -> Vec<(String, bool)> {
     flags
 }
 
+/// Parses the number following `"key":` in `line`, if present.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `[a, b, …]` unsigned array following `"key":` in `line`.
+fn field_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start().strip_prefix('[')?;
+    let close = rest.find(']')?;
+    rest[..close]
+        .split(',')
+        .map(|v| v.trim().parse::<u64>())
+        .collect::<Result<Vec<u64>, _>>()
+        .ok()
+}
+
+/// Validates the pruning counters of every sweep cell in `json` (one cell
+/// per line, as the lookahead bench writes them): candidate-level and
+/// per-level deep-cut counts must stay monotone — no cell may claim more
+/// pruned or cut candidates than it had, the per-level cuts must sum to
+/// the recorded total, and the fractions must be coherent. A bench bug
+/// (or a hand-edited artifact) that inflated the pruning story would
+/// otherwise sail through CI as a good-looking number.
+fn cell_violations(json: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (number, line) in json.lines().enumerate() {
+        let (Some(candidates), Some(pruned)) =
+            (field_f64(line, "candidates"), field_f64(line, "pruned"))
+        else {
+            continue;
+        };
+        let cell = format!("cell at line {}", number + 1);
+        if pruned > candidates {
+            violations.push(format!("{cell}: pruned {pruned} > candidates {candidates}"));
+        }
+        if let Some(fraction) = field_f64(line, "pruned_fraction") {
+            if !(0.0..=1.0).contains(&fraction) {
+                violations.push(format!("{cell}: pruned_fraction {fraction} outside [0, 1]"));
+            }
+        }
+        if let Some(decisions) = field_f64(line, "decisions") {
+            if candidates > 0.0 && decisions < 1.0 {
+                violations.push(format!("{cell}: {candidates} candidates but no decisions"));
+            }
+        }
+        let deep_pruned = field_f64(line, "deep_pruned");
+        if let Some(deep_pruned) = deep_pruned {
+            if pruned + deep_pruned > candidates {
+                violations.push(format!(
+                    "{cell}: pruned {pruned} + deep_pruned {deep_pruned} > candidates {candidates}"
+                ));
+            }
+            if let Some(levels) = field_u64_array(line, "deep_cuts") {
+                let sum: u64 = levels.iter().sum();
+                if sum as f64 != deep_pruned {
+                    violations.push(format!(
+                        "{cell}: deep_cuts sum {sum} != deep_pruned {deep_pruned}"
+                    ));
+                }
+            } else {
+                violations.push(format!(
+                    "{cell}: deep_pruned without per-level deep_cuts breakdown"
+                ));
+            }
+            if let (Some(pruned_fraction), Some(cut_fraction)) = (
+                field_f64(line, "pruned_fraction"),
+                field_f64(line, "cut_fraction"),
+            ) {
+                if !(0.0..=1.0).contains(&cut_fraction) {
+                    violations.push(format!(
+                        "{cell}: cut_fraction {cut_fraction} outside [0, 1]"
+                    ));
+                }
+                // The combined fraction can never undercut the
+                // candidate-level one (tolerate the 3-decimal rounding).
+                if cut_fraction + 1e-3 < pruned_fraction {
+                    violations.push(format!(
+                        "{cell}: cut_fraction {cut_fraction} < pruned_fraction {pruned_fraction}"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 fn workspace_bench_files() -> Vec<PathBuf> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Ok(entries) = std::fs::read_dir(&root) else {
@@ -91,18 +185,27 @@ fn main() -> ExitCode {
             .filter(|(_, ok)| !ok)
             .map(|(key, _)| key.as_str())
             .collect();
-        if false_flags.is_empty() {
+        let violations = cell_violations(&json);
+        if false_flags.is_empty() && violations.is_empty() {
             println!(
-                "bench_check: {} ok ({} equivalence flag(s) true)",
+                "bench_check: {} ok ({} equivalence flag(s) true, pruning cells coherent)",
                 file.display(),
                 flags.len()
             );
         } else {
-            eprintln!(
-                "bench_check: {} FAILED its self-asserted equivalence: {}",
-                file.display(),
-                false_flags.join(", ")
-            );
+            if !false_flags.is_empty() {
+                eprintln!(
+                    "bench_check: {} FAILED its self-asserted equivalence: {}",
+                    file.display(),
+                    false_flags.join(", ")
+                );
+            }
+            for violation in &violations {
+                eprintln!(
+                    "bench_check: {} has incoherent pruning counters — {violation}",
+                    file.display()
+                );
+            }
             failed = true;
         }
     }
@@ -141,5 +244,59 @@ mod tests {
     fn ignores_non_boolean_and_unrelated_keys() {
         let flags = identical_flags(r#"{ "identical_count": 3, "speedup": 1.0 }"#);
         assert!(flags.is_empty());
+    }
+
+    use super::cell_violations;
+
+    #[test]
+    fn coherent_pruning_cells_pass() {
+        let json = r#"{
+  "cells": [
+    { "decisions": 10, "candidates": 100, "pruned": 60, "pruned_fraction": 0.600, "deep_pruned": 15, "deep_cuts": [10, 5, 0, 0, 0, 0], "cut_fraction": 0.750, "identical": true },
+    { "decisions": 4, "candidates": 40, "pruned": 0, "pruned_fraction": 0.000, "deep_pruned": 0, "deep_cuts": [0, 0, 0, 0, 0, 0], "cut_fraction": 0.000, "identical": true }
+  ]
+}"#;
+        assert_eq!(cell_violations(json), Vec::<String>::new());
+    }
+
+    #[test]
+    fn monotonicity_violations_are_reported() {
+        // More total cuts than candidates.
+        let overflow = r#"{ "decisions": 2, "candidates": 10, "pruned": 8, "pruned_fraction": 0.800, "deep_pruned": 5, "deep_cuts": [5, 0, 0, 0, 0, 0], "cut_fraction": 1.300, "identical": true }"#;
+        let violations = cell_violations(overflow);
+        assert!(
+            violations.iter().any(|v| v.contains("> candidates")),
+            "missing overflow violation: {violations:?}"
+        );
+        assert!(violations.iter().any(|v| v.contains("outside [0, 1]")));
+        // Level breakdown disagreeing with the total.
+        let mismatch = r#"{ "decisions": 2, "candidates": 10, "pruned": 1, "pruned_fraction": 0.100, "deep_pruned": 4, "deep_cuts": [1, 1, 0, 0, 0, 0], "cut_fraction": 0.500, "identical": true }"#;
+        assert!(cell_violations(mismatch)
+            .iter()
+            .any(|v| v.contains("deep_cuts sum")));
+        // A totals field without its per-level breakdown.
+        let missing = r#"{ "decisions": 1, "candidates": 10, "pruned": 1, "deep_pruned": 2, "identical": true }"#;
+        assert!(cell_violations(missing)
+            .iter()
+            .any(|v| v.contains("without per-level")));
+        // A combined fraction below the candidate-level one.
+        let shrunk = r#"{ "decisions": 1, "candidates": 10, "pruned": 5, "pruned_fraction": 0.500, "deep_pruned": 0, "deep_cuts": [0, 0, 0, 0, 0, 0], "cut_fraction": 0.100, "identical": true }"#;
+        assert!(cell_violations(shrunk)
+            .iter()
+            .any(|v| v.contains("cut_fraction")));
+        // Candidates counted without any decision.
+        let no_decisions =
+            r#"{ "decisions": 0, "candidates": 10, "pruned": 1, "identical": true }"#;
+        assert!(cell_violations(no_decisions)
+            .iter()
+            .any(|v| v.contains("no decisions")));
+    }
+
+    #[test]
+    fn legacy_cells_without_deep_counters_are_still_checked() {
+        let legacy = r#"{ "decisions": 5, "candidates": 20, "pruned": 25, "pruned_fraction": 1.250, "identical": true }"#;
+        let violations = cell_violations(legacy);
+        assert!(violations.iter().any(|v| v.contains("> candidates")));
+        assert!(violations.iter().any(|v| v.contains("outside [0, 1]")));
     }
 }

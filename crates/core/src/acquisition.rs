@@ -270,6 +270,57 @@ mod tests {
     }
 
     #[test]
+    fn score_key_round_trips_and_orders_a_seeded_sweep_of_extreme_floats() {
+        use lynceus_math::rng::SeededRng;
+
+        // Every edge regime of the f64 line, plus a seeded sweep of raw bit
+        // patterns: the key mapping must round-trip bit-exactly and agree
+        // with `score_cmp` on every pair — the branch-and-bound engine's
+        // shared incumbent/tail cells depend on both properties for any
+        // score arithmetic can produce.
+        let mut values = vec![
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            // Subnormals: the smallest positive/negative, and mid-range ones.
+            f64::from_bits(1),
+            -f64::from_bits(1),
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF),
+            -f64::from_bits(0x000F_FFFF_FFFF_FFFF),
+        ];
+        let mut rng = SeededRng::new(0xF10A7);
+        while values.len() < 96 {
+            let candidate = f64::from_bits(rng.next_u64());
+            if !candidate.is_nan() {
+                values.push(candidate);
+            }
+        }
+        for &a in &values {
+            assert!(
+                score_key(a) > 0,
+                "key of {a:e} collides with the no-incumbent sentinel"
+            );
+            assert_eq!(
+                score_from_key(score_key(a)).to_bits(),
+                a.to_bits(),
+                "round-trip changed the bits of {a:e}"
+            );
+            for &b in &values {
+                assert_eq!(
+                    score_key(a).cmp(&score_key(b)),
+                    score_cmp(a, b),
+                    "key order diverges from score_cmp at ({a:e}, {b:e})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn score_cmp_treats_nan_as_worst_and_orders_reals_totally() {
         use std::cmp::Ordering;
         assert_eq!(score_cmp(f64::NAN, -1e300), Ordering::Less);

@@ -75,7 +75,7 @@ pub use bo::BoOptimizer;
 pub use budget::Budget;
 pub use constraints::SecondaryConstraint;
 pub use disjoint::{disjoint_optimization, DisjointOutcome};
-pub use lynceus::{LynceusOptimizer, PathEngine, PruneStats};
+pub use lynceus::{LynceusOptimizer, PathEngine, PruneStats, DEEP_CUT_LEVELS};
 pub use optimizer::{
     Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
 };

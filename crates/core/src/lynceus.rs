@@ -105,6 +105,27 @@ const MIN_STEP_COST: f64 = 1e-9;
 /// power for margin.
 const PRUNE_TAIL_DRIFT: f64 = 1.5;
 
+/// Extra slack factor of the **in-search** (per-branch) bound, on top of
+/// the shared `κ·T` tail allowance: during a candidate's deep recursion the
+/// bound grants the *remaining* (not yet accounted) work up to
+/// `DEEP_TAIL_SLACK · κ · T` of reward.
+///
+/// The in-search bound is strictly tighter than the pre-expansion
+/// candidate bound in its denominator — every measured deep cost is exact,
+/// where the candidate bound optimistically assumes zero — which *removes*
+/// a self-scaling tolerance the candidate bound enjoys: a candidate with a
+/// large unmeasured tail also has large deep costs, and those costs inflate
+/// the candidate bound's effective tail headroom proportionally. Stripping
+/// that slack exposed real tail drifts on the wide 60-landscape sweep
+/// (`tests/bound_and_prune.rs`): with no extra factor (slack 1.0, the
+/// naive "admissible by construction" reading) four landscapes diverge
+/// from the exhaustive engine, at 1.5 one still does, and 2.0 is the
+/// measured minimum that keeps every pair bit-identical. 3.0 ships —
+/// the same minimum-times-1.5 margin policy that picked `κ = 1.5` —
+/// because the margin is what absorbs unseen regimes; the cross-engine
+/// suites would surface any future violation as a bit-identity failure.
+const DEEP_TAIL_SLACK: f64 = 3.0;
+
 /// Which exploration-path implementation drives the optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PathEngine {
@@ -131,6 +152,18 @@ pub enum PathEngine {
     /// the exponential part of the `|Γ|·k^LA` growth — entirely; candidates
     /// are dispatched best-bound-first (`pool::run_order_with`) so the
     /// incumbent and the tail anchor tighten as early as possible.
+    ///
+    /// Candidates that *do* start their deep recursion are pruned **per
+    /// branch** as well: every selected step of the exploration tree folds
+    /// its exact discounted contributions into an accounted prefix of the
+    /// candidate's score, and an in-search bound — the accounted prefix
+    /// plus a calibrated remaining-tail allowance
+    /// ([`DEEP_TAIL_SLACK`]`·κ·T`), over the exactly-accounted cost — is
+    /// re-tested at every level of the recursion (cut depths are counted
+    /// in [`PruneStats::deep_cuts`]). A subtree is abandoned the moment
+    /// the candidate cannot beat the shared incumbent under that premise,
+    /// so pruning reaches *inside* the `k² + … + k^LA` recursion instead
+    /// of only in front of it.
     ///
     /// The bound errs high whenever no candidate's deep tail exceeds `κ`
     /// times the largest tail already measured — the reliable regime,
@@ -160,6 +193,13 @@ pub enum PathEngine {
     NaiveReference,
 }
 
+/// Number of speculation depths the per-branch cut counters distinguish:
+/// [`PruneStats::deep_cuts`]`[d]` counts cuts taken at depth `d + 1` (depth
+/// 1 = between a candidate's first-level branches, depth 2 = between the
+/// Gauss–Hermite nodes of a branch, …); cuts deeper than the last bin are
+/// clamped into it.
+pub const DEEP_CUT_LEVELS: usize = 6;
+
 /// Cumulative branch-and-bound counters of a [`LynceusOptimizer`] (summed
 /// over every decision of every run the optimizer instance has performed
 /// since construction or the last [`LynceusOptimizer::reset_prune_stats`]).
@@ -167,26 +207,72 @@ pub enum PathEngine {
 /// Only decisions made by [`PathEngine::BoundAndPrune`] with `LA ≥ 1` are
 /// counted — the other engines never prune, and at `LA = 0` there is no
 /// subtree to skip.
+///
+/// Snapshots are **decision-consistent**: [`LynceusOptimizer::prune_stats`]
+/// can never observe a half-updated or half-reset state (e.g.
+/// `pruned > candidates`), because the counters live behind one lock and
+/// every decision publishes all of its fields in one critical section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PruneStats {
     /// Number of lookahead decisions.
     pub decisions: u64,
     /// Total `Γ` candidates across those decisions.
     pub candidates: u64,
-    /// How many of those candidates were pruned without expanding their
-    /// exploration subtree.
+    /// How many of those candidates were pruned at the candidate level:
+    /// their deep exploration subtree was never started.
     pub pruned: u64,
+    /// Candidates whose deep recursion was *cut mid-expansion* by the
+    /// per-branch in-search bound, by the speculation depth at which the
+    /// cut fired (see [`DEEP_CUT_LEVELS`] for the binning).
+    pub deep_cuts: [u64; DEEP_CUT_LEVELS],
 }
 
 impl PruneStats {
-    /// Fraction of candidates whose subtree was pruned (0 when nothing was
-    /// counted yet).
+    /// Candidates cut mid-expansion by the per-branch bound, over all
+    /// depths.
+    #[must_use]
+    pub fn deep_pruned(&self) -> u64 {
+        self.deep_cuts.iter().sum()
+    }
+
+    /// Candidates whose subtree was skipped entirely (candidate-level) or
+    /// abandoned mid-expansion (per-branch).
+    #[must_use]
+    pub fn total_pruned(&self) -> u64 {
+        self.pruned + self.deep_pruned()
+    }
+
+    /// Fraction of candidates whose subtree was pruned at the candidate
+    /// level (0 when nothing was counted yet). Deep cuts are *not* included
+    /// — see [`PruneStats::cut_fraction`] for the combined figure.
     #[must_use]
     pub fn pruned_fraction(&self) -> f64 {
         if self.candidates == 0 {
             0.0
         } else {
             self.pruned as f64 / self.candidates as f64
+        }
+    }
+
+    /// Fraction of candidates whose deep recursion was skipped or
+    /// abandoned: candidate-level prunes plus per-branch cuts over the
+    /// candidate total (0 when nothing was counted yet).
+    #[must_use]
+    pub fn cut_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.total_pruned() as f64 / self.candidates as f64
+        }
+    }
+
+    /// Folds another decision's counts into this accumulator.
+    fn absorb(&mut self, other: &PruneStats) {
+        self.decisions += other.decisions;
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        for (level, &count) in other.deep_cuts.iter().enumerate() {
+            self.deep_cuts[level] += count;
         }
     }
 }
@@ -196,12 +282,16 @@ impl PruneStats {
 /// candidates get pruned (a slow worker publishes the incumbent later), but
 /// must never shift the selected configuration — that invariant holds under
 /// the bound's tail premise and is what the cross-engine suites enforce.
+///
+/// One mutex guards the whole [`PruneStats`] record instead of a field-wise
+/// set of relaxed atomics: a decision adds all of its counts in one critical
+/// section and a snapshot copies the record in one, so concurrent readers
+/// (e.g. a [`crate::service::TuningService`] polling a shared optimizer
+/// mid-run) can never observe a torn state such as `pruned > candidates` or
+/// a half-applied reset. The lock is touched once per *decision*, far off
+/// the per-branch hot path.
 #[derive(Debug, Default)]
-struct EngineCounters {
-    decisions: AtomicU64,
-    candidates: AtomicU64,
-    pruned: AtomicU64,
-}
+struct EngineCounters(Mutex<PruneStats>);
 
 /// The Lynceus optimizer.
 pub struct LynceusOptimizer {
@@ -320,22 +410,20 @@ impl LynceusOptimizer {
     }
 
     /// Snapshot of the cumulative branch-and-bound counters (see
-    /// [`PruneStats`]).
+    /// [`PruneStats`]). The snapshot is decision-consistent: it reflects a
+    /// whole number of decisions (and either all or none of a concurrent
+    /// [`LynceusOptimizer::reset_prune_stats`]), never a torn intermediate.
     #[must_use]
     pub fn prune_stats(&self) -> PruneStats {
-        PruneStats {
-            decisions: self.counters.decisions.load(Ordering::Relaxed),
-            candidates: self.counters.candidates.load(Ordering::Relaxed),
-            pruned: self.counters.pruned.load(Ordering::Relaxed),
-        }
+        *self.counters.0.lock().expect("prune counters poisoned")
     }
 
     /// Resets the cumulative branch-and-bound counters (e.g. between the
-    /// measured phases of a benchmark).
+    /// measured phases of a benchmark). Atomic with respect to concurrent
+    /// decisions and snapshots: a reset never leaves a partial record
+    /// behind.
     pub fn reset_prune_stats(&self) {
-        self.counters.decisions.store(0, Ordering::Relaxed);
-        self.counters.candidates.store(0, Ordering::Relaxed);
-        self.counters.pruned.store(0, Ordering::Relaxed);
+        *self.counters.0.lock().expect("prune counters poisoned") = PruneStats::default();
     }
 
     // =====================================================================
@@ -485,11 +573,15 @@ impl LynceusOptimizer {
             let mut next_state = state.speculate(x, node.value, speculated_feasible);
             // Speculated steps pay the switching cost like real ones do
             // (`Driver::try_profile` charges it after the run cost), so the
-            // β seen by deeper filters is the budget actually left. `switch`
-            // is finite here: an infinite charge would have kept `x` out of
-            // Γ, and the guard mirrors the driver's.
-            if switch > 0.0 {
-                next_state.charge_extra(switch);
+            // β seen by deeper filters is the budget actually left. The
+            // charge is saturated against non-finite model outputs —
+            // `SearchState::charge_extra` would otherwise panic on the
+            // `inf` a misbehaving model can emit, which the real driver
+            // rejects as a recoverable error — identically at every
+            // engine's speculation site.
+            let charge = speculation_charge(switch);
+            if charge > 0.0 {
+                next_state.charge_extra(charge);
             }
             let next_model = self.fit_model(driver, &next_state);
             let Some(next_x) =
@@ -844,23 +936,32 @@ impl LynceusOptimizer {
             None => pool::run_order_with(gamma.len(), threads, order, init, expand),
         };
 
-        let pruned = outcomes
-            .iter()
-            .filter(|o| matches!(o, CandidateOutcome::Pruned))
-            .count();
-        self.counters.decisions.fetch_add(1, Ordering::Relaxed);
+        let mut decision = PruneStats {
+            decisions: 1,
+            candidates: gamma.len() as u64,
+            ..PruneStats::default()
+        };
+        for outcome in &outcomes {
+            match outcome {
+                CandidateOutcome::Pruned => decision.pruned += 1,
+                CandidateOutcome::CutDeep { depth } => {
+                    decision.deep_cuts[(depth.saturating_sub(1)).min(DEEP_CUT_LEVELS - 1)] += 1;
+                }
+                CandidateOutcome::Scored(_) => {}
+            }
+        }
         self.counters
-            .candidates
-            .fetch_add(gamma.len() as u64, Ordering::Relaxed);
-        self.counters
-            .pruned
-            .fetch_add(pruned as u64, Ordering::Relaxed);
+            .0
+            .lock()
+            .expect("prune counters poisoned")
+            .absorb(&decision);
 
-        // Reduction in Γ order over the expanded candidates. A pruned
-        // candidate's bound was strictly below some incumbent ≤ the final
-        // maximum, so under the tail premise (its deep tail stays within
-        // κ·T of the anchor) its exact score can neither win nor tie:
-        // skipping it reproduces the exhaustive argmax (including the
+        // Reduction in Γ order over the expanded candidates. A pruned (or
+        // mid-expansion cut) candidate's bound was strictly below some
+        // incumbent ≤ the final maximum, so under the tail premise (its
+        // not-yet-measured deep tail stays within the κ·T allowance minus
+        // what it already measured) its exact score can neither win nor
+        // tie: skipping it reproduces the exhaustive argmax (including the
         // last-of-equals tie-break) for any schedule. The premise is
         // empirical — κ is calibrated with margin and the cross-engine
         // suites pin the behaviour — so a drift beyond κ would surface as a
@@ -883,11 +984,166 @@ impl LynceusOptimizer {
 /// What happened to one root candidate during branch-and-bound expansion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum CandidateOutcome {
-    /// The candidate's bound could not beat the incumbent; its deep subtree
-    /// was never expanded.
+    /// The candidate's pre-expansion bound could not beat the incumbent;
+    /// its deep subtree was never started.
     Pruned,
+    /// The candidate's deep recursion was started but cut mid-expansion:
+    /// the in-search bound (exact accounted prefix plus the remaining-tail
+    /// allowance) fell below the incumbent at the given speculation depth.
+    CutDeep {
+        /// Depth of the speculated prefix at the cut: 1 = between
+        /// first-level branches, 2 = between the Gauss–Hermite nodes of a
+        /// branch, and so on down the lookahead.
+        depth: usize,
+    },
     /// The candidate was expanded exhaustively; its exact score.
     Scored(f64),
+}
+
+/// The speculated switching charge actually applied along a speculation
+/// path. Finite positive charges pass through; non-finite ones are
+/// saturated to zero instead of being subtracted from the speculated β —
+/// an `inf` from a misbehaving [`SwitchingCost`] model would otherwise
+/// collapse the remaining budget to `-inf` (NaN-contaminating every score
+/// arithmetic downstream) in the overlay engines and panic the naive
+/// engine's materialized `Budget::charge`. The real profiling driver
+/// rejects such a model explicitly
+/// ([`crate::optimizer::ProfileError::InvalidSwitchingCost`]); speculation
+/// merely has to survive it, and every engine saturates identically so
+/// cross-engine decisions stay bit-identical. Negative charges never reach
+/// here (call sites only charge positive values).
+fn speculation_charge(switch: f64) -> f64 {
+    if switch.is_finite() {
+        switch
+    } else {
+        0.0
+    }
+}
+
+/// In-search pruning state of one candidate's deep expansion: the exact
+/// accounted prefix of the candidate's reward/cost score plus the shared
+/// cells the bound is checked against. Inactive (a no-op) on the exhaustive
+/// engine and on decisions where pruning's premise does not hold.
+///
+/// The bound refines the candidate-level one *during* the deep recursion.
+/// Every selected step of the exploration tree contributes its exact
+/// discounted first-step reward and expected cost the moment it is known
+/// (phase A seeds the accumulators with the level-0/level-1 totals), so at
+/// any instant
+///
+/// ```text
+/// bound = (done_reward + DEEP_TAIL_SLACK·κ·T) / done_cost
+/// ```
+///
+/// where `done_reward`/`done_cost` are the exact accounted sums so far and
+/// `T` is the decision's shared tail anchor (reloaded at every check, so
+/// the bound tightens as siblings publish). The numerator grants the
+/// *remaining* work a tail allowance; the denominator is where the
+/// in-search bound beats the pre-expansion one — every accounted deep cost
+/// is exact where the candidate bound assumed zero. That very tightness is
+/// why the allowance carries the measured [`DEEP_TAIL_SLACK`] factor: the
+/// exact denominator strips the candidate bound's self-scaling cost
+/// headroom, and the wide-sweep calibration (see the constant's docs)
+/// showed the bare `κ·T` premise is not enough there. A cut therefore
+/// fires only where the candidate cannot beat the incumbent under the
+/// calibrated premise — the same epistemic footing as candidate-level
+/// pruning, enforced by the same bit-identity suites.
+struct DeepPrune<'a> {
+    /// The decision's shared incumbent and tail-anchor cells; `None`
+    /// deactivates the probe (exhaustive engine, non-prunable decisions).
+    shared: Option<(&'a AtomicU64, &'a AtomicU64)>,
+    /// Drift allowance κ shared with the candidate-level bound.
+    kappa: f64,
+    /// Phase-A totals: the exact level-0 + level-1 reward of the candidate
+    /// (`tail_done` is measured relative to this).
+    exact_reward: f64,
+    /// Exact accounted reward/cost so far (phase-A totals plus every deeper
+    /// selected step folded in at its selection site).
+    done_reward: f64,
+    done_cost: f64,
+    /// Depth at which a cut fired; the recursion unwinds when set.
+    cut_depth: Option<usize>,
+}
+
+impl<'a> DeepPrune<'a> {
+    /// A probe that accounts and checks nothing (exhaustive engine, or
+    /// pruning disabled for this decision).
+    fn inactive() -> Self {
+        Self {
+            shared: None,
+            kappa: 0.0,
+            exact_reward: 0.0,
+            done_reward: 0.0,
+            done_cost: 0.0,
+            cut_depth: None,
+        }
+    }
+
+    /// An armed probe, seeded with the candidate's exact phase-A totals.
+    fn armed(
+        incumbent: &'a AtomicU64,
+        observed_tail: &'a AtomicU64,
+        kappa: f64,
+        exact_reward: f64,
+        exact_cost: f64,
+    ) -> Self {
+        Self {
+            shared: Some((incumbent, observed_tail)),
+            kappa,
+            exact_reward,
+            done_reward: exact_reward,
+            done_cost: exact_cost,
+            cut_depth: None,
+        }
+    }
+
+    /// True when accounting and cut checks should run at all.
+    fn active(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// True once a cut has fired; callers at every level unwind on it.
+    fn cut(&self) -> bool {
+        self.cut_depth.is_some()
+    }
+
+    /// Folds one selected step's exact contributions (already scaled by the
+    /// prefix weights) into the accounted totals.
+    fn account(&mut self, reward: f64, cost: f64) {
+        self.done_reward += reward;
+        self.done_cost += cost;
+    }
+
+    /// Re-evaluates the in-search bound against the (freshly reloaded)
+    /// shared incumbent; on failure records the cut depth and returns true.
+    /// Without a measured tail anchor there is nothing to bound remaining
+    /// work with, so the candidate keeps expanding.
+    fn check(&mut self, depth: usize) -> bool {
+        let Some((incumbent, observed_tail)) = self.shared else {
+            return false;
+        };
+        let anchor = observed_tail.load(Ordering::Relaxed);
+        if anchor == 0 {
+            return false;
+        }
+        let remaining = DEEP_TAIL_SLACK * self.kappa * score_from_key(anchor);
+        let bound = (self.done_reward + remaining) / self.done_cost.max(MIN_STEP_COST);
+        // A NaN bound signals degenerate arithmetic; expanding is always
+        // safe (the exact score decides), cutting on it would not be.
+        if !bound.is_nan() && score_key(bound) < incumbent.load(Ordering::Relaxed) {
+            self.cut_depth = Some(depth);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The exact deep tail measured before the cut (what the abandoned
+    /// expansion already collected beyond phase A) — a lower bound of the
+    /// candidate's full tail, safe to feed the shared anchor's `fetch_max`.
+    fn measured_tail(&self) -> f64 {
+        self.done_reward - self.exact_reward
+    }
 }
 
 /// A `Γ` member at the root of the decision, with the shared-pass data the
@@ -1072,10 +1328,11 @@ struct BranchScratch {
     /// The branch surrogates built during phase A of
     /// [`BatchedCtx::expand_candidate`], reused verbatim by phase B.
     branch_models: Vec<BaggingEnsemble>,
-    /// Each branch's selected next step and its EIc from phase A (`None`
-    /// when the branch died on an empty Γ), so phase B resumes the deep
-    /// recursion directly instead of re-evaluating the first level.
-    branch_next: Vec<Option<(Member, f64)>>,
+    /// Each branch's selected next step, its EIc and its switching charge
+    /// from phase A (`None` when the branch died on an empty Γ), so phase
+    /// B resumes the deep recursion directly instead of re-evaluating the
+    /// first level (or re-querying the switching model).
+    branch_next: Vec<Option<(Member, f64, f64)>>,
 }
 
 /// A per-worker [`BranchScratch`] checked out of the decision's recycler:
@@ -1373,6 +1630,13 @@ impl BatchedCtx<'_> {
     /// straight into the deep recursion — bit-identical arithmetic, in the
     /// same order, as the exhaustive engine's task fan-out plus reduction —
     /// and publishes the candidate's exact score and measured deep tail.
+    /// An armed [`DeepPrune`] probe rides the recursion: every selected
+    /// step folds its exact contributions into an accounted prefix and the
+    /// in-search bound is re-tested between branches and at every level
+    /// inside them, so the remaining subtree is abandoned
+    /// ([`CandidateOutcome::CutDeep`], with the partial tail published to
+    /// the shared anchor) as soon as the candidate provably cannot beat
+    /// the incumbent.
     #[allow(clippy::too_many_arguments)]
     fn expand_candidate(
         &self,
@@ -1424,10 +1688,11 @@ impl BatchedCtx<'_> {
                 mask[x_position] = true;
                 // Mirror the reference engine (and the real driver): a
                 // speculated run charges its switching cost after its run
-                // cost. The candidate passed the root Γ filter, so the
-                // charge is finite.
-                if switch > 0.0 {
-                    cursor.charge_extra(switch);
+                // cost — saturated against non-finite model outputs, which
+                // the real driver rejects and a speculated β must survive.
+                let charge = speculation_charge(switch);
+                if charge > 0.0 {
+                    cursor.charge_extra(charge);
                 }
                 let model =
                     root_model.refit_with(&[(self.driver.features_of(candidate.id), node.value)]);
@@ -1439,18 +1704,22 @@ impl BatchedCtx<'_> {
                     y_star,
                     cursor.remaining_budget(),
                 );
-                if let Some((next, r1)) = selected {
+                let stored = selected.map(|(next, r1)| {
                     // The branch's exact first-step contributions, in the
                     // exhaustive engine's accumulation order and expressions
                     // (`explore` returns `(r₁, c₁)` verbatim at the leaf).
+                    // The switching charge is kept with the selection so
+                    // phase B hands it to `explore` instead of querying the
+                    // model again.
                     let next_switch = self.switching.cost(cursor.current(), next.id);
                     let c1 = (next.prediction.mean + next_switch).max(MIN_STEP_COST);
                     exact_cost += node.weight * c1;
                     exact_reward += self.settings.discount * node.weight * r1;
-                }
+                    (next, r1, next_switch)
+                });
                 mask[x_position] = false;
                 branch_models.push(model);
-                branch_next.push(selected);
+                branch_next.push(stored);
             }
         }
         if depth_left == 0 {
@@ -1482,7 +1751,24 @@ impl BatchedCtx<'_> {
         // phase-A surrogate and selected step straight into the `explore`
         // recursion, so the first level is never evaluated twice. The cursor
         // rebuild and the `explore` call are the exhaustive engine's, so the
-        // accumulated reward and cost are bit-identical to its fan-out.
+        // accumulated reward and cost are bit-identical to its fan-out. An
+        // armed [`DeepPrune`] probe rides along: every selected step folds
+        // its exact contributions into the accounted prefix and re-tests
+        // the in-search bound, so a subtree is abandoned the moment the
+        // candidate provably (under the shared tail premise) cannot beat
+        // the incumbent — per-branch pruning inside the `k² + … + k^LA`
+        // recursion, not just in front of it.
+        let mut probe = if prunable {
+            DeepPrune::armed(
+                incumbent,
+                observed_tail,
+                self.tail_drift,
+                exact_reward,
+                exact_cost,
+            )
+        } else {
+            DeepPrune::inactive()
+        };
         let mut reward = candidate.eic;
         let mut cost = first_step_cost;
         {
@@ -1490,32 +1776,57 @@ impl BatchedCtx<'_> {
                 .split_first_mut()
                 .expect("at least one scratch level");
             for k in 0..root_nodes.len() {
-                let Some((next, r1)) = branch_next[k] else {
+                let Some((next, r1, next_switch)) = branch_next[k] else {
                     // Budget exhausted along this branch: the path ends here.
                     continue;
                 };
+                // Between first-level branches the accounted prefix has
+                // grown by the finished branch's deep contributions;
+                // re-test before paying for the next branch's subtree.
+                if k > 0 && probe.check(1) {
+                    break;
+                }
                 let node = root_nodes[k];
                 let mut cursor = SpeculativeCursor::new(&self.driver.state);
                 cursor.push(candidate.id, node.value, node.value <= constraint_cap);
                 mask[x_position] = true;
-                if switch > 0.0 {
-                    cursor.charge_extra(switch);
+                let charge = speculation_charge(switch);
+                if charge > 0.0 {
+                    cursor.charge_extra(charge);
                 }
                 let (r, c) = self.explore(
                     &mut cursor,
                     &branch_models[k],
                     next,
                     r1,
+                    next_switch,
                     depth_left,
                     first,
                     rest,
                     mask,
                     memo,
+                    &mut probe,
+                    self.settings.discount * node.weight,
+                    node.weight,
                 );
+                mask[x_position] = false;
+                if probe.cut() {
+                    break;
+                }
                 cost += node.weight * c;
                 reward += self.settings.discount * node.weight * r;
-                mask[x_position] = false;
             }
+        }
+        if let Some(depth) = probe.cut_depth {
+            // The abandoned expansion still measured part of its deep tail
+            // exactly; publishing that partial tail can only raise the
+            // shared anchor toward the true tail scale, keeping later
+            // candidates' bounds as well-fed as full expansion would have.
+            let tail = probe.measured_tail();
+            if tail > 0.0 {
+                observed_tail.fetch_max(score_key(tail), Ordering::Relaxed);
+            }
+            return CandidateOutcome::CutDeep { depth };
         }
         let score = reward / cost.max(MIN_STEP_COST);
         if !score.is_nan() {
@@ -1575,11 +1886,13 @@ impl BatchedCtx<'_> {
         cursor.push(task.x, task.node.value, task.speculated_feasible);
         mask[x_position] = true;
         // Mirror the reference engine (and the real driver): a speculated
-        // run charges its switching cost after its run cost. `task.x` passed
-        // the root Γ filter, so the charge is finite.
+        // run charges its switching cost after its run cost — saturated
+        // against non-finite model outputs, identically at every engine's
+        // speculation site.
         let switch = self.switching.cost(self.driver.state.current(), task.x);
-        if switch > 0.0 {
-            cursor.charge_extra(switch);
+        let charge = speculation_charge(switch);
+        if charge > 0.0 {
+            cursor.charge_extra(charge);
         }
         if levels.len() < depth_left + 2 {
             levels.resize_with(depth_left + 2, Scratch::default);
@@ -1595,17 +1908,25 @@ impl BatchedCtx<'_> {
             y_star,
             cursor.remaining_budget(),
         );
+        // The exhaustive engine never cuts: an inactive probe makes every
+        // accounting and bound check a no-op (the scales are then unused).
+        let mut probe = DeepPrune::inactive();
         let result = selected.map(|(next, eic)| {
+            let next_switch = self.switching.cost(cursor.current(), next.id);
             self.explore(
                 &mut cursor,
                 model,
                 next,
                 eic,
+                next_switch,
                 depth_left,
                 first,
                 rest,
                 mask,
                 memo,
+                &mut probe,
+                1.0,
+                1.0,
             )
         });
         // Unwind the membership mask so the worker's next task starts clean.
@@ -1617,6 +1938,22 @@ impl BatchedCtx<'_> {
     /// the path that continues by speculatively profiling `x` (whose
     /// prediction and EIc come from `level`, the already-evaluated scratch of
     /// the cursor's current state).
+    ///
+    /// `switch` is the switching charge `χ → x` at the cursor's current
+    /// state, computed by the caller at the selection site (every selected
+    /// step's charge is needed there anyway — by phase A's exact sums and
+    /// by the probe's accounting — so handing it down avoids querying the
+    /// switching model twice per step).
+    ///
+    /// `probe` is the in-search pruning state of the enclosing candidate
+    /// (inactive on the exhaustive engine): every selected step accounts its
+    /// exact contributions — scaled to candidate-total units by
+    /// `reward_scale`/`cost_scale`, the products of `γ·w` and `w` along the
+    /// prefix — and re-tests the bound. The accounting is a side channel:
+    /// the returned `(reward, cost)` are accumulated exactly as the
+    /// exhaustive engine does, so scores stay bit-identical; on a cut the
+    /// return value is meaningless and callers at every level unwind (each
+    /// popping its own cursor frame and mask bit) without folding it in.
     #[allow(clippy::too_many_arguments)]
     fn explore(
         &self,
@@ -1624,13 +1961,16 @@ impl BatchedCtx<'_> {
         model: &BaggingEnsemble,
         x: Member,
         eic_x: f64,
+        switch: f64,
         depth_left: usize,
         level: &mut Scratch,
         deeper: &mut [Scratch],
         mask: &mut [bool],
         memo: &mut RowValueMemo,
+        probe: &mut DeepPrune<'_>,
+        reward_scale: f64,
+        cost_scale: f64,
     ) -> (f64, f64) {
-        let switch = self.switching.cost(cursor.current(), x.id);
         let mut reward = eic_x;
         let mut cost = (x.prediction.mean + switch).max(MIN_STEP_COST);
         if depth_left == 0 {
@@ -1653,10 +1993,11 @@ impl BatchedCtx<'_> {
             cursor.push(x.id, node.value, node.value <= constraint_cap);
             mask[x.index] = true;
             // The speculated β pays the switch `χ → x` too (same charge
-            // order as `Driver::try_profile`; `x` passed its state's Γ
-            // filter, so `switch` is finite).
-            if switch > 0.0 {
-                cursor.charge_extra(switch);
+            // order as `Driver::try_profile`), saturated against non-finite
+            // model outputs like every other speculation site.
+            let charge = speculation_charge(switch);
+            if charge > 0.0 {
+                cursor.charge_extra(charge);
             }
             let next_model = model.refit_with(&[(self.driver.features_of(x.id), node.value)]);
             let (child, grandchildren) = deeper
@@ -1670,17 +2011,45 @@ impl BatchedCtx<'_> {
                 y_star,
                 cursor.remaining_budget(),
             ) {
+                let child_rs = reward_scale * self.settings.discount * node.weight;
+                let child_cs = cost_scale * node.weight;
+                // The selected step's switching charge, computed once here
+                // and handed to the recursion below (which folds the
+                // identical `c₁` expression into its own return value).
+                let next_switch = self.switching.cost(cursor.current(), next.id);
+                if probe.active() {
+                    // The selected step's exact first-step reward and cost
+                    // are known now; fold them into the accounted prefix
+                    // and re-test the in-search bound before paying for
+                    // the subtree underneath.
+                    let c1 = (next.prediction.mean + next_switch).max(MIN_STEP_COST);
+                    probe.account(child_rs * next_eic, child_cs * c1);
+                    if probe.check(cursor.depth()) {
+                        cursor.pop();
+                        mask[x.index] = false;
+                        return (reward, cost);
+                    }
+                }
                 let (r, c) = self.explore(
                     cursor,
                     &next_model,
                     next,
                     next_eic,
+                    next_switch,
                     depth_left - 1,
                     child,
                     grandchildren,
                     mask,
                     memo,
+                    probe,
+                    child_rs,
+                    child_cs,
                 );
+                if probe.cut() {
+                    cursor.pop();
+                    mask[x.index] = false;
+                    return (reward, cost);
+                }
                 cost += node.weight * c;
                 reward += self.settings.discount * node.weight * r;
             }
@@ -2070,6 +2439,106 @@ mod tests {
         assert_eq!(report, exhaustive);
         optimizer.reset_prune_stats();
         assert_eq!(optimizer.prune_stats(), PruneStats::default());
+    }
+
+    #[test]
+    fn per_branch_cuts_fire_at_depth_and_stay_bit_identical() {
+        // A long warm run at LA=3: the in-search bound must abandon at
+        // least one candidate mid-expansion (the counters say at which
+        // depth), and the run must still reproduce the exhaustive engine.
+        let oracle = valley_oracle();
+        let s = OptimizerSettings {
+            budget: 2_500.0,
+            tmax_seconds: 1e6,
+            bootstrap_samples: Some(5),
+            lookahead: 3,
+            gauss_hermite_nodes: 3,
+            ..OptimizerSettings::default()
+        };
+        let bnb = LynceusOptimizer::new(s.clone());
+        let report = bnb.optimize(&oracle, 3);
+        let stats = bnb.prune_stats();
+        assert!(
+            stats.deep_pruned() > 0,
+            "no per-branch cut fired over {} candidates: {stats:?}",
+            stats.candidates
+        );
+        assert!(stats.total_pruned() <= stats.candidates);
+        assert!(stats.cut_fraction() >= stats.pruned_fraction());
+        assert!(stats.cut_fraction() <= 1.0);
+        let exhaustive = LynceusOptimizer::new(s)
+            .with_engine(PathEngine::Batched)
+            .optimize(&oracle, 3);
+        assert_eq!(report, exhaustive);
+    }
+
+    #[test]
+    fn prune_stats_reset_clears_deep_cut_counters_too() {
+        let oracle = valley_oracle();
+        let optimizer = LynceusOptimizer::new(settings(1_500.0, 2));
+        let _ = optimizer.optimize(&oracle, 3);
+        assert!(optimizer.prune_stats().candidates > 0);
+        optimizer.reset_prune_stats();
+        assert_eq!(optimizer.prune_stats(), PruneStats::default());
+        assert_eq!(optimizer.prune_stats().deep_pruned(), 0);
+    }
+
+    #[test]
+    fn speculation_saturates_non_finite_switching_charges() {
+        // A model that *lies* about being free while emitting an infinite
+        // charge for switches onto the valley's most expensive corner: the
+        // free fast path keeps that corner inside Γ (the filter never sees
+        // the cost), so every engine *speculates* it — reaching the
+        // speculation charge sites with `+inf` — while its tiny EIc keeps
+        // it from ever being profiled for real (which the driver would
+        // reject). Pre-saturation, the naive engine's materialized
+        // `Budget::charge` panicked on that inf while the overlay engines
+        // silently collapsed the speculated β to `-inf`; post-saturation
+        // all three engines survive it bit-identically.
+        struct LyingFree(ConfigId);
+        impl SwitchingCost for LyingFree {
+            fn cost(&self, _from: Option<ConfigId>, to: ConfigId) -> f64 {
+                if to == self.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            }
+            fn is_free(&self) -> bool {
+                true
+            }
+        }
+        let oracle = valley_oracle();
+        // The most expensive corner of the valley, located by asking the
+        // oracle itself so the test cannot drift from the cost surface.
+        let trap = oracle
+            .candidates()
+            .into_iter()
+            .max_by(|&a, &b| oracle.run(a).cost.total_cmp(&oracle.run(b).cost))
+            .expect("non-empty space");
+        for lookahead in [2usize, 3] {
+            let make = |engine| {
+                LynceusOptimizer::new(settings(900.0, lookahead))
+                    .with_engine(engine)
+                    .with_switching_cost(Box::new(LyingFree(trap)))
+                    .optimize(&oracle, 5)
+            };
+            let pruned = make(PathEngine::BoundAndPrune);
+            let batched = make(PathEngine::Batched);
+            let naive = make(PathEngine::NaiveReference);
+            assert_eq!(
+                pruned, batched,
+                "engines diverged under a non-finite switching model at LA={lookahead}"
+            );
+            assert_eq!(
+                batched, naive,
+                "naive engine diverged under a non-finite switching model at LA={lookahead}"
+            );
+            // The trap was speculated, never profiled; nothing non-finite
+            // leaked into the budget bookkeeping.
+            assert!(pruned.explorations.iter().all(|e| e.id != trap));
+            assert!(pruned.budget_spent.is_finite());
+        }
     }
 
     #[test]

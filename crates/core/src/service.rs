@@ -321,8 +321,14 @@ struct Sched {
 impl Sched {
     /// The next session to dispatch under the active policy, or `None` when
     /// nothing is ready. The starvation guard overrides every policy: any
-    /// session that waited [`STARVATION_LIMIT`] dispatches goes first
-    /// (oldest first).
+    /// session that waited [`STARVATION_LIMIT`] dispatches goes first.
+    /// When several sessions have crossed the limit in the same dispatch,
+    /// the **longest-waiting** one (oldest `enqueued_at`) is served, with
+    /// equal waits resolved in registry order — the guard deliberately
+    /// ignores priorities and deadlines, otherwise a high-priority starver
+    /// could keep leapfrogging an older low-priority one and unbound its
+    /// wait again (pinned by the tie-break test in
+    /// `tests/concurrent_service.rs`).
     fn pick(&self) -> Option<usize> {
         let fifo = |&id: &usize| (self.slots[id].enqueued_at, id);
         let starving = self

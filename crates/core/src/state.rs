@@ -262,11 +262,19 @@ impl<'a> SpeculativeCursor<'a> {
     /// # Panics
     ///
     /// Panics in debug builds if no frame has been pushed (the base state's
-    /// budget must not be modified through the cursor).
+    /// budget must not be modified through the cursor), or if the amount is
+    /// not a finite non-negative value — a non-finite charge would collapse
+    /// the speculated β to `-inf`/NaN and contaminate every score computed
+    /// from it; callers saturate model outputs before charging (see the
+    /// speculation sites in [`crate::lynceus`]).
     pub fn charge_extra(&mut self, amount: f64) {
         debug_assert!(
             !self.stack.is_empty(),
             "extra charges need a speculation frame to be restored with"
+        );
+        debug_assert!(
+            amount.is_finite() && amount >= 0.0,
+            "speculated charges must be finite and non-negative, got {amount}"
         );
         self.remaining -= amount;
     }

@@ -47,11 +47,14 @@ impl SwitchingCost for FreeSwitching {
 /// model) plugs into the optimizer without the optimizer depending on the
 /// cloud substrate.
 ///
-/// The wrapped function's output is sanitized: negative costs and NaN are
-/// mapped to `0.0` (a NaN switching cost would otherwise poison the budget
-/// bookkeeping, which only accepts finite non-negative charges). An infinite
-/// cost is passed through and rejected later by the profiling driver as a
-/// recoverable per-session error.
+/// The wrapped function's output is sanitized: NaN and every non-positive
+/// value — negative finites, `-inf`, and `-0.0` included — map to exactly
+/// `+0.0` (a NaN switching cost would otherwise poison the budget
+/// bookkeeping, which only accepts finite non-negative charges, and a
+/// negative zero would leak its sign bit into downstream arithmetic). A
+/// *positive* infinite cost is passed through: the profiling driver rejects
+/// it as a recoverable per-session error, and the speculation engines
+/// saturate it at their charge sites.
 pub struct FnSwitching<F>(pub F)
 where
     F: Fn(Option<ConfigId>, ConfigId) -> f64 + Send + Sync;
@@ -62,10 +65,14 @@ where
 {
     fn cost(&self, from: Option<ConfigId>, to: ConfigId) -> f64 {
         let cost = (self.0)(from, to);
-        if cost.is_nan() {
-            0.0
+        // `cost > 0.0` is false for NaN, -0.0 and every negative value, so
+        // one branch covers the whole sanitization table; the replacement
+        // is the positive zero (`(-0.0).max(0.0)` — the previous spelling —
+        // is allowed to return either sign of zero).
+        if cost > 0.0 {
+            cost
         } else {
-            cost.max(0.0)
+            0.0
         }
     }
 }
@@ -116,5 +123,28 @@ mod tests {
         });
         assert_eq!(inf.cost(None, ConfigId(0)), 0.0);
         assert_eq!(inf.cost(Some(ConfigId(0)), ConfigId(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn fn_switching_maps_negative_zero_and_negative_infinity_to_positive_zero() {
+        // The sanitized zero must be the *positive* zero bit pattern:
+        // `-0.0` compares equal to `0.0` but carries a sign bit that could
+        // leak into downstream arithmetic (`1.0 / -0.0 == -inf`), and
+        // `f64::max(-0.0, 0.0)` — the previous sanitization — is allowed
+        // to return either operand.
+        let neg_zero = FnSwitching(|_: Option<ConfigId>, _: ConfigId| -0.0);
+        let sanitized = neg_zero.cost(Some(ConfigId(1)), ConfigId(2));
+        assert_eq!(sanitized, 0.0);
+        assert!(
+            sanitized.is_sign_positive(),
+            "sanitized -0.0 kept its sign bit"
+        );
+        let neg_inf = FnSwitching(|_: Option<ConfigId>, _: ConfigId| f64::NEG_INFINITY);
+        let sanitized = neg_inf.cost(None, ConfigId(0));
+        assert_eq!(sanitized, 0.0);
+        assert!(sanitized.is_sign_positive());
+        // Positive subnormals pass through untouched.
+        let tiny = FnSwitching(|_: Option<ConfigId>, _: ConfigId| f64::from_bits(1));
+        assert_eq!(tiny.cost(None, ConfigId(0)), f64::from_bits(1));
     }
 }

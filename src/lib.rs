@@ -123,21 +123,39 @@
 //!   candidate whose bound cannot beat that incumbent skips its
 //!   `k² + … + k^LA` deep recursion — the exponential part of the
 //!   `|Γ|·k^LA` branch growth — which is what makes `LA ≥ 3` affordable.
-//!   Pruning is disabled for decisions taken before the first feasible
-//!   observation (the fallback incumbent can grow along a speculated path
-//!   there), at `LA = 1` the bound *is* the exact score, and every pruned
-//!   run is pinned bit-identical to the exhaustive engine by the
-//!   `bound_and_prune`, `engine_equivalence` and `pool_matrix` suites —
-//!   across seeds, lookaheads, switching models and worker counts. The
-//!   committed `BENCH_lookahead.json` (from the `fig6_lookahead` bench,
-//!   which records the CPU count and pruning stats per sweep cell) shows
-//!   the engine pruning 62% of candidates at `LA = 3` on a warm 128-point
-//!   synthetic space for a 2.77× per-decision speedup over exhaustive
-//!   expansion (74% / 2.50× at `LA = 2`; at `LA = 4`, where exhaustive
-//!   expansion is intractable, the pruned run completes with 38% of
-//!   candidates skipped), while cold-start runs on the Scout dataset prune
-//!   a more modest 8–22% — early-run scores cluster too tightly to
-//!   separate.
+//!   Candidates that *do* expand are pruned **per branch** as well: every
+//!   selected step of the deep recursion folds its exact discounted
+//!   reward/cost into an accounted prefix, and an in-search bound — the
+//!   prefix plus a calibrated remaining-tail allowance
+//!   (`DEEP_TAIL_SLACK·κ·T`) over the exactly-accounted cost — is
+//!   re-tested at every speculation level, abandoning the rest of the
+//!   subtree the moment the candidate can no longer beat the incumbent
+//!   (per-level cut counters: `core::PruneStats::deep_cuts`). The
+//!   in-search allowance is calibrated the same way κ was: with no extra
+//!   slack four landscapes of the wide 60-case sweep diverge (the exact
+//!   denominator strips the candidate bound's self-scaling cost headroom),
+//!   2.0 is the measured minimum, and 3.0 ships. Pruning is disabled for
+//!   decisions taken before the first feasible observation (the fallback
+//!   incumbent can grow along a speculated path there), at `LA = 1` the
+//!   bound *is* the exact score, and every pruned run is pinned
+//!   bit-identical to the exhaustive engine by the `bound_and_prune`,
+//!   `engine_equivalence` and `pool_matrix` suites — across seeds,
+//!   lookaheads, switching models and worker counts. The committed
+//!   `BENCH_lookahead.json` (from the `fig6_lookahead` bench, which
+//!   records the CPU count and per-level pruning cells per sweep cell)
+//!   shows the deep cuts biting hardest at `LA = 2` on a warm 128-point
+//!   synthetic space — 78% of candidates skipped or cut (74% outright
+//!   candidate-level + 4% abandoned mid-expansion) — while at `LA = 3`
+//!   the candidate-level bound already skips 62.5% and the in-search
+//!   probe adds a handful more (62.8% combined; at `LA = 4`, where
+//!   exhaustive expansion is intractable, the pruned run completes with
+//!   38% of candidates skipped). The warm-space per-decision speedup over
+//!   exhaustive expansion is 2–3× at `LA ∈ {2, 3}` (the artifact records
+//!   best-of-two samples; this 1-CPU container's timing noise makes finer
+//!   point estimates unstable across runs). Cold-start runs on the Scout
+//!   dataset prune a more modest 8–22% with no deep cuts — early-run
+//!   scores cluster too tightly to separate — and run at ~1.0× parity,
+//!   probe accounting included.
 //!
 //! Per-decision state lives in a Driver-owned arena (prediction buffers, Γ
 //! extraction, bound/dispatch buffers, per-worker scratch recycling, and an

@@ -12,7 +12,9 @@
 //! before and after the first feasible observation.
 
 use lynceus::core::switching::FnSwitching;
-use lynceus::core::{LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine, TableOracle};
+use lynceus::core::{
+    CostOracle, LynceusOptimizer, Optimizer, OptimizerSettings, PathEngine, TableOracle,
+};
 use lynceus::math::rng::SeededRng;
 use lynceus::space::{ConfigId, SpaceBuilder};
 
@@ -125,6 +127,70 @@ fn engines_are_bit_identical_under_switching_costs_at_lookahead_three() {
     }
 }
 
+/// Non-finite switching costs must be survivable at every speculation
+/// site: `FnSwitching` deliberately passes `+inf` through for the real
+/// profiling driver to reject as a recoverable error, so the speculation
+/// engines — which simulate the same charges against *speculated* budgets —
+/// must saturate it rather than subtract it (a `-inf` remaining budget
+/// NaN-contaminates every speculated score; the naive engine's
+/// materialized state even panicked). All three engines must agree
+/// bit-identically under such a model at the depths the pruning engine
+/// opens.
+#[test]
+fn engines_agree_under_infinite_switching_costs_at_lookahead_two_and_three() {
+    let mut rng = SeededRng::new(0x1F1F);
+    for lookahead in [2usize, 3] {
+        for case in 0..2u64 {
+            let oracle = random_oracle(&mut rng);
+            let settings = settings(&mut rng, lookahead);
+            // Switching onto the most expensive configuration costs `+inf`:
+            // the budget filter's `β − switch` arithmetic must exclude it
+            // from Γ at *every* speculated state (a real profiling of it
+            // would be rejected by the driver), while every other
+            // configuration keeps the speculation trees alive. The seeds
+            // are chosen so the unfiltered LHS bootstrap never lands on the
+            // trap (deterministic per seed; `optimize` would panic loudly
+            // otherwise).
+            let trap = oracle
+                .candidates()
+                .into_iter()
+                .max_by(|&a, &b| oracle.run(a).cost.total_cmp(&oracle.run(b).cost))
+                .expect("non-empty space");
+            let seed = 3 + case * 5;
+            let make = |engine: PathEngine| {
+                LynceusOptimizer::new(settings.clone())
+                    .with_engine(engine)
+                    .with_switching_cost(Box::new(FnSwitching(
+                        move |from: Option<ConfigId>, to: ConfigId| match from {
+                            Some(_) if to == trap => f64::INFINITY,
+                            Some(f) if f != to => 1.5,
+                            _ => 0.0,
+                        },
+                    )))
+                    .optimize(&oracle, seed)
+            };
+            let pruned = make(PathEngine::BoundAndPrune);
+            let batched = make(PathEngine::Batched);
+            assert_eq!(
+                pruned, batched,
+                "bound-and-prune diverged under inf switching at LA={lookahead}, case {case}"
+            );
+            assert_eq!(
+                batched,
+                make(PathEngine::NaiveReference),
+                "engines diverged under inf switching at LA={lookahead}, case {case}"
+            );
+            assert!(pruned.budget_spent.is_finite());
+            // The infinitely-expensive-to-reach configuration was never
+            // profiled after the bootstrap.
+            assert!(pruned
+                .explorations
+                .iter()
+                .all(|e| e.bootstrap || e.id != trap));
+        }
+    }
+}
+
 /// The measured κ trade-off the ROADMAP records: the tightest allowance
 /// κ = 1.0 prunes more candidates with thinner empirical margins, and on
 /// the original validation matrix (the same seeded generators as the
@@ -209,6 +275,14 @@ fn pruning_reports_skipped_candidates_and_matches_exhaustive_counts() {
         stats.candidates
     );
     assert!(stats.pruned_fraction() <= 1.0);
+    // Per-branch deep pruning adds to — never subtracts from — the
+    // candidate-level counts, and the totals stay coherent.
+    assert!(stats.total_pruned() >= stats.pruned);
+    assert!(stats.total_pruned() <= stats.candidates);
+    assert!(
+        stats.deep_pruned() > 0,
+        "no in-search cut fired in the warm LA=3 regime: {stats:?}"
+    );
     // And the pruned run is still bit-identical to exhaustive expansion.
     let exhaustive = LynceusOptimizer::new(settings)
         .with_engine(PathEngine::Batched)

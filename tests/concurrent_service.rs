@@ -402,6 +402,100 @@ fn the_starvation_guard_bounds_how_long_a_session_waits() {
     );
 }
 
+#[test]
+fn starving_sessions_are_served_longest_waiting_first_not_by_policy() {
+    let gate = GatedLog::new();
+    let service = TuningService::with_threads(1).with_policy(SchedulePolicy::Priority);
+    // One greedy top-priority session plus two starvers whose *policy*
+    // order (priorities 0 vs 5) is the reverse of their wait order (equal
+    // `enqueued_at`, so submission/registry order breaks the tie). Both
+    // cross STARVATION_LIMIT in the same dispatch window; the guard must
+    // serve them oldest-first — here the tie-break — and must NOT let the
+    // higher-priority starver leapfrog, which would unbound the other's
+    // wait again.
+    service.submit(gated_spec("greedy", &gate, 2_500.0, 1).with_priority(10));
+    service.submit(gated_spec("starved-low", &gate, 150.0, 2).with_priority(0));
+    service.submit(gated_spec("starved-high", &gate, 150.0, 3).with_priority(5));
+    gate.open();
+    let outcomes = service.run();
+    assert!(outcomes.iter().all(|o| !o.is_failed()));
+
+    let log = gate.log.lock().expect("gate poisoned").clone();
+    let low_first = first_index(&log, "starved-low");
+    let high_first = first_index(&log, "starved-high");
+    assert!(
+        low_first < log.len() && high_first < log.len(),
+        "both starved sessions must be aged into service: {log:?}"
+    );
+    assert!(
+        low_first < high_first,
+        "the starvation guard must serve the longest-waiting session first \
+         (equal waits: registry order), not the policy's favourite: {log:?}"
+    );
+    // And the guard still bounds both waits.
+    assert!(
+        (high_first as u64) <= STARVATION_LIMIT + 4,
+        "second starver waited {high_first} dispatches: {log:?}"
+    );
+}
+
+#[test]
+fn prune_stats_snapshots_stay_decision_consistent_under_concurrency() {
+    // A shared optimizer stepped from several threads while another thread
+    // polls (and occasionally resets) the pruning counters: every snapshot
+    // must describe a whole number of decisions — `total_pruned() ≤
+    // candidates`, `candidates ≥ decisions` — never a torn intermediate
+    // from a half-applied decision or reset, which the previous field-wise
+    // relaxed atomics could expose.
+    let optimizer = Arc::new(LynceusOptimizer::new(settings(700.0, 2)));
+    let stop = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for seed in 0..2u64 {
+            let optimizer = Arc::clone(&optimizer);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let oracle = valley_oracle(2.0 + seed as f64);
+                for run in 0..3 {
+                    let _ = optimizer.optimize(&oracle, seed * 7 + run);
+                }
+                stop.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let mut checked = 0usize;
+        while stop.load(Ordering::Relaxed) < 2 {
+            let stats = optimizer.prune_stats();
+            assert!(
+                stats.total_pruned() <= stats.candidates,
+                "torn snapshot: more pruned than candidates: {stats:?}"
+            );
+            assert!(
+                stats.candidates >= stats.decisions,
+                "torn snapshot: a decision without candidates: {stats:?}"
+            );
+            checked += 1;
+            if checked.is_multiple_of(64) {
+                optimizer.reset_prune_stats();
+                assert_eq!(
+                    {
+                        let s = optimizer.prune_stats();
+                        (
+                            s.total_pruned() <= s.candidates,
+                            s.candidates >= s.decisions,
+                        )
+                    },
+                    (true, true),
+                    "snapshot right after a reset must still be whole"
+                );
+            }
+            std::thread::yield_now();
+        }
+        assert!(checked > 0);
+        // The final quiescent snapshot is whole too.
+        let final_stats = optimizer.prune_stats();
+        assert!(final_stats.total_pruned() <= final_stats.candidates);
+    });
+}
+
 /// An oracle that reports NaN after a number of clean runs — the
 /// error-isolation probe of the steady-submission test.
 struct NanAfter {
