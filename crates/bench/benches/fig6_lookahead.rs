@@ -21,7 +21,7 @@
 use lynceus_bench::{bench_config, bench_tensorflow_datasets};
 use lynceus_core::{
     CostOracle, LynceusOptimizer, OptimizationReport, Optimizer, OptimizerSettings, PathEngine,
-    PruneStats, TableOracle,
+    Pool, PruneStats, TableOracle,
 };
 use lynceus_datasets::scout;
 use lynceus_experiments::figures::fig6;
@@ -182,6 +182,73 @@ fn main() {
         ));
     }
 
+    // Multicore cells: the LA=2 sweep points re-run with parallel paths
+    // through an explicit 4-lane pool. With ≥ 4 CPUs these are real
+    // parallel numbers; on smaller machines they are recorded anyway and
+    // flagged `oversubscribed` so a multicore runner only has to re-run the
+    // bench. The reports are asserted identical to the sequential sweep —
+    // the pool changes wall-clock only, never decisions.
+    const MULTICORE_THREADS: usize = 4;
+    struct MulticoreCell {
+        space: &'static str,
+        lookahead: usize,
+        seed: u64,
+        pool_ns_per_decision: f64,
+        identical: bool,
+    }
+    let mut multicore_cells = Vec::new();
+    {
+        let pool_run = |space: &'static str,
+                        oracle: &dyn CostOracle,
+                        settings: &OptimizerSettings,
+                        seed: u64,
+                        baseline: &OptimizationReport| {
+            let mut settings = settings.clone();
+            settings.parallel_paths = true;
+            let optimizer = LynceusOptimizer::new(settings)
+                .with_engine(PathEngine::BoundAndPrune)
+                .with_pool(std::sync::Arc::new(Pool::new(MULTICORE_THREADS)));
+            let mut best = f64::INFINITY;
+            let mut identical = true;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let report = optimizer.optimize(oracle, seed);
+                let elapsed = start.elapsed().as_nanos() as f64;
+                let decisions =
+                    (report.explorations.iter().filter(|e| !e.bootstrap).count() + 1) as f64;
+                best = best.min(elapsed / decisions);
+                identical &= report == *baseline;
+            }
+            assert!(identical, "pooled run diverged on {space} seed {seed}");
+            MulticoreCell {
+                space,
+                lookahead: 2,
+                seed,
+                pool_ns_per_decision: best,
+                identical,
+            }
+        };
+        let la2_settings = config.settings_for(&dataset, 2);
+        let (_, la2_report, _, _) =
+            timed_run(&dataset, &la2_settings, PathEngine::BoundAndPrune, 1);
+        multicore_cells.push(pool_run(
+            "scout/wordcount",
+            &dataset,
+            &la2_settings,
+            1,
+            &la2_report,
+        ));
+        let wide_la2 = wide_settings(2);
+        let (_, wide_report, _, _) = timed_run(&wide, &wide_la2, PathEngine::BoundAndPrune, 1);
+        multicore_cells.push(pool_run(
+            "synthetic/wide128-warm",
+            &wide,
+            &wide_la2,
+            1,
+            &wide_report,
+        ));
+    }
+
     for cell in &cells {
         let speedup = cell
             .speedup
@@ -198,6 +265,17 @@ fn main() {
             (cell.stats.cut_fraction() - cell.stats.pruned_fraction()) * 100.0,
             cell.stats.candidates,
             cell.decisions,
+        );
+    }
+    let oversubscribed = MULTICORE_THREADS > cpus;
+    for cell in &multicore_cells {
+        println!(
+            "{:<24} LA={} seed={} {:>12.0} ns/decision  ({MULTICORE_THREADS} threads, {cpus} cpu(s){})",
+            cell.space,
+            cell.lookahead,
+            cell.seed,
+            cell.pool_ns_per_decision,
+            if oversubscribed { ", oversubscribed" } else { "" },
         );
     }
 
@@ -232,6 +310,24 @@ fn main() {
             deep_cuts.join(", "),
             cell.stats.cut_fraction(),
             cell.identical,
+        ));
+    }
+    json.push_str("  ],\n");
+    // Timing-only multicore cells (no pruning counters on these lines: the
+    // counters belong to the sequential sweep above and `bench_check`'s
+    // counter validation keys on their presence).
+    json.push_str(&format!(
+        "  \"multicore_threads\": {MULTICORE_THREADS},\n  \"oversubscribed\": {oversubscribed},\n  \"multicore_cells\": [\n"
+    ));
+    for (i, cell) in multicore_cells.iter().enumerate() {
+        let comma = if i + 1 == multicore_cells.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!(
+            "    {{ \"space\": \"{}\", \"lookahead\": {}, \"seed\": {}, \"pool_ns_per_decision\": {:.1}, \"identical\": {} }}{comma}\n",
+            cell.space, cell.lookahead, cell.seed, cell.pool_ns_per_decision, cell.identical,
         ));
     }
     json.push_str("  ]\n}\n");

@@ -11,7 +11,7 @@
 //! `LYNCEUS_BENCH_OUT`.
 
 use lynceus_core::acquisition::constrained_ei;
-use lynceus_core::{LynceusOptimizer, Optimizer, PathEngine};
+use lynceus_core::{LynceusOptimizer, Optimizer, PathEngine, Pool};
 use lynceus_datasets::scout;
 use lynceus_experiments::ExperimentConfig;
 use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Prediction, Surrogate, TrainingSet};
@@ -79,6 +79,7 @@ fn feature_matrix(rows: usize, dims: usize) -> FeatureMatrix {
 fn lookahead2_run(
     engine: PathEngine,
     parallel: bool,
+    threads: Option<usize>,
 ) -> (
     f64,
     lynceus_core::OptimizationReport,
@@ -95,7 +96,10 @@ fn lookahead2_run(
     };
     let mut settings = config.settings_for(&dataset, 2);
     settings.parallel_paths = parallel;
-    let optimizer = LynceusOptimizer::new(settings).with_engine(engine);
+    let mut optimizer = LynceusOptimizer::new(settings).with_engine(engine);
+    if let Some(lanes) = threads {
+        optimizer = optimizer.with_pool(std::sync::Arc::new(Pool::new(lanes)));
+    }
     // Best of three runs: a single optimization is long enough to be hit by
     // scheduler noise on small containers.
     let mut best = f64::INFINITY;
@@ -149,6 +153,25 @@ fn main() {
         fitted.predict_rows(black_box(&matrix), black_box(&rows), &mut batch_out);
         black_box(&batch_out);
     }));
+
+    // The pre-flattening pointer walk, retained as the comparison baseline
+    // for the struct-of-arrays block traversal. Both passes must agree
+    // bit-for-bit — checked below before the numbers are persisted.
+    let mut pointer_out = Vec::new();
+    measurements.push(bench("bagging_predict_rows_pointer_256x5", 200, || {
+        fitted.predict_rows_pointer(black_box(&matrix), black_box(&rows), &mut pointer_out);
+        black_box(&pointer_out);
+    }));
+    fitted.predict_rows(&matrix, &rows, &mut batch_out);
+    fitted.predict_rows_pointer(&matrix, &rows, &mut pointer_out);
+    let flat_identical = batch_out.len() == pointer_out.len()
+        && batch_out.iter().zip(&pointer_out).all(|(a, b)| {
+            a.mean.to_bits() == b.mean.to_bits() && a.std.to_bits() == b.std.to_bits()
+        });
+    assert!(
+        flat_identical,
+        "flat block traversal must be bit-identical to the pointer walk"
+    );
 
     let mut memo = lynceus_learners::RowValueMemo::new();
     fitted.predict_rows_memo(&matrix, &rows, &mut batch_out, &mut memo);
@@ -206,10 +229,11 @@ fn main() {
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let (naive_ns, naive_report, _) = lookahead2_run(PathEngine::NaiveReference, false);
-    let (batched_seq_ns, batched_seq_report, _) = lookahead2_run(PathEngine::Batched, false);
-    let (batched_ns, batched_report, _) = lookahead2_run(PathEngine::Batched, true);
-    let (pruned_ns, pruned_report, prune_stats) = lookahead2_run(PathEngine::BoundAndPrune, true);
+    let (naive_ns, naive_report, _) = lookahead2_run(PathEngine::NaiveReference, false, None);
+    let (batched_seq_ns, batched_seq_report, _) = lookahead2_run(PathEngine::Batched, false, None);
+    let (batched_ns, batched_report, _) = lookahead2_run(PathEngine::Batched, true, None);
+    let (pruned_ns, pruned_report, prune_stats) =
+        lookahead2_run(PathEngine::BoundAndPrune, true, None);
     assert_eq!(
         naive_report, batched_report,
         "engines must make bit-identical decisions"
@@ -250,6 +274,45 @@ fn main() {
         );
     }
 
+    // Multicore cells: the same lookahead-2 decision driven through an
+    // explicit 4-lane pool. On a box with ≥ 4 CPUs this measures real
+    // parallel speedup; on smaller machines the cell is still recorded
+    // (flagged `oversubscribed`) so the JSON schema is stable across
+    // machines and a multicore runner fills in honest numbers.
+    const MULTICORE_THREADS: usize = 4;
+    let (mc_batched_ns, mc_batched_report, _) =
+        lookahead2_run(PathEngine::Batched, true, Some(MULTICORE_THREADS));
+    let (mc_pruned_ns, mc_pruned_report, _) =
+        lookahead2_run(PathEngine::BoundAndPrune, true, Some(MULTICORE_THREADS));
+    assert_eq!(
+        naive_report, mc_batched_report,
+        "pool size must not change decisions"
+    );
+    assert_eq!(naive_report, mc_pruned_report);
+    let oversubscribed = MULTICORE_THREADS > cpus;
+    println!(
+        "{:<34} {:>12.1} ns/decision   ({} threads, {cpus} cpu(s){})",
+        "lookahead2_batched_pool4",
+        mc_batched_ns,
+        MULTICORE_THREADS,
+        if oversubscribed {
+            ", oversubscribed"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<34} {:>12.1} ns/decision   ({} threads, {cpus} cpu(s){})",
+        "lookahead2_pruned_pool4",
+        mc_pruned_ns,
+        MULTICORE_THREADS,
+        if oversubscribed {
+            ", oversubscribed"
+        } else {
+            ""
+        }
+    );
+
     // Persist the baseline (hand-rolled JSON: no serde in this environment).
     let mut json = String::from("{\n  \"benchmark\": \"micro_components\",\n  \"components\": {\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -268,13 +331,26 @@ fn main() {
     let refit_speedup = component("bagging_fit_reference_40x5") / component("bagging_refit_with_1");
     let predict_speedup =
         component("bagging_predict_reference_256x5") / component("bagging_predict_rows_memo_256x5");
+    let pointer_ns = component("bagging_predict_rows_pointer_256x5");
+    let flat_ns = component("bagging_predict_rows_256x5");
+    let flat_speedup = pointer_ns / flat_ns;
     json.push_str("  },\n  \"component_speedups\": {\n");
     json.push_str(&format!(
-        "    \"speculative_refit_vs_reference_fit\": {refit_speedup:.2},\n    \"memoized_batch_predict_vs_reference_predict\": {predict_speedup:.2}\n"
+        "    \"speculative_refit_vs_reference_fit\": {refit_speedup:.2},\n    \"memoized_batch_predict_vs_reference_predict\": {predict_speedup:.2},\n    \"flat_block_predict_vs_pointer_predict\": {flat_speedup:.2}\n"
     ));
-    json.push_str("  },\n  \"lookahead2_decision\": {\n");
+    // One line: `bench_check`'s flat-cell validation scans line-wise.
+    json.push_str(&format!(
+        "  }},\n  \"flat_traversal\": {{ \"pointer_ns\": {pointer_ns:.1}, \"flat_ns\": {flat_ns:.1}, \"speedup\": {flat_speedup:.2}, \"identical\": {flat_identical} }},\n"
+    ));
+    json.push_str("  \"lookahead2_decision\": {\n");
     json.push_str(&format!(
         "    \"cpus\": {cpus},\n    \"naive_ns\": {naive_ns:.1},\n    \"batched_sequential_ns\": {batched_seq_ns:.1},\n    \"batched_ns\": {batched_ns:.1},\n    \"pruned_ns\": {pruned_ns:.1},\n    \"speedup_sequential\": {speedup_sequential:.2},\n    \"speedup\": {speedup:.2},\n    \"speedup_pruned\": {speedup_pruned:.2},\n    \"pruned_fraction\": {pruned_fraction:.3},\n    \"identical_recommendation\": true\n"
+    ));
+    json.push_str("  },\n  \"lookahead2_multicore\": {\n");
+    json.push_str(&format!(
+        "    \"cpus\": {cpus},\n    \"threads\": {MULTICORE_THREADS},\n    \"oversubscribed\": {oversubscribed},\n    \"batched_pool_ns\": {mc_batched_ns:.1},\n    \"pruned_pool_ns\": {mc_pruned_ns:.1},\n    \"speedup_batched_pool\": {:.2},\n    \"speedup_pruned_pool\": {:.2},\n    \"identical_recommendation\": true\n",
+        naive_ns / mc_batched_ns,
+        naive_ns / mc_pruned_ns
     ));
     json.push_str("  }\n}\n");
 

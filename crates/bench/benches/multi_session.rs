@@ -117,10 +117,13 @@ fn main() {
         "solo_sequential", solo_secs, solo_rate
     );
 
-    // Lane sweep: the sequential-multiplexing overhead guard plus the
-    // concurrent scheduler at machine width (deduplicated on 1 CPU).
-    let mut lane_counts = vec![1usize];
-    if cpus > 1 {
+    // Lane sweep: the sequential-multiplexing overhead guard, a fixed
+    // 4-lane concurrent-scheduler cell (recorded on every machine so the
+    // committed artifact always carries a multicore-schema cell — flagged
+    // `oversubscribed` when the box has fewer than 4 CPUs), and the
+    // machine-width cell when it differs from both.
+    let mut lane_counts = vec![1usize, 4];
+    if cpus > 1 && !lane_counts.contains(&cpus) {
         lane_counts.push(cpus);
     }
     let mut cells = Vec::new();
@@ -132,16 +135,23 @@ fn main() {
         );
         let service_rate = sessions as f64 / service_secs;
         let ratio = service_rate / solo_rate;
+        let oversubscribed = lanes > cpus;
         println!(
-            "{:<28} {:>9.3} s/pass   {:>8.2} sessions/s   ({:.2}x vs solo)",
+            "{:<28} {:>9.3} s/pass   {:>8.2} sessions/s   ({:.2}x vs solo{})",
             format!("service_{lanes}_lane(s)"),
             service_secs,
             service_rate,
-            ratio
+            ratio,
+            if oversubscribed {
+                ", oversubscribed"
+            } else {
+                ""
+            }
         );
         cells.push(format!(
             "    {{ \"lanes\": {lanes}, \"seconds_per_pass\": {service_secs:.4}, \
-             \"sessions_per_second\": {service_rate:.3}, \"vs_solo\": {ratio:.3} }}"
+             \"sessions_per_second\": {service_rate:.3}, \"vs_solo\": {ratio:.3}, \
+             \"oversubscribed\": {oversubscribed} }}"
         ));
     }
     if cpus > 1 {

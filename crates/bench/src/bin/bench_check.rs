@@ -130,6 +130,48 @@ fn cell_violations(json: &str) -> Vec<String> {
     violations
 }
 
+/// Validates the flat-traversal cells of the component baseline: any line
+/// carrying a `flat_ns` measurement must also carry the pointer-walk
+/// baseline it was compared against, a `speedup` of at least 1.0 (the
+/// struct-of-arrays layout regressing below the pointer walk is exactly
+/// the regression this gate exists to catch), and a true `identical` flag
+/// (the bench bit-compares the two traversals before writing the cell).
+/// The `micro_components` artifact must contain such a cell at all — a
+/// refactor that silently dropped the comparison would otherwise pass
+/// vacuously.
+fn flat_violations(json: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut cells = 0usize;
+    for (number, line) in json.lines().enumerate() {
+        let Some(flat_ns) = field_f64(line, "flat_ns") else {
+            continue;
+        };
+        cells += 1;
+        let cell = format!("flat cell at line {}", number + 1);
+        if field_f64(line, "pointer_ns").is_none() {
+            violations.push(format!(
+                "{cell}: flat_ns {flat_ns} without a pointer_ns baseline"
+            ));
+        }
+        match field_f64(line, "speedup") {
+            Some(speedup) if speedup >= 1.0 => {}
+            Some(speedup) => violations.push(format!(
+                "{cell}: flat traversal slower than the pointer walk (speedup {speedup} < 1.0)"
+            )),
+            None => violations.push(format!("{cell}: no speedup recorded")),
+        }
+        if !line.contains("\"identical\": true") {
+            violations.push(format!(
+                "{cell}: flat/pointer bit-identity not asserted true"
+            ));
+        }
+    }
+    if cells == 0 && json.contains("\"benchmark\": \"micro_components\"") {
+        violations.push("micro_components artifact carries no flat-traversal cell".to_owned());
+    }
+    violations
+}
+
 fn workspace_bench_files() -> Vec<PathBuf> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Ok(entries) = std::fs::read_dir(&root) else {
@@ -186,9 +228,10 @@ fn main() -> ExitCode {
             .map(|(key, _)| key.as_str())
             .collect();
         let violations = cell_violations(&json);
-        if false_flags.is_empty() && violations.is_empty() {
+        let flat = flat_violations(&json);
+        if false_flags.is_empty() && violations.is_empty() && flat.is_empty() {
             println!(
-                "bench_check: {} ok ({} equivalence flag(s) true, pruning cells coherent)",
+                "bench_check: {} ok ({} equivalence flag(s) true, pruning and flat cells coherent)",
                 file.display(),
                 flags.len()
             );
@@ -203,6 +246,12 @@ fn main() -> ExitCode {
             for violation in &violations {
                 eprintln!(
                     "bench_check: {} has incoherent pruning counters — {violation}",
+                    file.display()
+                );
+            }
+            for violation in &flat {
+                eprintln!(
+                    "bench_check: {} has an invalid flat-traversal cell — {violation}",
                     file.display()
                 );
             }
@@ -290,6 +339,46 @@ mod tests {
         assert!(cell_violations(no_decisions)
             .iter()
             .any(|v| v.contains("no decisions")));
+    }
+
+    use super::flat_violations;
+
+    #[test]
+    fn coherent_flat_cells_pass() {
+        let json = r#"{
+  "benchmark": "micro_components",
+  "flat_traversal": {
+    "pointer_ns": 20000.0, "flat_ns": 10000.0, "speedup": 2.00, "identical": true
+  }
+}"#;
+        assert_eq!(flat_violations(json), Vec::<String>::new());
+    }
+
+    #[test]
+    fn flat_regressions_and_missing_fields_are_reported() {
+        // Flat path slower than the pointer walk.
+        let slow =
+            r#"{ "pointer_ns": 100.0, "flat_ns": 150.0, "speedup": 0.67, "identical": true }"#;
+        assert!(flat_violations(slow).iter().any(|v| v.contains("< 1.0")));
+        // No pointer baseline on the line.
+        let orphan = r#"{ "flat_ns": 150.0, "speedup": 1.50, "identical": true }"#;
+        assert!(flat_violations(orphan)
+            .iter()
+            .any(|v| v.contains("without a pointer_ns baseline")));
+        // Bit-identity not asserted.
+        let unasserted =
+            r#"{ "pointer_ns": 100.0, "flat_ns": 50.0, "speedup": 2.00, "identical": false }"#;
+        assert!(flat_violations(unasserted)
+            .iter()
+            .any(|v| v.contains("bit-identity")));
+        // The component baseline must carry a flat cell at all.
+        let vacuous = r#"{ "benchmark": "micro_components", "components": {} }"#;
+        assert!(flat_violations(vacuous)
+            .iter()
+            .any(|v| v.contains("no flat-traversal cell")));
+        // Other artifacts are not required to carry one.
+        let other = r#"{ "benchmark": "multi_session" }"#;
+        assert!(flat_violations(other).is_empty());
     }
 
     #[test]

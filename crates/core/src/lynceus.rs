@@ -72,7 +72,7 @@ use crate::oracle::CostOracle;
 use crate::pool;
 use crate::state::{SearchState, SpeculativeCursor};
 use crate::switching::{FreeSwitching, SwitchingCost};
-use lynceus_learners::{BaggingEnsemble, Prediction, RowValueMemo, Surrogate};
+use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Prediction, RowValueMemo, Surrogate};
 use lynceus_math::quadrature::{discretize_normal_clamped, GaussHermiteRule, WeightedValue};
 use lynceus_math::rng::SeededRng;
 use lynceus_space::ConfigId;
@@ -662,7 +662,8 @@ impl LynceusOptimizer {
         }
         let DecisionScratch {
             base_ids,
-            base_rows,
+            block,
+            block_rows,
             positions,
             satisfaction,
             satisfaction_scratch,
@@ -685,7 +686,8 @@ impl LynceusOptimizer {
             z,
             RootBuffers {
                 base_ids,
-                base_rows,
+                block,
+                block_rows,
                 positions,
                 satisfaction,
                 satisfaction_scratch: &mut *satisfaction_scratch,
@@ -790,7 +792,8 @@ impl LynceusOptimizer {
         }
         let DecisionScratch {
             base_ids,
-            base_rows,
+            block,
+            block_rows,
             positions,
             satisfaction,
             satisfaction_scratch,
@@ -814,7 +817,8 @@ impl LynceusOptimizer {
             z,
             RootBuffers {
                 base_ids,
-                base_rows,
+                block,
+                block_rows,
                 positions,
                 satisfaction,
                 satisfaction_scratch: &mut *satisfaction_scratch,
@@ -1175,8 +1179,15 @@ struct BatchedCtx<'a> {
     /// Untested ids of the real state, in state order: the row universe of
     /// every evaluation this decision.
     base_ids: &'a [ConfigId],
-    /// Feature-matrix rows aligned with `base_ids`.
-    base_rows: &'a [usize],
+    /// The untested feature rows gathered into one dense block aligned with
+    /// `base_ids`, filled once per decision: every state evaluation of
+    /// every Gauss–Hermite branch of every candidate streams this
+    /// contiguous block instead of scattering through the full feature
+    /// matrix row by row.
+    block: &'a FeatureMatrix,
+    /// Identity row list `0..block.rows()` (the row universe *is* the
+    /// block), aligned with `base_ids`.
+    block_rows: &'a [usize],
     /// Inverse of `base_ids` (`ConfigId::index` → position, or
     /// [`SearchState::NOT_UNTESTED`]): the per-path speculated-membership
     /// masks are indexed by these positions.
@@ -1203,7 +1214,8 @@ struct BatchedCtx<'a> {
 /// the caller when `prepare_root` returns.
 struct RootBuffers<'ctx, 'tmp> {
     base_ids: &'ctx mut Vec<ConfigId>,
-    base_rows: &'ctx mut Vec<usize>,
+    block: &'ctx mut FeatureMatrix,
+    block_rows: &'ctx mut Vec<usize>,
     positions: &'ctx mut Vec<u32>,
     satisfaction: &'ctx mut Vec<f64>,
     satisfaction_scratch: &'tmp mut Vec<Prediction>,
@@ -1228,7 +1240,8 @@ fn prepare_root<'a>(
 ) -> BatchedCtx<'a> {
     let RootBuffers {
         base_ids,
-        base_rows,
+        block,
+        block_rows,
         positions,
         satisfaction,
         satisfaction_scratch,
@@ -1243,8 +1256,18 @@ fn prepare_root<'a>(
     // entries during selection.
     base_ids.clear();
     base_ids.extend_from_slice(driver.state.untested());
-    base_rows.clear();
-    base_rows.extend(base_ids.iter().map(|id| id.index()));
+    // Gather the untested rows into one dense, contiguous block. Every
+    // state evaluation of the decision — the root pass plus every
+    // Gauss–Hermite branch of every candidate — predicts over this block
+    // with identity row indices, so the surrogate streams sequential
+    // memory instead of scattering through the full feature matrix.
+    let matrix = driver.feature_matrix();
+    block.reset(matrix.dims());
+    for id in base_ids.iter() {
+        block.push_row(matrix.row(id.index()));
+    }
+    block_rows.clear();
+    block_rows.extend(0..base_ids.len());
     driver
         .state
         .untested_positions(driver.feature_matrix().rows(), positions);
@@ -1253,12 +1276,7 @@ fn prepare_root<'a>(
     // computed once here and shared by every speculated state.
     satisfaction.clear();
     if !constraint_models.is_empty() {
-        constraint_models.satisfaction_rows(
-            driver.feature_matrix(),
-            base_rows,
-            satisfaction,
-            satisfaction_scratch,
-        );
+        constraint_models.satisfaction_rows(block, block_rows, satisfaction, satisfaction_scratch);
     }
     // The memoized tree values of the previous decision belong to a
     // different row set; drop them before the root pass repopulates.
@@ -1274,7 +1292,8 @@ fn prepare_root<'a>(
         rule,
         budget_z: z,
         base_ids,
-        base_rows,
+        block,
+        block_rows,
         positions,
         satisfaction,
         root_y_star: 0.0,
@@ -1384,7 +1403,10 @@ impl Drop for WorkerLease<'_> {
 #[derive(Default)]
 pub(crate) struct DecisionScratch {
     base_ids: Vec<ConfigId>,
-    base_rows: Vec<usize>,
+    /// Dense per-decision feature block of the untested rows ([`prepare_root`]
+    /// gathers it once; every state evaluation streams it).
+    block: FeatureMatrix,
+    block_rows: Vec<usize>,
     positions: Vec<u32>,
     satisfaction: Vec<f64>,
     satisfaction_scratch: Vec<Prediction>,
@@ -1435,7 +1457,8 @@ impl DecisionScratch {
             })
             .sum();
         self.base_ids.capacity()
-            + self.base_rows.capacity()
+            + self.block.capacity()
+            + self.block_rows.capacity()
             + self.positions.capacity()
             + self.satisfaction.capacity()
             + self.satisfaction_scratch.capacity()
@@ -1461,7 +1484,7 @@ impl DecisionScratch {
 /// bounded number of allocations regardless of how many states it scores.
 #[derive(Default)]
 struct Scratch {
-    // (rows are fixed per decision and live in `BatchedCtx::base_rows`)
+    // (rows are fixed per decision and live in `BatchedCtx::{block, block_rows}`)
     /// Predictions aligned with the decision's base ids (one tree-major
     /// batch pass).
     predictions: Vec<Prediction>,
@@ -1530,12 +1553,7 @@ impl BatchedCtx<'_> {
         mask: &[bool],
         memo: &mut RowValueMemo,
     ) -> f64 {
-        model.predict_rows_memo(
-            self.driver.feature_matrix(),
-            self.base_rows,
-            &mut scratch.predictions,
-            memo,
-        );
+        model.predict_rows_memo(self.block, self.block_rows, &mut scratch.predictions, memo);
         // The pair list tracks the training set, which grows by one per
         // decision; reserving its run-constant upper bound (every
         // configuration profiled) up front keeps the buffer from

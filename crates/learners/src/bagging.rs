@@ -334,7 +334,11 @@ impl BaggingEnsemble {
     /// leaf values over the row set — keyed by the tree's `Arc` address,
     /// with the `Arc` kept alive inside the cache so an address can never be
     /// recycled while its entry exists — so a shared tree is traversed once
-    /// per decision instead of once per ensemble evaluation.
+    /// per decision instead of once per ensemble evaluation. A memoized
+    /// traversal descends the whole row block through the tree
+    /// ([`RegressionTree::predict_values_into`]), and the value vectors
+    /// collected during the mean pass are replayed by the deviation pass,
+    /// so each member costs one hash lookup per call, not two.
     ///
     /// The caller owns the cache and must use it only while `rows` is
     /// unchanged (the engine keeps one per worker per decision).
@@ -351,11 +355,21 @@ impl BaggingEnsemble {
             out.extend(rows.iter().map(|_| Prediction::certain(0.0)));
             return;
         }
+        let RowValueMemo { map, passes } = memo;
         // Bound the memo so a pathological decision cannot hold thousands of
-        // retired trees alive.
-        if memo.map.len() > 8192 {
-            memo.map.clear();
+        // retired trees alive — but evict only *retired* entries (the memo's
+        // `Arc` is the last one standing): live trees are shared with
+        // ensembles still in play this decision, and dropping their cached
+        // values would defeat the memo exactly when ensembles are largest.
+        // Fall back to a full clear only if retiring frees nothing.
+        if map.len() > MEMO_SOFT_CAPACITY {
+            let before = map.len();
+            map.retain(|_, (tree, _)| Arc::strong_count(tree) > 1);
+            if map.len() == before {
+                map.clear();
+            }
         }
+        passes.clear();
         let mut members = 0usize;
         out.resize(
             rows.len(),
@@ -367,15 +381,71 @@ impl BaggingEnsemble {
         for tree in self.trees.iter().filter(|t| t.is_fitted()) {
             members += 1;
             let key = Arc::as_ptr(tree) as usize;
-            let values = memo.map.entry(key).or_insert_with(|| {
-                let values = rows
-                    .iter()
-                    .map(|&row| tree.predict_value(features.row(row)))
-                    .collect();
-                (Arc::clone(tree), values)
+            let entry = map.entry(key).or_insert_with(|| {
+                let mut values = vec![0.0; rows.len()];
+                tree.predict_values_into(features, rows, &mut values);
+                (Arc::clone(tree), Arc::new(values))
             });
-            for (slot, &value) in out.iter_mut().zip(&values.1) {
+            let values = Arc::clone(&entry.1);
+            for (slot, &value) in out.iter_mut().zip(values.iter()) {
                 slot.mean += value;
+            }
+            passes.push(values);
+        }
+        if members == 0 {
+            let fallback = Prediction::certain(self.target_mean_fallback());
+            for slot in out.iter_mut() {
+                *slot = fallback;
+            }
+            return;
+        }
+        let n = members as f64;
+        for slot in out.iter_mut() {
+            slot.mean /= n;
+        }
+        // Deviation pass over the value vectors collected above, in the
+        // same member order — no second map resolution per tree.
+        for values in passes.iter() {
+            for (slot, &value) in out.iter_mut().zip(values.iter()) {
+                let d = value - slot.mean;
+                slot.std += d * d;
+            }
+        }
+        passes.clear();
+        for slot in out.iter_mut() {
+            slot.std = (slot.std / n).sqrt();
+        }
+    }
+
+    /// Batched prediction over the retained **pointer** tree walk — the
+    /// pre-flattening traversal, preserved as the comparison baseline the
+    /// `micro_components` bench measures the flat block traversal against
+    /// (the `flat_traversal` cell of `BENCH_baseline.json`). Element-wise
+    /// bit-identical to [`Surrogate::predict_rows`]; only the node layout
+    /// walked (and therefore the time taken) differs.
+    pub fn predict_rows_pointer(
+        &self,
+        features: &FeatureMatrix,
+        rows: &[usize],
+        out: &mut Vec<Prediction>,
+    ) {
+        out.clear();
+        if !self.fitted || self.trees.is_empty() {
+            out.extend(rows.iter().map(|_| Prediction::certain(0.0)));
+            return;
+        }
+        out.resize(
+            rows.len(),
+            Prediction {
+                mean: 0.0,
+                std: 0.0,
+            },
+        );
+        let mut members = 0usize;
+        for tree in self.trees.iter().filter(|t| t.is_fitted()) {
+            members += 1;
+            for (slot, &row) in out.iter_mut().zip(rows) {
+                slot.mean += tree.predict_value_pointer(features.row(row));
             }
         }
         if members == 0 {
@@ -390,10 +460,8 @@ impl BaggingEnsemble {
             slot.mean /= n;
         }
         for tree in self.trees.iter().filter(|t| t.is_fitted()) {
-            let key = Arc::as_ptr(tree) as usize;
-            let values = &memo.map[&key];
-            for (slot, &value) in out.iter_mut().zip(&values.1) {
-                let d = value - slot.mean;
+            for (slot, &row) in out.iter_mut().zip(rows) {
+                let d = tree.predict_value_pointer(features.row(row)) - slot.mean;
                 slot.std += d * d;
             }
         }
@@ -431,6 +499,24 @@ fn feature_subsample(dims: usize) -> usize {
     ((dims as f64).sqrt().ceil() as usize + 1).min(dims)
 }
 
+/// Row-chunk width of the block traversal in [`Surrogate::predict_rows`]:
+/// large enough to amortize the per-chunk dispatch and feed the 4-wide
+/// flat descent, small enough to live on the stack.
+const ROW_BLOCK: usize = 64;
+
+/// Entry bound above which [`BaggingEnsemble::predict_rows_memo`] evicts
+/// retired trees (and, only if that frees nothing, clears outright).
+const MEMO_SOFT_CAPACITY: usize = 8192;
+
+/// Tree address → `(tree, leaf values over the memo's row set)`. The entry
+/// keeps the tree's `Arc` alive both to pin the address key and to let the
+/// overflow policy tell live trees (strong count > 1) from retired ones.
+type MemoMap = std::collections::HashMap<
+    usize,
+    (Arc<RegressionTree>, Arc<Vec<f64>>),
+    std::hash::BuildHasherDefault<PointerHasher>,
+>;
+
 /// Cross-ensemble memo of per-tree leaf values over a fixed row set, used by
 /// [`BaggingEnsemble::predict_rows_memo`]. Entries keep their tree's `Arc`
 /// alive, so the address key is stable for the memo's lifetime. Keys are
@@ -438,11 +524,13 @@ fn feature_subsample(dims: usize) -> usize {
 /// an identity hasher instead of SipHash.
 #[derive(Default)]
 pub struct RowValueMemo {
-    map: std::collections::HashMap<
-        usize,
-        (Arc<RegressionTree>, Vec<f64>),
-        std::hash::BuildHasherDefault<PointerHasher>,
-    >,
+    map: MemoMap,
+    /// Per-call scratch: the value vectors of the ensemble under
+    /// evaluation, collected by the mean pass and replayed by the deviation
+    /// pass so the second pass performs no hash lookups. Cleared at the end
+    /// of every call (the `Arc`s are shared with `map`, so holding them
+    /// here costs nothing but a count).
+    passes: Vec<Arc<Vec<f64>>>,
 }
 
 /// Identity hasher for pointer-valued keys (with a multiplicative mix so the
@@ -479,6 +567,7 @@ impl RowValueMemo {
     /// values are per-row, keyed only by tree identity.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.passes.clear();
     }
 
     /// Number of distinct trees memoized.
@@ -573,14 +662,22 @@ impl Surrogate for BaggingEnsemble {
                 std: 0.0,
             },
         );
-        // Tree-major pass 1: accumulate the member sums. Per row the
-        // additions happen in member order, so the resulting mean is
-        // bit-identical to the row-at-a-time `predict`.
+        // Tree-major, block-traversal pass 1: each chunk of rows descends
+        // through the tree together (four in flight on the flat table) into
+        // a fixed stack buffer, then accumulates in row order — per row the
+        // additions still happen in member order, so the resulting mean is
+        // bit-identical to the row-at-a-time `predict`, and the pass stays
+        // allocation-free.
+        let mut block = [0.0f64; ROW_BLOCK];
         let mut members = 0usize;
         for tree in self.trees.iter().filter(|t| t.is_fitted()) {
             members += 1;
-            for (slot, &row) in out.iter_mut().zip(rows) {
-                slot.mean += tree.predict_value(features.row(row));
+            for (row_chunk, slot_chunk) in rows.chunks(ROW_BLOCK).zip(out.chunks_mut(ROW_BLOCK)) {
+                let block = &mut block[..row_chunk.len()];
+                tree.predict_values_into(features, row_chunk, block);
+                for (slot, &value) in slot_chunk.iter_mut().zip(block.iter()) {
+                    slot.mean += value;
+                }
             }
         }
         if members == 0 {
@@ -597,9 +694,13 @@ impl Surrogate for BaggingEnsemble {
         // Tree-major pass 2: accumulate the squared deviations in the same
         // member order, again matching `predict` bit for bit.
         for tree in self.trees.iter().filter(|t| t.is_fitted()) {
-            for (slot, &row) in out.iter_mut().zip(rows) {
-                let d = tree.predict_value(features.row(row)) - slot.mean;
-                slot.std += d * d;
+            for (row_chunk, slot_chunk) in rows.chunks(ROW_BLOCK).zip(out.chunks_mut(ROW_BLOCK)) {
+                let block = &mut block[..row_chunk.len()];
+                tree.predict_values_into(features, row_chunk, block);
+                for (slot, &value) in slot_chunk.iter_mut().zip(block.iter()) {
+                    let d = value - slot.mean;
+                    slot.std += d * d;
+                }
             }
         }
         for slot in out.iter_mut() {
@@ -840,6 +941,128 @@ mod tests {
         // Degenerate cases agree too.
         let unfitted = BaggingEnsemble::new(3);
         assert_eq!(unfitted.predict_reference(&[1.0]), unfitted.predict(&[1.0]));
+    }
+
+    fn tiny_set() -> TrainingSet {
+        let mut data = TrainingSet::new(1);
+        data.push(vec![0.0], 1.0);
+        data.push(vec![1.0], 2.0);
+        data.push(vec![2.0], 4.0);
+        data
+    }
+
+    #[test]
+    fn flat_pointer_and_memoized_batches_agree_bitwise() {
+        let data = noisy_quadratic(45);
+        let mut model = BaggingEnsemble::with_seed(12, 19);
+        model.fit(&data);
+        let matrix = FeatureMatrix::from_rows(1, (0..77).map(|i| [i as f64 * 0.21 - 3.0]));
+        let rows: Vec<usize> = (0..matrix.rows()).collect();
+        let (mut flat, mut pointer, mut memoized) = (Vec::new(), Vec::new(), Vec::new());
+        model.predict_rows(&matrix, &rows, &mut flat);
+        model.predict_rows_pointer(&matrix, &rows, &mut pointer);
+        let mut memo = RowValueMemo::new();
+        model.predict_rows_memo(&matrix, &rows, &mut memoized, &mut memo);
+        assert_eq!(flat, pointer, "flat block traversal diverged from pointer");
+        assert_eq!(flat, memoized, "memoized traversal diverged");
+        for (slot, &row) in flat.iter().zip(&rows) {
+            assert_eq!(*slot, model.predict(matrix.row(row)));
+        }
+        // Unfitted/degenerate paths agree too.
+        let unfitted = BaggingEnsemble::new(3);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        unfitted.predict_rows(&matrix, &rows, &mut a);
+        unfitted.predict_rows_pointer(&matrix, &rows, &mut b);
+        assert_eq!(a, b);
+    }
+
+    /// Regression test for the memo overflow policy: crossing the soft
+    /// capacity used to `clear()` the whole memo, evicting *live* shared
+    /// trees mid-decision. Now only retired entries (whose memo `Arc` is
+    /// the last owner) are evicted; the live ensembles' cached values
+    /// survive.
+    #[test]
+    fn memo_overflow_evicts_retired_trees_but_keeps_live_ones() {
+        let data = tiny_set();
+        let matrix = FeatureMatrix::from_rows(1, [[0.5], [1.5]]);
+        let rows = [0usize, 1];
+        let mut out = Vec::new();
+        let mut memo = RowValueMemo::new();
+
+        let mut live_a = BaggingEnsemble::with_seed(64, 1);
+        live_a.fit(&data);
+        live_a.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        let a_entries = memo.len();
+        let mut live_b = BaggingEnsemble::with_seed(64, 2);
+        live_b.fit(&data);
+        live_b.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        let b_entries = memo.len() - a_entries;
+
+        // Churn: fit-and-drop ensembles until the memo exceeds the bound.
+        // Every call during the loop starts at or below the bound, so the
+        // eviction first fires on the probe call after the loop.
+        let mut churn_seed = 1000u64;
+        while memo.len() <= MEMO_SOFT_CAPACITY {
+            let mut retired = BaggingEnsemble::with_seed(64, churn_seed);
+            churn_seed += 1;
+            retired.fit(&data);
+            retired.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+            // `retired` drops here: its entries' memo `Arc`s become sole owners.
+        }
+        assert!(memo.len() > MEMO_SOFT_CAPACITY);
+
+        let mut expected = Vec::new();
+        live_a.predict_rows(&matrix, &rows, &mut expected);
+        live_a.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        assert_eq!(out, expected, "eviction corrupted a live ensemble's values");
+        assert_eq!(
+            memo.len(),
+            a_entries + b_entries,
+            "only the two live ensembles' trees may survive the eviction"
+        );
+        // B's cached values survived without B being re-memoized: its call
+        // inserts nothing new.
+        live_b.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        assert_eq!(memo.len(), a_entries + b_entries);
+    }
+
+    /// The fallback half of the overflow policy: when every entry is live
+    /// (nothing to retire), the memo falls back to the old full clear so it
+    /// cannot grow without bound.
+    #[test]
+    fn memo_overflow_falls_back_to_full_clear_when_nothing_is_retired() {
+        let data = tiny_set();
+        let matrix = FeatureMatrix::from_rows(1, [[0.5], [1.5]]);
+        let rows = [0usize, 1];
+        let mut out = Vec::new();
+        let mut memo = RowValueMemo::new();
+
+        let mut live = BaggingEnsemble::with_seed(64, 1);
+        live.fit(&data);
+        live.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        let live_entries = memo.len();
+
+        let mut held = Vec::new();
+        let mut seed = 2000u64;
+        while memo.len() <= MEMO_SOFT_CAPACITY {
+            let mut other = BaggingEnsemble::with_seed(64, seed);
+            seed += 1;
+            other.fit(&data);
+            other.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+            held.push(other); // kept alive: every entry stays live
+        }
+        assert!(memo.len() > MEMO_SOFT_CAPACITY);
+
+        let mut expected = Vec::new();
+        live.predict_rows(&matrix, &rows, &mut expected);
+        live.predict_rows_memo(&matrix, &rows, &mut out, &mut memo);
+        assert_eq!(out, expected);
+        assert_eq!(
+            memo.len(),
+            live_entries,
+            "a full clear (then one re-memoized ensemble) was expected"
+        );
+        drop(held);
     }
 
     #[test]

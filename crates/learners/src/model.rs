@@ -186,6 +186,18 @@ pub struct FeatureMatrix {
     data: Vec<f64>,
 }
 
+impl Default for FeatureMatrix {
+    /// An empty single-column matrix — a placeholder for buffers that are
+    /// [`FeatureMatrix::reset`] to the real dimensionality before use (the
+    /// optimizer's per-decision row-block buffer is one).
+    fn default() -> Self {
+        Self {
+            dims: 1,
+            data: Vec::new(),
+        }
+    }
+}
+
 impl FeatureMatrix {
     /// Creates an empty matrix for feature vectors of length `dims`.
     ///
@@ -199,6 +211,25 @@ impl FeatureMatrix {
             dims,
             data: Vec::new(),
         }
+    }
+
+    /// Drops every row and re-dimensions the matrix, keeping the backing
+    /// allocation — for row-block buffers refilled once per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn reset(&mut self, dims: usize) {
+        assert!(dims > 0, "feature vectors need at least one dimension");
+        self.dims = dims;
+        self.data.clear();
+    }
+
+    /// Number of `f64` slots the backing allocation can hold without
+    /// growing (a capacity fingerprint for buffer-reuse tests).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Builds a matrix from an iterator of rows.

@@ -7,7 +7,7 @@
 //! criterion is variance reduction, the standard CART criterion for
 //! regression.
 
-use crate::model::{Prediction, Surrogate, TrainingSet};
+use crate::model::{FeatureMatrix, Prediction, Surrogate, TrainingSet};
 use lynceus_math::rng::SeededRng;
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +23,149 @@ enum Node {
     },
     /// Leaf: predict the mean of the samples that reached it.
     Leaf { value: f64, count: usize },
+}
+
+/// Sentinel in [`FlatNodes::feature`] marking a leaf.
+const FLAT_LEAF: u32 = u32::MAX;
+
+/// The flat struct-of-arrays form of a fitted tree, derived from the
+/// pointer/enum [`Node`] representation at fit time and used by every hot
+/// traversal.
+///
+/// Nodes are renumbered so a split's two children are *adjacent*
+/// (`child[n]` and `child[n] + 1`), which turns descent into an arithmetic
+/// select — `node = child[n] + (features[feature[n]] > threshold[n])` — with
+/// no enum discriminant to decode and no branch to mispredict on the
+/// left/right decision. Leaves reuse the `threshold` lane for their value,
+/// so one cache line of `threshold` serves both node kinds.
+///
+/// The pointer form in [`RegressionTree::nodes`] stays the authoritative
+/// (and serialized) representation; this table is a derived cache, excluded
+/// from equality so flat-carrying and pointer-only fits of the same data
+/// still compare equal.
+#[derive(Debug, Clone, Default)]
+struct FlatNodes {
+    /// Split feature per node; [`FLAT_LEAF`] marks a leaf.
+    feature: Vec<u32>,
+    /// Split threshold per split node; the leaf *value* per leaf node.
+    threshold: Vec<f64>,
+    /// Base index of the node's two adjacent children (left child at
+    /// `child[n]`, right child at `child[n] + 1`); 0 (never read) for
+    /// leaves.
+    child: Vec<u32>,
+}
+
+impl FlatNodes {
+    /// Builds the flat table from the pointer nodes, renumbering so each
+    /// split's children are adjacent.
+    fn build(nodes: &[Node]) -> Self {
+        let mut flat = Self {
+            feature: vec![0; nodes.len()],
+            threshold: vec![0.0; nodes.len()],
+            child: vec![0; nodes.len()],
+        };
+        if nodes.is_empty() {
+            return flat;
+        }
+        let mut next = 1u32;
+        let mut work = vec![(0usize, 0u32)];
+        while let Some((ptr, slot)) = work.pop() {
+            let slot = slot as usize;
+            match &nodes[ptr] {
+                Node::Leaf { value, .. } => {
+                    flat.feature[slot] = FLAT_LEAF;
+                    flat.threshold[slot] = *value;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let base = next;
+                    next += 2;
+                    flat.feature[slot] =
+                        u32::try_from(*feature).expect("feature index exceeds u32");
+                    flat.threshold[slot] = *threshold;
+                    flat.child[slot] = base;
+                    work.push((*left, base));
+                    work.push((*right, base + 1));
+                }
+            }
+        }
+        flat
+    }
+
+    fn is_empty(&self) -> bool {
+        self.feature.is_empty()
+    }
+
+    /// Branchless-select descent of one row. Matches the pointer walk bit
+    /// for bit: out-of-range features read as 0.0 and a NaN comparison is
+    /// false, so `!(x <= threshold)` sends NaN right exactly like the
+    /// pointer form's `if x <= threshold { left } else { right }`.
+    // The negated partial-ord comparison is the point: `partial_cmp` would
+    // reintroduce a branch and obscure the NaN-goes-right equivalence.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn descend(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            let feature = self.feature[node];
+            if feature == FLAT_LEAF {
+                return self.threshold[node];
+            }
+            let x = features.get(feature as usize).copied().unwrap_or(0.0);
+            node = self.child[node] as usize + usize::from(!(x <= self.threshold[node]));
+        }
+    }
+
+    /// Block traversal: descends `rows` through the tree four at a time.
+    /// The four in-flight descents are independent memory chains, so the
+    /// loads of one lane overlap the latency of the others; each row's
+    /// value is computed independently (no accumulation), so the result is
+    /// position-for-position identical to calling [`FlatNodes::descend`]
+    /// per row.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // same NaN semantic as `descend`
+    fn descend_rows_into(&self, features: &FeatureMatrix, rows: &[usize], out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), out.len());
+        let mut row_chunks = rows.chunks_exact(4);
+        let mut out_chunks = out.chunks_exact_mut(4);
+        for (row4, out4) in (&mut row_chunks).zip(&mut out_chunks) {
+            let lanes = [
+                features.row(row4[0]),
+                features.row(row4[1]),
+                features.row(row4[2]),
+                features.row(row4[3]),
+            ];
+            let mut node = [0usize; 4];
+            loop {
+                let mut active = false;
+                for lane in 0..4 {
+                    let feature = self.feature[node[lane]];
+                    if feature != FLAT_LEAF {
+                        active = true;
+                        let x = lanes[lane].get(feature as usize).copied().unwrap_or(0.0);
+                        node[lane] = self.child[node[lane]] as usize
+                            + usize::from(!(x <= self.threshold[node[lane]]));
+                    }
+                }
+                if !active {
+                    break;
+                }
+            }
+            for lane in 0..4 {
+                out4[lane] = self.threshold[node[lane]];
+            }
+        }
+        for (slot, &row) in out_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(row_chunks.remainder())
+        {
+            *slot = self.descend(features.row(row));
+        }
+    }
 }
 
 /// A regression tree with variance-reduction splits.
@@ -42,7 +185,7 @@ enum Node {
 /// assert!(tree.predict(&[2.0]).mean < 10.0);
 /// assert!(tree.predict(&[14.0]).mean > 50.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegressionTree {
     max_depth: usize,
     min_samples_leaf: usize,
@@ -50,7 +193,27 @@ pub struct RegressionTree {
     feature_subsample: Option<usize>,
     seed: u64,
     nodes: Vec<Node>,
+    /// Derived struct-of-arrays traversal cache (see [`FlatNodes`]), built
+    /// by the optimized fit path; empty on pointer-only fits
+    /// ([`RegressionTree::fit_reference`]). Never serialized or compared:
+    /// the pointer `nodes` stay the authoritative representation.
+    flat: FlatNodes,
     fitted: bool,
+}
+
+/// Equality over the authoritative state only: the derived [`FlatNodes`]
+/// cache is excluded, so an optimized fit (which carries the flat table)
+/// and a reference fit of the same data still compare equal — the
+/// `reference_build_is_bit_identical` test depends on this.
+impl PartialEq for RegressionTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_depth == other.max_depth
+            && self.min_samples_leaf == other.min_samples_leaf
+            && self.feature_subsample == other.feature_subsample
+            && self.seed == other.seed
+            && self.nodes == other.nodes
+            && self.fitted == other.fitted
+    }
 }
 
 impl Default for RegressionTree {
@@ -71,6 +234,7 @@ impl RegressionTree {
             feature_subsample: None,
             seed: 0,
             nodes: Vec::new(),
+            flat: FlatNodes::default(),
             fitted: false,
         }
     }
@@ -120,6 +284,7 @@ impl RegressionTree {
     /// Panics if an index is out of range.
     pub fn fit_indexed(&mut self, data: &TrainingSet, indices: &[usize]) {
         self.nodes.clear();
+        self.flat = FlatNodes::default();
         self.fitted = false;
         if indices.is_empty() {
             return;
@@ -136,6 +301,9 @@ impl RegressionTree {
         };
         let root = self.build(data, &mut owned, 0, &mut rng, &mut workspace);
         debug_assert_eq!(root, 0, "the root must be the first node");
+        // Flatten once per fit: every subsequent traversal of the tree runs
+        // on the contiguous table instead of chasing enum nodes.
+        self.flat = FlatNodes::build(&self.nodes);
         self.fitted = true;
     }
 
@@ -158,6 +326,9 @@ impl RegressionTree {
     pub fn fit_reference(&mut self, rows: &[Vec<f64>], targets: &[f64]) {
         assert_eq!(rows.len(), targets.len(), "one target per row");
         self.nodes.clear();
+        // No flat table: reference-fitted trees keep the original
+        // pointer-walk cost profile the benchmarks compare against.
+        self.flat = FlatNodes::default();
         self.fitted = false;
         if rows.is_empty() {
             return;
@@ -279,9 +450,28 @@ impl RegressionTree {
     ///
     /// This is the allocation-free core of [`Surrogate::predict`], exposed so
     /// ensembles can traverse tree-major without building a [`Prediction`]
-    /// per member.
+    /// per member. Runs on the flat struct-of-arrays table when the tree
+    /// carries one (every optimized fit does), falling back to the pointer
+    /// walk otherwise; the two are bit-identical
+    /// (`flat_descent_is_bit_identical_to_pointer_descent`).
     #[must_use]
     pub fn predict_value(&self, features: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        if self.flat.is_empty() {
+            return self.predict_value_pointer(features);
+        }
+        self.flat.descend(features)
+    }
+
+    /// The original pointer/enum descent (0 for an unfitted tree), retained
+    /// as the comparison baseline for the flat traversal: the equivalence
+    /// sweeps pin [`RegressionTree::predict_value`] bit-identical to this
+    /// walk, and the `micro_components` bench measures the flat speedup
+    /// against it.
+    #[must_use]
+    pub fn predict_value_pointer(&self, features: &[f64]) -> f64 {
         if !self.fitted {
             return 0.0;
         }
@@ -302,6 +492,32 @@ impl RegressionTree {
                     };
                 }
             }
+        }
+    }
+
+    /// Fills `out[i]` with the point prediction at row `rows[i]` of the
+    /// matrix — the block-traversal form of [`RegressionTree::predict_value`]:
+    /// the whole row block descends through this one tree (four rows in
+    /// flight at a time on the flat table) before the caller moves to the
+    /// next tree, keeping the tree's node table hot in cache for the whole
+    /// block. Position-for-position bit-identical to calling
+    /// [`RegressionTree::predict_value`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `out` have different lengths.
+    pub fn predict_values_into(&self, features: &FeatureMatrix, rows: &[usize], out: &mut [f64]) {
+        assert_eq!(rows.len(), out.len(), "one output slot per row");
+        if !self.fitted {
+            out.fill(0.0);
+            return;
+        }
+        if self.flat.is_empty() {
+            for (slot, &row) in out.iter_mut().zip(rows) {
+                *slot = self.predict_value_pointer(features.row(row));
+            }
+        } else {
+            self.flat.descend_rows_into(features, rows, out);
         }
     }
 
@@ -483,6 +699,7 @@ impl Surrogate for RegressionTree {
     fn fresh_clone(&self) -> Box<dyn Surrogate> {
         let mut clone = self.clone();
         clone.nodes.clear();
+        clone.flat = FlatNodes::default();
         clone.fitted = false;
         Box::new(clone)
     }
@@ -629,6 +846,122 @@ mod tests {
             reference.fit_reference(&rows, data.targets());
             assert_eq!(optimized, reference, "builds diverged on {n} samples");
         }
+    }
+
+    /// Seeded property sweep pinning the flat struct-of-arrays descent
+    /// bit-identical to the retained pointer walk, over random fitted trees
+    /// and adversarial feature values: NaN (must go right — the comparison
+    /// is false), ±infinity, subnormals, signed zero, rows hitting split
+    /// thresholds *exactly* (the `<=` boundary) and one ULP past them, and
+    /// short rows whose missing features read as 0.0.
+    #[test]
+    fn flat_descent_is_bit_identical_to_pointer_descent() {
+        use crate::model::FeatureMatrix;
+        use lynceus_math::rng::SeededRng;
+        let mut rng = SeededRng::new(0xF1A7);
+        for round in 0..30usize {
+            let dims = 1 + round % 4;
+            let n = 2 + rng.below(60);
+            let mut data = TrainingSet::new(dims);
+            for _ in 0..n {
+                data.push(
+                    (0..dims).map(|_| rng.uniform(-50.0, 50.0)).collect(),
+                    rng.uniform(-100.0, 100.0),
+                );
+            }
+            let mut tree = RegressionTree::new()
+                .with_max_depth(1 + rng.below(12))
+                .with_min_samples_leaf(1 + rng.below(3))
+                .with_feature_subsample(1 + rng.below(dims))
+                .with_seed(rng.next_u64());
+            tree.fit(&data);
+            assert!(!tree.flat.is_empty(), "optimized fit must carry the table");
+
+            let mut queries: Vec<Vec<f64>> = (0..20)
+                .map(|_| (0..dims).map(|_| rng.uniform(-60.0, 60.0)).collect())
+                .collect();
+            for special in [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,       // smallest normal
+                f64::MIN_POSITIVE / 2.0, // subnormal
+                5e-324,                  // smallest subnormal
+                -5e-324,
+                -0.0,
+            ] {
+                queries.push(vec![special; dims]);
+                let mut mixed = vec![1.0; dims];
+                mixed[rng.below(dims)] = special;
+                queries.push(mixed);
+            }
+            for node in &tree.nodes {
+                let Node::Split {
+                    feature, threshold, ..
+                } = node
+                else {
+                    continue;
+                };
+                let mut exact = vec![0.0; dims];
+                exact[*feature] = *threshold; // exactly on the `<=` boundary
+                queries.push(exact.clone());
+                exact[*feature] = f64::from_bits(threshold.to_bits() + 1); // one ULP off
+                queries.push(exact);
+            }
+            queries.push(Vec::new()); // every feature out of range → 0.0
+
+            for query in &queries {
+                let flat = tree.predict_value(query);
+                let pointer = tree.predict_value_pointer(query);
+                assert_eq!(
+                    flat.to_bits(),
+                    pointer.to_bits(),
+                    "flat {flat} != pointer {pointer} on {query:?} (round {round})"
+                );
+            }
+
+            // The block traversal (including the 4-wide interleaved path and
+            // its remainder tail) must match the per-row walk bit for bit.
+            let matrix = FeatureMatrix::from_rows(dims, queries.iter().filter(|q| q.len() == dims));
+            let rows: Vec<usize> = (0..matrix.rows()).collect();
+            let mut block = vec![0.0; rows.len()];
+            tree.predict_values_into(&matrix, &rows, &mut block);
+            for (&row, &value) in rows.iter().zip(&block) {
+                let pointer = tree.predict_value_pointer(matrix.row(row));
+                assert_eq!(
+                    value.to_bits(),
+                    pointer.to_bits(),
+                    "block row {row} diverged (round {round})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_table_is_rebuilt_per_fit_and_absent_on_reference_fits() {
+        let data = step_data();
+        let mut tree = RegressionTree::new();
+        tree.fit(&data);
+        assert!(!tree.flat.is_empty());
+        assert_eq!(tree.flat.feature.len(), tree.nodes.len());
+        let mut reference = RegressionTree::new();
+        let rows: Vec<Vec<f64>> = data.feature_rows().map(<[f64]>::to_vec).collect();
+        reference.fit_reference(&rows, data.targets());
+        assert!(
+            reference.flat.is_empty(),
+            "reference fits stay pointer-only"
+        );
+        // …and still predict identically through the dispatching entry point.
+        for x in [-3.0, 2.0, 9.99, 10.0, 10.01, 25.0] {
+            assert_eq!(
+                tree.predict_value(&[x, 0.0]).to_bits(),
+                reference.predict_value(&[x, 0.0]).to_bits()
+            );
+        }
+        // Refitting on an empty index list drops the stale table.
+        tree.fit_indexed(&data, &[]);
+        assert!(tree.flat.is_empty());
+        assert!(!tree.is_fitted());
     }
 
     #[test]

@@ -82,14 +82,30 @@
 //! The branch count grows as `|Γ|·k^LA`, which is why the paper stops at
 //! `LA = 2`; the production engine opens `LA ≥ 3` with a best-first
 //! branch-and-bound search (see below). The engine (see
-//! [`core::PathEngine`]) is built around six ideas:
+//! [`core::PathEngine`]) is built around seven ideas:
 //!
 //! * **Batched, tree-major prediction** — each (real or speculated) state is
 //!   scored with one [`learners::Surrogate::predict_rows`] pass over a
 //!   precomputed row-major [`learners::FeatureMatrix`], into reusable
 //!   buffers; a per-decision memo ([`learners::RowValueMemo`]) lets member
 //!   trees shared between speculative ensembles be traversed once per
-//!   decision instead of once per state.
+//!   decision instead of once per state. The engines gather the decision's
+//!   untested rows into one dense row block (`prepare_root`) that every
+//!   Gauss–Hermite branch of every candidate at every speculation level
+//!   streams, instead of re-materializing scattered rows per candidate.
+//! * **Flat struct-of-arrays tree tables** — fitting a
+//!   [`learners::RegressionTree`] also lays the tree out as three
+//!   contiguous arrays (`feature`, `threshold`, packed child indices with
+//!   a leaf sentinel), so descent is an arithmetic select —
+//!   `child + !(x <= threshold)` — with no pointer chasing, no enum
+//!   discriminant, and no branch to mispredict (NaN features take the
+//!   right child through the same comparison, exactly like the pointer
+//!   walk). Batch prediction descends four rows per tree in interleaved
+//!   lanes to overlap the independent memory chains. The pointer/enum
+//!   form stays the authoritative, serialized representation (reference
+//!   fits keep walking it), and the flat form is pinned bit-identical to
+//!   it by a seeded adversarial sweep (NaN, ±inf, subnormals,
+//!   exact-threshold rows) plus every engine-equivalence suite.
 //! * **Incremental surrogate extension** — bootstrap resamples use
 //!   counter-based Poisson(1) counts, so
 //!   [`learners::BaggingEnsemble::refit_with`] extends a fitted ensemble by
@@ -178,11 +194,18 @@
 //! decisions (asserted by the `engine_equivalence` tests) and anchors the
 //! `micro_components` benchmark, whose results are committed in
 //! `BENCH_baseline.json`. On the single-CPU container used for the baseline
-//! the purely algorithmic speedup of a lookahead-2 decision is ~3.5–4×
-//! (component level: incremental refit ~8× vs the reference fit, memoized
-//! batched prediction ~21× vs per-configuration prediction); the
-//! work-stealing pool adds near-linear scaling across cores on real
-//! hardware, since branch evaluations are independent.
+//! the purely algorithmic speedup of a lookahead-2 decision is ~3.1–3.3×
+//! (component level: incremental refit ~7× vs the reference fit, memoized
+//! batched prediction ~19× vs per-configuration prediction, and the flat
+//! block traversal ~1.9× vs the retained pointer walk — the
+//! `flat_traversal` cell, which `bench_check` gates at ≥ 1.0 with the
+//! bit-identity flag asserted). The artifacts also carry fixed
+//! 4-thread/4-lane cells (`lookahead2_multicore`, the lookahead bench's
+//! `multicore_cells`, the 4-lane scheduler cell) so a multicore box only
+//! has to re-run the benches; on this container they are honest
+//! oversubscribed measurements and flagged as such — the work-stealing
+//! pool's near-linear cross-core scaling claim remains to be measured on
+//! real hardware, since branch evaluations are independent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
