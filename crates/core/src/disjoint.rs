@@ -98,11 +98,11 @@ pub fn disjoint_optimization(
         let best_feasible = ids
             .iter()
             .filter(|id| outcomes[id].1)
-            .min_by(|a, b| outcomes[a].0.partial_cmp(&outcomes[b].0).expect("finite"));
+            .min_by(|a, b| outcomes[a].0.total_cmp(&outcomes[b].0));
         best_feasible
             .or_else(|| {
                 ids.iter()
-                    .min_by(|a, b| outcomes[a].0.partial_cmp(&outcomes[b].0).expect("finite"))
+                    .min_by(|a, b| outcomes[a].0.total_cmp(&outcomes[b].0))
             })
             .copied()
     };

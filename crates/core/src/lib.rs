@@ -64,6 +64,7 @@ pub mod disjoint;
 pub mod lynceus;
 pub mod optimizer;
 pub mod oracle;
+pub(crate) mod poison;
 pub mod pool;
 pub mod random;
 pub mod service;

@@ -319,6 +319,7 @@ impl LynceusOptimizer {
     /// [`OptimizerSettings::validate`] to check them first.
     #[must_use]
     pub fn new(settings: OptimizerSettings) -> Self {
+        // lint: allow(no-panic) -- documented constructor contract: invalid settings are a caller bug, rejected before any session exists
         settings.validate().expect("invalid optimizer settings");
         let name = match settings.lookahead {
             // The paper's default depth carries the bare name.
@@ -415,7 +416,7 @@ impl LynceusOptimizer {
     /// [`LynceusOptimizer::reset_prune_stats`]), never a torn intermediate.
     #[must_use]
     pub fn prune_stats(&self) -> PruneStats {
-        *self.counters.0.lock().expect("prune counters poisoned")
+        *crate::poison::lock(&self.counters.0)
     }
 
     /// Resets the cumulative branch-and-bound counters (e.g. between the
@@ -423,7 +424,7 @@ impl LynceusOptimizer {
     /// decisions and snapshots: a reset never leaves a partial record
     /// behind.
     pub fn reset_prune_stats(&self) {
-        *self.counters.0.lock().expect("prune counters poisoned") = PruneStats::default();
+        *crate::poison::lock(&self.counters.0) = PruneStats::default();
     }
 
     // =====================================================================
@@ -954,11 +955,7 @@ impl LynceusOptimizer {
                 CandidateOutcome::Scored(_) => {}
             }
         }
-        self.counters
-            .0
-            .lock()
-            .expect("prune counters poisoned")
-            .absorb(&decision);
+        crate::poison::lock(&self.counters.0).absorb(&decision);
 
         // Reduction in Γ order over the expanded candidates. A pruned (or
         // mid-expansion cut) candidate's bound was strictly below some
@@ -1126,6 +1123,9 @@ impl<'a> DeepPrune<'a> {
         let Some((incumbent, observed_tail)) = self.shared else {
             return false;
         };
+        // ordering: Relaxed — the u64 score_key is the whole message and the
+        // cells are monotone fetch_max bounds; a stale read only weakens the
+        // cut (pruned candidates provably cannot win), never a decision.
         let anchor = observed_tail.load(Ordering::Relaxed);
         if anchor == 0 {
             return false;
@@ -1134,6 +1134,7 @@ impl<'a> DeepPrune<'a> {
         let bound = (self.done_reward + remaining) / self.done_cost.max(MIN_STEP_COST);
         // A NaN bound signals degenerate arithmetic; expanding is always
         // safe (the exact score decides), cutting on it would not be.
+        // ordering: Relaxed — same monotone-bound argument as the anchor load above.
         if !bound.is_nan() && score_key(bound) < incumbent.load(Ordering::Relaxed) {
             self.cut_depth = Some(depth);
             true
@@ -1365,11 +1366,7 @@ struct WorkerLease<'a> {
 
 impl<'a> WorkerLease<'a> {
     fn take(home: &'a Mutex<Vec<BranchScratch>>, base_len: usize) -> Self {
-        let mut scratch = home
-            .lock()
-            .expect("scratch recycler poisoned")
-            .pop()
-            .unwrap_or_default();
+        let mut scratch = crate::poison::lock(home).pop().unwrap_or_default();
         // The previous decision's memo refers to a different row set.
         scratch.memo.clear();
         scratch.mask.clear();
@@ -1381,6 +1378,7 @@ impl<'a> WorkerLease<'a> {
     }
 
     fn get(&mut self) -> &mut BranchScratch {
+        // lint: allow(no-panic) -- lease invariant: scratch is Some from take() until drop; get() after drop is unreachable by construction
         self.scratch.as_mut().expect("lease already returned")
     }
 }
@@ -1699,6 +1697,7 @@ impl BatchedCtx<'_> {
         {
             let (first, _) = levels
                 .split_first_mut()
+                // lint: allow(no-panic) -- arena invariant: levels was resized to depth_left + 2 ≥ 2 entries just above
                 .expect("at least one scratch level");
             for &node in root_nodes.iter() {
                 let mut cursor = SpeculativeCursor::new(&self.driver.state);
@@ -1745,6 +1744,9 @@ impl BatchedCtx<'_> {
             // cost, so the candidate is fully scored already.
             let score = exact_reward / exact_cost.max(MIN_STEP_COST);
             if !score.is_nan() {
+                // ordering: Relaxed — the monotone u64 score_key is the whole
+                // message and fetch_max is an atomic RMW; readers that miss it
+                // merely prune less, never differently.
                 incumbent.fetch_max(score_key(score), Ordering::Relaxed);
             }
             return CandidateOutcome::Scored(score);
@@ -1754,6 +1756,8 @@ impl BatchedCtx<'_> {
         // unconditionally. A NaN bound signals degenerate arithmetic;
         // expanding is always safe (the exact score decides), pruning on it
         // would not be.
+        // ordering: Relaxed — monotone fetch_max bound cells carry the whole
+        // message in their u64 key; a stale view only weakens pruning.
         let observed = observed_tail.load(Ordering::Relaxed);
         let bound = if observed == 0 {
             f64::NAN
@@ -1761,6 +1765,7 @@ impl BatchedCtx<'_> {
             (exact_reward + self.tail_drift * score_from_key(observed))
                 / exact_cost.max(MIN_STEP_COST)
         };
+        // ordering: Relaxed — same monotone-bound argument as the load above.
         if prunable && !bound.is_nan() && score_key(bound) < incumbent.load(Ordering::Relaxed) {
             return CandidateOutcome::Pruned;
         }
@@ -1792,6 +1797,7 @@ impl BatchedCtx<'_> {
         {
             let (first, rest) = levels
                 .split_first_mut()
+                // lint: allow(no-panic) -- arena invariant: levels still holds the depth_left + 2 entries sized in phase A
                 .expect("at least one scratch level");
             for k in 0..root_nodes.len() {
                 let Some((next, r1, next_switch)) = branch_next[k] else {
@@ -1842,12 +1848,16 @@ impl BatchedCtx<'_> {
             // candidates' bounds as well-fed as full expansion would have.
             let tail = probe.measured_tail();
             if tail > 0.0 {
+                // ordering: Relaxed — monotone fetch_max publication; the u64
+                // key is the whole message, missed updates only weaken pruning.
                 observed_tail.fetch_max(score_key(tail), Ordering::Relaxed);
             }
             return CandidateOutcome::CutDeep { depth };
         }
         let score = reward / cost.max(MIN_STEP_COST);
         if !score.is_nan() {
+            // ordering: Relaxed — monotone fetch_max publication of a
+            // self-contained u64 score key; staleness only weakens pruning.
             incumbent.fetch_max(score_key(score), Ordering::Relaxed);
         }
         // Publish the measured deep tail (what the deep recursion added on
@@ -1859,6 +1869,8 @@ impl BatchedCtx<'_> {
         // keeps expanding unconditionally.
         let tail = reward - exact_reward;
         if tail > 0.0 {
+            // ordering: Relaxed — monotone fetch_max publication; the u64
+            // key is the whole message, missed updates only weaken pruning.
             observed_tail.fetch_max(score_key(tail), Ordering::Relaxed);
         }
         CandidateOutcome::Scored(score)
@@ -1917,6 +1929,7 @@ impl BatchedCtx<'_> {
         }
         let (first, rest) = levels
             .split_first_mut()
+            // lint: allow(no-panic) -- arena invariant: levels was resized to depth_left + 2 ≥ 2 entries just above
             .expect("at least one scratch level");
         let y_star = self.eval_state(&cursor, model, first, mask, memo);
         let selected = self.select_next(
@@ -2020,6 +2033,7 @@ impl BatchedCtx<'_> {
             let next_model = model.refit_with(&[(self.driver.features_of(x.id), node.value)]);
             let (child, grandchildren) = deeper
                 .split_first_mut()
+                // lint: allow(no-panic) -- arena invariant: the entry sizing reserved depth_left + 2 levels, one per recursion step
                 .expect("scratch levels cover the lookahead depth");
             let y_star = self.eval_state(cursor, &next_model, child, mask, memo);
             if let Some((next, next_eic)) = self.select_next(

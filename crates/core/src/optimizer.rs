@@ -512,12 +512,7 @@ impl<'a> Driver<'a> {
             .iter()
             .filter(|e| e.observation.runtime_seconds <= self.settings.tmax_seconds)
             .filter(|e| satisfies_secondary(e))
-            .min_by(|a, b| {
-                a.observation
-                    .cost
-                    .partial_cmp(&b.observation.cost)
-                    .expect("costs are finite")
-            });
+            .min_by(|a, b| a.observation.cost.total_cmp(&b.observation.cost));
         OptimizationReport {
             optimizer: optimizer.to_owned(),
             recommended: recommended.map(|e| e.id),

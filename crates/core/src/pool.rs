@@ -117,9 +117,9 @@ impl Pool {
     /// wait.
     #[must_use]
     pub fn acquire(&self) -> PoolSlot<'_> {
-        let mut available = self.available.lock().expect("pool budget poisoned");
+        let mut available = crate::poison::lock(&self.available);
         while *available == 0 {
-            available = self.freed.wait(available).expect("pool budget poisoned");
+            available = crate::poison::wait(&self.freed, available);
         }
         *available -= 1;
         PoolSlot { pool: self }
@@ -128,7 +128,7 @@ impl Pool {
     /// Takes up to `want` slots without blocking (possibly zero): the extra
     /// workers of a batch fan-out beyond the calling thread.
     fn try_extra(&self, want: usize) -> usize {
-        let mut available = self.available.lock().expect("pool budget poisoned");
+        let mut available = crate::poison::lock(&self.available);
         let granted = want.min(*available);
         *available -= granted;
         granted
@@ -139,7 +139,7 @@ impl Pool {
         if granted == 0 {
             return;
         }
-        let mut available = self.available.lock().expect("pool budget poisoned");
+        let mut available = crate::poison::lock(&self.available);
         *available += granted;
         self.freed.notify_all();
     }
@@ -308,6 +308,7 @@ where
         }
         return results
             .into_iter()
+            // lint: allow(no-panic) -- slot invariant: the loop above fills every index; a None is a dispatch bug worth a loud stop
             .map(|r| r.expect("every task index produces exactly one result"))
             .collect();
     }
@@ -364,6 +365,7 @@ where
         }
         results
             .into_iter()
+            // lint: allow(no-panic) -- slot invariant: the channel delivers one result per dispatched index; a None is a pool bug worth a loud stop
             .map(|r| r.expect("every task index produces exactly one result"))
             .collect()
     })
@@ -382,7 +384,7 @@ where
 
 /// Pops the next task of the worker's own deque (front, cache-friendly).
 fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    queue.lock().expect("pool queue poisoned").pop_front()
+    crate::poison::lock(queue).pop_front()
 }
 
 /// Steals one task from the back of the first non-empty sibling deque,
@@ -391,12 +393,7 @@ fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
     let n = queues.len();
     (1..n)
         .map(|offset| (thief + offset) % n)
-        .find_map(|victim| {
-            queues[victim]
-                .lock()
-                .expect("pool queue poisoned")
-                .pop_back()
-        })
+        .find_map(|victim| crate::poison::lock(&queues[victim]).pop_back())
 }
 
 #[cfg(test)]
@@ -426,9 +423,12 @@ mod tests {
     fn every_task_runs_exactly_once() {
         let counter = AtomicUsize::new(0);
         let out = run_indexed(500, 4, |i| {
+            // ordering: Relaxed — a pure execution counter; the batch join
+            // (scope exit) publishes it before the assertion reads it.
             counter.fetch_add(1, Ordering::Relaxed);
             i
         });
+        // ordering: Relaxed — read after the batch joined; see above.
         assert_eq!(counter.load(Ordering::Relaxed), 500);
         assert_eq!(out.len(), 500);
     }

@@ -556,11 +556,7 @@ impl TuningService {
             if state.live == 0 {
                 break;
             }
-            state = self
-                .shared
-                .progress
-                .wait(state)
-                .expect("service state poisoned");
+            state = crate::poison::wait(&self.shared.progress, state);
         }
         drop(state);
         delivered.sort_by_key(|o| o.id.0);
@@ -609,11 +605,7 @@ impl TuningService {
                 if state.live == 0 {
                     break;
                 }
-                state = self
-                    .shared
-                    .progress
-                    .wait(state)
-                    .expect("service state poisoned");
+                state = crate::poison::wait(&self.shared.progress, state);
                 continue;
             }
             let outcomes: Vec<SessionOutcome> = batch
@@ -636,13 +628,13 @@ impl TuningService {
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, Sched> {
-        self.shared.state.lock().expect("service state poisoned")
+        crate::poison::lock(&self.shared.state)
     }
 
     /// Spawns the scheduler lanes (one per pool slot) if they are not
     /// running yet.
     fn ensure_lanes(&self) {
-        let mut lanes = self.lanes.lock().expect("service lanes poisoned");
+        let mut lanes = crate::poison::lock(&self.lanes);
         if !lanes.is_empty() {
             return;
         }
@@ -652,6 +644,7 @@ impl TuningService {
                 std::thread::Builder::new()
                     .name(format!("lynceus-lane-{lane}"))
                     .spawn(move || run_lane(&shared))
+                    // lint: allow(no-panic) -- OS thread exhaustion at lane startup is unrecoverable; no session is in flight yet
                     .expect("failed to spawn a scheduler lane"),
             );
         }
@@ -659,8 +652,7 @@ impl TuningService {
 
     /// Signals the lanes to exit and joins them. Idempotent.
     fn stop_lanes(&self) {
-        let lanes: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.lanes.lock().expect("service lanes poisoned"));
+        let lanes: Vec<JoinHandle<()>> = std::mem::take(&mut *crate::poison::lock(&self.lanes));
         self.lock_state().shutdown = true;
         self.shared.work.notify_all();
         self.shared.progress.notify_all();
@@ -687,6 +679,7 @@ fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
     state.slots[index]
         .outcome
         .take()
+        // lint: allow(no-panic) -- registry invariant: finalize() stores the outcome before queueing the index; a None is a scheduler bug worth a loud stop
         .expect("undelivered entries always hold an outcome")
 }
 
@@ -696,7 +689,7 @@ fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
 fn run_lane(shared: &Shared) {
     loop {
         let (index, mut session) = {
-            let mut state = shared.state.lock().expect("service state poisoned");
+            let mut state = crate::poison::lock(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -707,15 +700,17 @@ fn run_lane(shared: &Shared) {
                         .ready
                         .iter()
                         .position(|&id| id == index)
+                        // lint: allow(no-panic) -- policy contract: pick() returns members of the ready queue it was shown; a miss is a policy bug worth a loud stop
                         .expect("picked sessions come from the ready queue");
                     state.ready.swap_remove(position);
                     let session = state.slots[index]
                         .session
                         .take()
+                        // lint: allow(no-panic) -- registry invariant: a ready index always has its session checked in; a None is a scheduler bug worth a loud stop
                         .expect("ready sessions are checked in");
                     break (index, session);
                 }
-                state = shared.work.wait(state).expect("service state poisoned");
+                state = crate::poison::wait(&shared.work, state);
             }
         };
 
@@ -727,7 +722,7 @@ fn run_lane(shared: &Shared) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.step()));
         drop(slot);
 
-        let mut state = shared.state.lock().expect("service state poisoned");
+        let mut state = crate::poison::lock(&shared.state);
         match result {
             Ok(Ok(SessionStep::Profiled(_))) => {
                 state.slots[index].enqueued_at = state.dispatches;
@@ -838,10 +833,13 @@ mod tests {
         }
         fn run(&self, id: ConfigId) -> Observation {
             use std::sync::atomic::Ordering;
+            // ordering: Relaxed — one lane steps this session at a time, and
+            // the scheduler's lock hand-offs order the load/store pair.
             let left = self.clean_runs.load(Ordering::Relaxed);
             if left == 0 {
                 return Observation::new(1.0, self.poison);
             }
+            // ordering: Relaxed — same single-stepper argument as the load above.
             self.clean_runs.store(left - 1, Ordering::Relaxed);
             self.inner.run(id)
         }
@@ -982,8 +980,11 @@ mod tests {
         }
         fn run(&self, id: ConfigId) -> Observation {
             use std::sync::atomic::Ordering;
+            // ordering: Relaxed — one lane steps this session at a time, and
+            // the scheduler's lock hand-offs order the load/store pair.
             let left = self.clean_runs.load(Ordering::Relaxed);
             assert!(left != 0, "cloud exploded");
+            // ordering: Relaxed — same single-stepper argument as the load above.
             self.clean_runs.store(left - 1, Ordering::Relaxed);
             self.inner.run(id)
         }

@@ -148,7 +148,7 @@ impl SearchState {
         self.tested
             .iter()
             .filter(|t| t.feasible)
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 
     /// Writes the inverse of the untested list into `out` (resized to

@@ -119,7 +119,7 @@ impl LookupDataset {
             .iter()
             .filter(|(id, _)| self.is_feasible(**id))
             .map(|(id, o)| (*id, o.cost))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Cost of a configuration normalized w.r.t. the optimum (the paper's CNO
@@ -164,7 +164,7 @@ impl LookupDataset {
             return Vec::new();
         };
         let mut costs: Vec<f64> = self.outcomes.values().map(|o| o.cost / best).collect();
-        costs.sort_by(|a, b| a.partial_cmp(b).expect("costs are finite"));
+        costs.sort_by(|a, b| a.total_cmp(b));
         costs
     }
 
@@ -174,7 +174,7 @@ impl LookupDataset {
     /// satisfied by roughly half of the possible configurations").
     pub fn set_tmax_to_median_runtime(&mut self) {
         let mut runtimes: Vec<f64> = self.outcomes.values().map(|o| o.runtime_seconds).collect();
-        runtimes.sort_by(|a, b| a.partial_cmp(b).expect("runtimes are finite"));
+        runtimes.sort_by(|a, b| a.total_cmp(b));
         let median = runtimes[runtimes.len() / 2];
         // Nudge just above the median so the median configuration itself is
         // feasible.

@@ -355,6 +355,7 @@ pub fn table3(dataset: &LookupDataset, config: &ExperimentConfig) -> Table {
     let rows = optimizers
         .iter()
         .map(|&kind| {
+            // lint: allow(wall-clock) -- report-only timing column; never feeds a decision
             let start = Instant::now();
             let reports = run_many(dataset, kind, &single_run);
             let elapsed = start.elapsed().as_secs_f64();

@@ -364,6 +364,7 @@ impl BaggingEnsemble {
         // Fall back to a full clear only if retiring frees nothing.
         if map.len() > MEMO_SOFT_CAPACITY {
             let before = map.len();
+            // lint: allow(hash-iteration) -- retain is order-independent here: survivors form a set keyed by tree address and no value is read during the sweep
             map.retain(|_, (tree, _)| Arc::strong_count(tree) > 1);
             if map.len() == before {
                 map.clear();

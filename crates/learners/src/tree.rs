@@ -382,7 +382,7 @@ impl RegressionTree {
                 .iter()
                 .map(|&i| (rows[i][feature], all_targets[i]))
                 .collect();
-            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features are finite"));
+            values.sort_by(|a, b| a.0.total_cmp(&b.0));
 
             // Prefix sums over the sorted order let us evaluate every split
             // in O(n) per feature.
@@ -577,7 +577,7 @@ impl RegressionTree {
                     .iter()
                     .map(|&i| (data.feature(i, feature), target_of(i))),
             );
-            values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("features are finite"));
+            values.sort_by(|a, b| a.0.total_cmp(&b.0));
 
             // Running sums over the sorted order evaluate every split in
             // O(n) per feature without materializing prefix arrays; the

@@ -1,0 +1,8 @@
+//! Fixture: an atomic site with no adjacent `// ordering:` justification.
+//! Must FAIL `atomic-ordering`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

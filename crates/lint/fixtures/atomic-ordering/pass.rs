@@ -1,0 +1,9 @@
+//! Fixture: every atomic site carries its justification. Must PASS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — a statistics counter; nothing synchronizes through
+    // it and the scope join publishes the final value.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

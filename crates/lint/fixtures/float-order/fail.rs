@@ -1,0 +1,7 @@
+//! Fixture: a float sort through `partial_cmp` — one NaN from a bad oracle
+//! away from a panic. Must FAIL `float-order`.
+
+fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    xs
+}

@@ -1,0 +1,12 @@
+//! Fixture: total-ordered float sort, plus a justified allow tag.
+//! Must PASS every rule.
+
+fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+
+fn legacy_compare(a: f64, b: f64) -> std::cmp::Ordering {
+    // lint: allow(float-order) -- fixture: demonstrates a justified allow tag
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root that forgot the workspace-wide unsafe ban.
+//! Must FAIL `forbid-unsafe`.
+
+pub mod engine {}

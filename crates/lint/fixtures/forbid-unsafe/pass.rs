@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the workspace-wide unsafe ban. Must PASS.
+
+#![forbid(unsafe_code)]
+
+pub mod engine {}

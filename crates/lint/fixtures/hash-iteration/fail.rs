@@ -1,0 +1,12 @@
+//! Fixture: iterating a `HashMap` in a decision crate — the iteration order
+//! is nondeterministic. Must FAIL `hash-iteration`.
+
+use std::collections::HashMap;
+
+fn total(map: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in map.iter() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,17 @@
+//! Fixture: hash containers used for lookup only, ordered iteration through
+//! a `BTreeMap`, and a justified order-independent `retain`. Must PASS.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn lookup(map: &HashMap<u32, f64>, key: u32) -> Option<f64> {
+    map.get(&key).copied()
+}
+
+fn total(sorted: &BTreeMap<u32, f64>) -> f64 {
+    sorted.values().sum()
+}
+
+fn evict(map: &mut HashMap<u32, f64>) {
+    // lint: allow(hash-iteration) -- fixture: survivors form a set; no value depends on visit order
+    map.retain(|_, v| *v > 0.0);
+}

@@ -1,0 +1,6 @@
+//! Fixture: a poisoned-lock `expect` in a panic-containment path — one
+//! contained panic away from cascading. Must FAIL `no-panic`.
+
+fn lock_state(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("state poisoned")
+}

@@ -1,0 +1,11 @@
+//! Fixture: poison-tolerant lock recovery, plus one justified invariant
+//! expect. Must PASS.
+
+fn lock_state(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn checked_slot(slots: &[Option<u32>], i: usize) -> u32 {
+    // lint: allow(no-panic) -- fixture: slot invariant; a None here is a scheduler bug worth a loud stop
+    slots[i].expect("every dispatched index produces a result")
+}

@@ -1,0 +1,8 @@
+//! Fixture: a thread spawned outside `core::pool`/`core::service`, escaping
+//! the shared worker budget. Must FAIL `thread-spawn`.
+
+fn fan_out() {
+    std::thread::spawn(|| do_work());
+}
+
+fn do_work() {}

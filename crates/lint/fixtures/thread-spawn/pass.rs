@@ -1,0 +1,6 @@
+//! Fixture: parallelism goes through the shared pool instead of spawning.
+//! Must PASS.
+
+fn fan_out(pool: &Pool, tasks: usize) -> Vec<usize> {
+    pool.run_indexed(tasks, 1, |i| i * 2)
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock read outside `crates/bench` — a decision that depends
+//! on it is irreproducible. Must FAIL `wall-clock`.
+
+use std::time::Instant;
+
+fn decide() -> bool {
+    let start = Instant::now();
+    start.elapsed().as_secs() == 0
+}

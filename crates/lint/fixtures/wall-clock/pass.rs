@@ -1,0 +1,11 @@
+//! Fixture: decisions keyed on logical steps, with one justified watchdog
+//! probe. Must PASS.
+
+fn decide(step: u64) -> bool {
+    step % 2 == 0
+}
+
+fn watchdog() {
+    // lint: allow(wall-clock) -- fixture: watchdog timeout only; never feeds a decision
+    let _probe = std::time::Instant::now();
+}

@@ -1,0 +1,61 @@
+//! Command-line front-end of `lynceus-lint`.
+//!
+//! ```text
+//! lynceus-lint [ROOT]               lint every .rs file under ROOT (default: cwd)
+//! lynceus-lint --as PSEUDO FILE     lint FILE as if it lived at PSEUDO
+//! ```
+//!
+//! Exits non-zero when any violation is found. The `--as` mode exists for
+//! the fixture corpus: path-scoped rules (hash-iteration, no-panic,
+//! thread-spawn…) key off the workspace-relative path, so a fixture is
+//! checked under the path its rule targets.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let violations = match args.first().map(String::as_str) {
+        Some("--as") => {
+            let [_, pseudo, file] = args.as_slice() else {
+                eprintln!("usage: lynceus-lint --as PSEUDO-PATH FILE");
+                return ExitCode::from(2);
+            };
+            let source = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lynceus-lint: cannot read {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let found = lynceus_lint::scan_source(pseudo, &source);
+            println!("lynceus-lint: 1 file as {pseudo}");
+            found
+        }
+        root => {
+            let root = PathBuf::from(root.unwrap_or("."));
+            match lynceus_lint::scan_workspace(&root) {
+                Ok((files, found)) => {
+                    println!("lynceus-lint: {files} files under {}", root.display());
+                    found
+                }
+                Err(e) => {
+                    eprintln!("lynceus-lint: walk failed under {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("lynceus-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("lynceus-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,103 @@
+//! The fixture corpus: one failing and one passing snippet per rule, checked
+//! through the library API and through the `lynceus-lint` binary's exit
+//! code, plus the self-check that the analyzer runs clean on the actual
+//! workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// `(rule id, pseudo workspace path the fixture is linted under)`.
+///
+/// Path-scoped rules key off the workspace-relative path, so each fixture is
+/// presented at a path inside its rule's scope.
+const FIXTURES: &[(&str, &str)] = &[
+    ("float-order", "crates/core/src/fixture.rs"),
+    ("hash-iteration", "crates/learners/src/fixture.rs"),
+    ("wall-clock", "crates/core/src/fixture.rs"),
+    ("thread-spawn", "crates/core/src/optimizer.rs"),
+    ("atomic-ordering", "crates/core/src/fixture.rs"),
+    ("no-panic", "crates/core/src/service.rs"),
+    ("forbid-unsafe", "crates/core/src/lib.rs"),
+];
+
+fn fixture_path(rule: &str, case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(format!("{case}.rs"))
+}
+
+fn read_fixture(rule: &str, case: &str) -> String {
+    let path = fixture_path(rule, case);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_firing_fail_fixture() {
+    for (rule, pseudo) in FIXTURES {
+        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(rule, "fail"));
+        assert!(
+            violations.iter().any(|v| v.rule == *rule),
+            "fixtures/{rule}/fail.rs raised no {rule} violation (got: {violations:?})"
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_pass_fixture() {
+    for (rule, pseudo) in FIXTURES {
+        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(rule, "pass"));
+        assert!(
+            violations.is_empty(),
+            "fixtures/{rule}/pass.rs is not clean: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn the_binary_exits_nonzero_on_each_fail_fixture_and_zero_on_each_pass() {
+    let bin = env!("CARGO_BIN_EXE_lynceus-lint");
+    for (rule, pseudo) in FIXTURES {
+        for (case, expect_clean) in [("fail", false), ("pass", true)] {
+            let status = Command::new(bin)
+                .args(["--as", pseudo])
+                .arg(fixture_path(rule, case))
+                .output()
+                .expect("failed to run lynceus-lint");
+            assert_eq!(
+                status.status.success(),
+                expect_clean,
+                "fixtures/{rule}/{case}.rs: unexpected exit status\n{}",
+                String::from_utf8_lossy(&status.stdout)
+            );
+        }
+    }
+}
+
+#[test]
+fn the_actual_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let (files, violations) =
+        lynceus_lint::scan_workspace(&root).expect("workspace walk must succeed");
+    assert!(
+        files >= 80,
+        "suspiciously small workspace walk ({files} files) — wrong root?"
+    );
+    let rendered: Vec<String> = violations.iter().map(ToString::to_string).collect();
+    assert!(
+        violations.is_empty(),
+        "the workspace violates its own determinism invariants:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn allow_tags_without_reasons_do_not_suppress() {
+    let tagged_without_reason =
+        "fn f(a: f64, b: f64) -> bool {\n    // lint: allow(float-order)\n    a.partial_cmp(&b).is_some()\n}\n";
+    let violations = lynceus_lint::scan_source("crates/core/src/fixture.rs", tagged_without_reason);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "float-order");
+    assert!(violations[0].message.contains("missing its `-- reason`"));
+}

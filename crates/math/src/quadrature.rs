@@ -100,7 +100,7 @@ pub fn gauss_hermite(n: usize) -> Vec<GaussHermiteNode> {
         .zip(weights)
         .map(|(node, weight)| GaussHermiteNode { node, weight })
         .collect();
-    rule.sort_by(|a, b| a.node.partial_cmp(&b.node).expect("nodes are finite"));
+    rule.sort_by(|a, b| a.node.total_cmp(&b.node));
     rule
 }
 

@@ -38,6 +38,10 @@ pub fn std_dev(values: &[f64]) -> f64 {
 ///
 /// `q` is expressed in percent (e.g. `90.0` for the 90th percentile).
 ///
+/// Samples are ranked by [`f64::total_cmp`], so a stray NaN (e.g. from a
+/// degenerate oracle) sorts deterministically to the extremes instead of
+/// panicking mid-report.
+///
 /// # Panics
 ///
 /// Panics if `values` is empty or `q` is outside `[0, 100]`.
@@ -46,7 +50,7 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of an empty sample");
     assert!((0.0..=100.0).contains(&q), "percentile {q} out of [0, 100]");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -79,7 +83,7 @@ pub fn empirical_cdf(values: &[f64]) -> Vec<CdfPoint> {
         return Vec::new();
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     sorted
         .iter()

@@ -188,6 +188,46 @@
 //! under a non-trivial [`core::SwitchingCost`] model admitted
 //! configurations the budget could not actually pay for.)
 //!
+//! # Determinism invariants
+//!
+//! Bit-identical decisions are the repo's load-bearing guarantee: every
+//! engine, thread count, pool capacity and scheduling policy must reproduce
+//! the same [`core::OptimizationReport`]. Beyond the equivalence suites
+//! that *observe* this, seven source-level invariants *prevent* the usual
+//! ways it breaks, and a repo-specific analyzer (`crates/lint`, binary
+//! `lynceus-lint`, run by the CI `static-analysis` job) enforces them:
+//!
+//! 1. **Total float ordering** — comparisons that order `f64` scores use
+//!    `f64::total_cmp` (or [`core::score_cmp`]); `partial_cmp().unwrap()`
+//!    sorts are banned, so a NaN can neither panic a sort nor reorder one
+//!    platform-dependently.
+//! 2. **No hash-map iteration in decision paths** — `HashMap`/`HashSet`
+//!    iteration order is randomized per process, so `core` and `learners`
+//!    iterate `BTreeMap`s, vectors, or sorted views instead.
+//! 3. **No wall-clock in algorithms** — `Instant`/`SystemTime` reads live
+//!    only in `crates/bench` (and allowlisted report timers / test
+//!    watchdogs); time never feeds a decision.
+//! 4. **Single thread source** — threads come only from [`core::Pool`] and
+//!    the service lanes, so every run respects the one shared worker budget
+//!    and the panic-containment lanes.
+//! 5. **Justified atomic orderings** — every `Ordering::*` site carries an
+//!    adjacent `// ordering:` comment saying why that strength is correct
+//!    (e.g. the pruning incumbent's Relaxed fetch_max: the monotone u64
+//!    `score_key` is the whole message, staleness only weakens pruning).
+//! 6. **No panics in containment paths** — the pool/scheduler/engine
+//!    spine avoids `unwrap`/`expect`; locks recover from poisoning
+//!    (`PoisonError::into_inner`) so one contained panic cannot cascade
+//!    into a service-wide poison panic. Invariant-checking `expect`s carry
+//!    an in-source `// lint: allow(no-panic) -- reason` tag.
+//! 7. **`#![forbid(unsafe_code)]` at every crate root** — the whole
+//!    workspace, vendor stubs included.
+//!
+//! Exceptions are in-source and auditable: a
+//! `// lint: allow(<rule>) -- <reason>` tag on (or above) the line, where
+//! the reason is mandatory. `cargo run -p lynceus-lint` checks the
+//! workspace; `cargo test -p lynceus-lint` runs the rule fixture corpus
+//! plus a workspace self-check.
+//!
 //! The naive reference implementation (refit-from-scratch per branch,
 //! one allocation-heavy prediction per configuration, full state clones) is
 //! retained as `PathEngine::NaiveReference`: it makes bit-identical

@@ -161,12 +161,17 @@ impl Rendezvous {
     fn enter(&self) {
         let mut in_flight = self.in_flight.lock().expect("observer poisoned");
         *in_flight += 1;
+        // ordering: SeqCst — cross-thread test oracle with no lock of its own;
+        // strongest order keeps the peak monotone from every thread's view.
         self.peak.fetch_max(*in_flight, Ordering::SeqCst);
         if *in_flight >= 2 {
             self.arrived.notify_all();
         }
+        // lint: allow(wall-clock) -- watchdog deadline so a scheduling regression fails the test instead of hanging CI; never feeds a decision
         let deadline = Instant::now() + Duration::from_secs(60);
+        // ordering: SeqCst — pairs with the fetch_max above (test oracle).
         while self.peak.load(Ordering::SeqCst) < 2 {
+            // lint: allow(wall-clock) -- watchdog countdown only; never feeds a decision
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break; // the test's peak assertion reports the failure
@@ -225,6 +230,7 @@ fn sessions_step_genuinely_concurrently_under_every_policy() {
         }
         let outcomes = service.run();
         assert!(
+            // ordering: SeqCst — pairs with the observer's fetch_max; run() has joined every lane by now.
             observer.peak.load(Ordering::SeqCst) >= 2,
             "under {policy:?}, no two sessions were ever in flight at once: \
              the scheduler is not stepping sessions concurrently"
@@ -453,15 +459,20 @@ fn prune_stats_snapshots_stay_decision_consistent_under_concurrency() {
         for seed in 0..2u64 {
             let optimizer = Arc::clone(&optimizer);
             let stop = Arc::clone(&stop);
+            // lint: allow(thread-spawn) -- test harness: the subject here IS concurrent access from foreign threads; the scope joins them
             scope.spawn(move || {
                 let oracle = valley_oracle(2.0 + seed as f64);
                 for run in 0..3 {
                     let _ = optimizer.optimize(&oracle, seed * 7 + run);
                 }
+                // ordering: Relaxed — a done-flag the poller only compares to
+                // its target; the scope join is the real synchronization.
                 stop.fetch_add(1, Ordering::Relaxed);
             });
         }
         let mut checked = 0usize;
+        // ordering: Relaxed — pairs with the done-flag fetch_add above; a
+        // stale read only makes the poller check one more snapshot.
         while stop.load(Ordering::Relaxed) < 2 {
             let stats = optimizer.prune_stats();
             assert!(
@@ -511,10 +522,13 @@ impl CostOracle for NanAfter {
         self.inner.candidates()
     }
     fn run(&self, id: ConfigId) -> Observation {
+        // ordering: Relaxed — one lane steps this session at a time, and the
+        // scheduler's lock hand-offs order the load/store pair.
         let left = self.clean_runs.load(Ordering::Relaxed);
         if left == 0 {
             return Observation::new(1.0, f64::NAN);
         }
+        // ordering: Relaxed — same single-stepper argument as the load above.
         self.clean_runs.store(left - 1, Ordering::Relaxed);
         self.inner.run(id)
     }
@@ -561,6 +575,7 @@ fn steady_submission_from_many_threads_is_deterministic_and_isolated() {
     std::thread::scope(|scope| {
         for submitter in 0..4u64 {
             let service = Arc::clone(&service);
+            // lint: allow(thread-spawn) -- test harness: steady submission from foreign threads is the behavior under test; the scope joins them
             scope.spawn(move || {
                 for j in 0..2u64 {
                     let (name, s, shift, seed) = spec_of(submitter, j);

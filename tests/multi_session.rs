@@ -48,10 +48,13 @@ impl CostOracle for FlakyOracle {
     }
     fn run(&self, id: ConfigId) -> Observation {
         use std::sync::atomic::Ordering;
+        // ordering: Relaxed — one lane steps this session at a time, and the
+        // scheduler's lock hand-offs order the load/store pair.
         let left = self.clean_runs.load(Ordering::Relaxed);
         if left == 0 {
             return Observation::new(1.0, f64::INFINITY);
         }
+        // ordering: Relaxed — same single-stepper argument as the load above.
         self.clean_runs.store(left - 1, Ordering::Relaxed);
         self.inner.run(id)
     }

@@ -9,4 +9,6 @@
 //! the `[patch]`-free path dependency with the real `serde = "1"` is all
 //! that is needed once a registry is reachable.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};

@@ -7,6 +7,8 @@
 //! keeps every annotated type compiling while recording the intent. Swap
 //! this stub for the real crates once a registry is reachable.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; placeholder for `serde_derive::Serialize`.
