@@ -1,0 +1,235 @@
+//! Fault-recovery overhead: what durability and turbulence cost.
+//!
+//! Three passes over the same job mix, all multiplexed through a
+//! `TuningService`:
+//!
+//! * `baseline` — retries disabled, no checkpoint store: the service never
+//!   encodes a checkpoint (the pre-robustness hot path);
+//! * `durable` — the default retry policy plus an in-memory checkpoint
+//!   store: every decision boundary serializes the full session state. The
+//!   `durable / baseline` ratio is the price of durability, and the delta
+//!   divided by the number of checkpointed steps is the per-decision
+//!   serialization cost;
+//! * `storm` — every oracle wrapped in a seeded `TurbulentOracle`
+//!   (revocations, transient errors, mid-step panics; no price shocks, so
+//!   the reports stay comparable) under a generous zero-cost retry policy.
+//!   The `storm / durable` ratio is the recovery overhead.
+//!
+//! Every pass asserts the robustness contract before a cell is written:
+//! durable and storm-recovered reports must be **bit-identical** to the
+//! baseline run. The harness is self-contained (`harness = false`) and
+//! writes `BENCH_faults.json` at the workspace root (`LYNCEUS_BENCH_OUT`
+//! overrides); `bench_check` validates the cells.
+
+use lynceus_bench::bench_scout_datasets;
+use lynceus_core::faults::{FaultPlan, FaultProfile};
+use lynceus_core::{
+    CheckpointStore, LynceusOptimizer, MemoryStore, OptimizationReport, Optimizer,
+    OptimizerSettings, RetryPolicy, SessionSpec, TuningService,
+};
+use lynceus_datasets::LookupDataset;
+use lynceus_experiments::ExperimentConfig;
+use lynceus_sim::TurbulentOracle;
+use std::sync::Arc;
+use std::time::Instant;
+
+const LANES: usize = 4;
+
+fn job_mix() -> Vec<LookupDataset> {
+    bench_scout_datasets()
+}
+
+fn settings_for(dataset: &LookupDataset) -> OptimizerSettings {
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 3.0,
+        ..ExperimentConfig::default()
+    };
+    let mut settings = config.settings_for(dataset, 1);
+    settings.parallel_paths = true;
+    settings
+}
+
+fn seed_of(index: usize) -> u64 {
+    11 + index as u64
+}
+
+/// The storm thrown at job `index`: revocations, transient errors, and the
+/// occasional mid-step panic — but no price shocks, so a recovered run must
+/// stay bit-identical to the calm one.
+fn storm_for(index: usize) -> FaultPlan {
+    let profile = FaultProfile {
+        revocation: 0.06,
+        transient: 0.06,
+        panic: 0.02,
+        price_shock: 0.0,
+        shock_range: (1.0, 1.0),
+    };
+    FaultPlan::seeded(1000 + index as u64, &profile, 256)
+}
+
+/// Retries generous enough to outlast any storm the profile above draws.
+fn storm_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 64,
+        backoff_steps: 1,
+        retry_cost: 0.0,
+    }
+}
+
+enum Pass {
+    Baseline,
+    Durable,
+    Storm,
+}
+
+/// One service pass; returns the reports plus the per-pass receipt totals
+/// `(checkpointed steps, retries consumed)`.
+fn run_pass(jobs: &[LookupDataset], pass: &Pass) -> (Vec<OptimizationReport>, u64, u64) {
+    let service = match pass {
+        Pass::Baseline => TuningService::with_threads(LANES),
+        Pass::Durable | Pass::Storm => {
+            let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+            TuningService::with_threads(LANES).with_checkpoints(store)
+        }
+    };
+    for (i, dataset) in jobs.iter().enumerate() {
+        let spec = match pass {
+            Pass::Baseline => SessionSpec::new(
+                dataset.name().to_owned(),
+                settings_for(dataset),
+                Box::new(dataset.clone()),
+                seed_of(i),
+            )
+            .with_retry_policy(RetryPolicy::none()),
+            Pass::Durable => SessionSpec::new(
+                dataset.name().to_owned(),
+                settings_for(dataset),
+                Box::new(dataset.clone()),
+                seed_of(i),
+            ),
+            Pass::Storm => SessionSpec::new(
+                dataset.name().to_owned(),
+                settings_for(dataset),
+                Box::new(TurbulentOracle::new(dataset.clone(), storm_for(i))),
+                seed_of(i),
+            )
+            .with_retry_policy(storm_policy()),
+        };
+        service.submit(spec);
+    }
+    let mut steps = 0u64;
+    let mut retries = 0u64;
+    let reports = service
+        .run()
+        .into_iter()
+        .map(|outcome| {
+            steps += outcome.receipts.len() as u64;
+            retries += outcome
+                .receipts
+                .iter()
+                .map(|r| u64::from(r.retries_consumed))
+                .sum::<u64>();
+            match outcome.status {
+                lynceus_core::SessionStatus::Finished(report) => report,
+                lynceus_core::SessionStatus::Failed { error, .. } => {
+                    panic!("bench session failed: {error}")
+                }
+                lynceus_core::SessionStatus::Suspended { steps } => {
+                    panic!("bench session suspended unexpectedly at step {steps}")
+                }
+            }
+        })
+        .collect();
+    (reports, steps, retries)
+}
+
+/// Times `f` over `iterations` passes and returns the best wall-clock
+/// seconds per pass (one warm-up pass first).
+fn best_seconds<R>(iterations: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut result = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    // The storm pass panics on purpose; keep the default hook from spraying
+    // backtraces over the measurements.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let jobs = job_mix();
+    let sessions = jobs.len();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Reference reports: the plain solo optimizer, the strictest baseline
+    // the recovered runs must match bit-for-bit.
+    let solo: Vec<OptimizationReport> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, dataset)| {
+            LynceusOptimizer::new(settings_for(dataset)).optimize(dataset, seed_of(i))
+        })
+        .collect();
+
+    let (baseline_secs, (baseline_reports, _, _)) =
+        best_seconds(3, || run_pass(&jobs, &Pass::Baseline));
+    let (durable_secs, (durable_reports, durable_steps, _)) =
+        best_seconds(3, || run_pass(&jobs, &Pass::Durable));
+    let (storm_secs, (storm_reports, _, storm_retries)) =
+        best_seconds(3, || run_pass(&jobs, &Pass::Storm));
+
+    let baseline_identical = baseline_reports == solo;
+    let durable_identical = durable_reports == solo;
+    let storm_identical = storm_reports == solo;
+    assert!(baseline_identical, "baseline pass diverged from solo runs");
+    assert!(durable_identical, "checkpointing changed a report");
+    assert!(storm_identical, "storm recovery changed a report");
+    assert!(storm_retries > 0, "the storm never struck — vacuous bench");
+
+    let checkpoint_overhead = durable_secs / baseline_secs;
+    let checkpoint_per_step = (durable_secs - baseline_secs) / durable_steps as f64;
+    let recovery_overhead = storm_secs / durable_secs;
+
+    println!("{sessions} sessions on {cpus} cpu(s), {LANES} lanes");
+    println!("{:<24} {:>9.3} s/pass", "baseline", baseline_secs);
+    println!(
+        "{:<24} {:>9.3} s/pass   ({:.3}x, {:.1} us/checkpointed step)",
+        "durable",
+        durable_secs,
+        checkpoint_overhead,
+        checkpoint_per_step * 1e6
+    );
+    println!(
+        "{:<24} {:>9.3} s/pass   ({:.3}x vs durable, {} retries recovered)",
+        "storm", storm_secs, recovery_overhead, storm_retries
+    );
+
+    // Persist the measurement (hand-rolled JSON: no serde in this
+    // environment).
+    let json = format!(
+        "{{\n  \"benchmark\": \"faults_recovery\",\n  \"sessions\": {sessions},\n  \
+         \"cpus\": {cpus},\n  \"lanes\": {LANES},\n  \
+         \"baseline_seconds_per_pass\": {baseline_secs:.4},\n  \
+         \"durable_seconds_per_pass\": {durable_secs:.4},\n  \
+         \"checkpoint_overhead_vs_baseline\": {checkpoint_overhead:.3},\n  \
+         \"checkpointed_steps_per_pass\": {durable_steps},\n  \
+         \"checkpoint_seconds_per_step\": {checkpoint_per_step:.9},\n  \
+         \"storm_seconds_per_pass\": {storm_secs:.4},\n  \
+         \"recovery_overhead_vs_durable\": {recovery_overhead:.3},\n  \
+         \"faults_recovered_per_pass\": {storm_retries},\n  \
+         \"baseline_identical_reports\": {baseline_identical},\n  \
+         \"durable_identical_reports\": {durable_identical},\n  \
+         \"storm_identical_reports\": {storm_identical}\n}}\n"
+    );
+    let destination = std::env::var("LYNCEUS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_faults.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&destination, &json) {
+        Ok(()) => println!("wrote {destination}"),
+        Err(e) => eprintln!("could not write {destination}: {e}"),
+    }
+}

@@ -87,6 +87,9 @@ fn run_service(jobs: &[LookupDataset], lanes: usize) -> Vec<OptimizationReport> 
             lynceus_core::SessionStatus::Failed { error, .. } => {
                 panic!("bench session failed: {error}")
             }
+            lynceus_core::SessionStatus::Suspended { steps } => {
+                panic!("bench session suspended unexpectedly at step {steps}")
+            }
         })
         .collect()
 }

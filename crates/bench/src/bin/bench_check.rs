@@ -172,6 +172,52 @@ fn flat_violations(json: &str) -> Vec<String> {
     violations
 }
 
+/// Validates the fault-recovery artifact: the robustness cells must be
+/// present, coherent, and non-vacuous. A storm that never struck, a pass
+/// that checkpointed nothing, or a hand-edited overhead ratio would
+/// otherwise read as a clean bill of health.
+fn faults_violations(json: &str) -> Vec<String> {
+    if !json.contains("\"benchmark\": \"faults_recovery\"") {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let whole = json.replace('\n', " ");
+    match field_f64(&whole, "checkpointed_steps_per_pass") {
+        Some(steps) if steps >= 1.0 => {}
+        Some(steps) => violations.push(format!(
+            "durable pass checkpointed {steps} steps — durability was never exercised"
+        )),
+        None => violations.push("no checkpointed_steps_per_pass recorded".to_owned()),
+    }
+    match field_f64(&whole, "faults_recovered_per_pass") {
+        Some(retries) if retries >= 1.0 => {}
+        Some(retries) => violations.push(format!(
+            "storm pass recovered {retries} faults — the storm never struck"
+        )),
+        None => violations.push("no faults_recovered_per_pass recorded".to_owned()),
+    }
+    for ratio_key in [
+        "checkpoint_overhead_vs_baseline",
+        "recovery_overhead_vs_durable",
+    ] {
+        match field_f64(&whole, ratio_key) {
+            Some(ratio) if ratio.is_finite() && ratio > 0.0 => {}
+            Some(ratio) => violations.push(format!("{ratio_key} {ratio} is not a usable ratio")),
+            None => violations.push(format!("no {ratio_key} recorded")),
+        }
+    }
+    for flag in [
+        "baseline_identical_reports",
+        "durable_identical_reports",
+        "storm_identical_reports",
+    ] {
+        if !whole.contains(&format!("\"{flag}\": ")) {
+            violations.push(format!("{flag} flag missing — the bench stopped asserting"));
+        }
+    }
+    violations
+}
+
 fn workspace_bench_files() -> Vec<PathBuf> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Ok(entries) = std::fs::read_dir(&root) else {
@@ -229,9 +275,10 @@ fn main() -> ExitCode {
             .collect();
         let violations = cell_violations(&json);
         let flat = flat_violations(&json);
-        if false_flags.is_empty() && violations.is_empty() && flat.is_empty() {
+        let faults = faults_violations(&json);
+        if false_flags.is_empty() && violations.is_empty() && flat.is_empty() && faults.is_empty() {
             println!(
-                "bench_check: {} ok ({} equivalence flag(s) true, pruning and flat cells coherent)",
+                "bench_check: {} ok ({} equivalence flag(s) true, pruning, flat and fault cells coherent)",
                 file.display(),
                 flags.len()
             );
@@ -252,6 +299,12 @@ fn main() -> ExitCode {
             for violation in &flat {
                 eprintln!(
                     "bench_check: {} has an invalid flat-traversal cell — {violation}",
+                    file.display()
+                );
+            }
+            for violation in &faults {
+                eprintln!(
+                    "bench_check: {} has an invalid fault-recovery cell — {violation}",
                     file.display()
                 );
             }
@@ -379,6 +432,56 @@ mod tests {
         // Other artifacts are not required to carry one.
         let other = r#"{ "benchmark": "multi_session" }"#;
         assert!(flat_violations(other).is_empty());
+    }
+
+    use super::faults_violations;
+
+    fn faults_artifact(steps: u64, retries: u64, overhead: f64) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"faults_recovery\",\n  \
+             \"checkpoint_overhead_vs_baseline\": {overhead:.3},\n  \
+             \"checkpointed_steps_per_pass\": {steps},\n  \
+             \"recovery_overhead_vs_durable\": 1.100,\n  \
+             \"faults_recovered_per_pass\": {retries},\n  \
+             \"baseline_identical_reports\": true,\n  \
+             \"durable_identical_reports\": true,\n  \
+             \"storm_identical_reports\": true\n}}\n"
+        )
+    }
+
+    #[test]
+    fn coherent_fault_cells_pass() {
+        assert_eq!(
+            faults_violations(&faults_artifact(120, 7, 1.05)),
+            Vec::<String>::new()
+        );
+        // Other artifacts are not required to carry fault cells.
+        assert!(faults_violations(r#"{ "benchmark": "multi_session" }"#).is_empty());
+    }
+
+    #[test]
+    fn vacuous_or_incoherent_fault_cells_are_reported() {
+        // A storm that never struck, or a pass that checkpointed nothing.
+        assert!(faults_violations(&faults_artifact(0, 7, 1.05))
+            .iter()
+            .any(|v| v.contains("never exercised")));
+        assert!(faults_violations(&faults_artifact(120, 0, 1.05))
+            .iter()
+            .any(|v| v.contains("never struck")));
+        // A nonsensical ratio.
+        assert!(faults_violations(&faults_artifact(120, 7, -2.0))
+            .iter()
+            .any(|v| v.contains("not a usable ratio")));
+        // A dropped assertion flag.
+        let unasserted = faults_artifact(120, 7, 1.05).replace("storm_identical_reports", "gone");
+        assert!(faults_violations(&unasserted)
+            .iter()
+            .any(|v| v.contains("stopped asserting")));
+        // Missing fields entirely.
+        let bare = r#"{ "benchmark": "faults_recovery" }"#;
+        assert!(faults_violations(bare)
+            .iter()
+            .any(|v| v.contains("no checkpointed_steps_per_pass")));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   per-core speed, network bandwidth) and their on-demand prices;
 //! * [`ClusterSpec`] — `N` identical VMs plus aggregate capacity and price;
 //! * [`billing`] — per-second billing arithmetic (the paper assumes
-//!   pay-by-the-second pricing, Section 2);
+//!   pay-by-the-second pricing, Section 2) and a seeded step-indexed
+//!   spot-price series for fault-injection experiments;
 //! * [`setup`] — the optional setup/switching-cost model of Section 4.4.
 //!
 //! # Example
@@ -36,7 +37,7 @@ pub mod cluster;
 pub mod setup;
 pub mod vm;
 
-pub use billing::{cost_for, BillingGranularity};
+pub use billing::{cost_for, BillingGranularity, SpotPriceSeries};
 pub use catalog::Catalog;
 pub use cluster::ClusterSpec;
 pub use setup::SetupCostModel;

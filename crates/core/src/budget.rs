@@ -32,6 +32,27 @@ impl Budget {
         }
     }
 
+    /// Rebuilds a budget from checkpointed values. Unlike [`Budget::new`],
+    /// `remaining` may be negative (a budget-unaware baseline's last run can
+    /// overshoot before the checkpoint is written) — but neither value may be
+    /// NaN, and `remaining` must not exceed `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN inputs, a negative `initial`, or `remaining > initial`.
+    #[must_use]
+    pub(crate) fn from_parts(initial: f64, remaining: f64) -> Self {
+        assert!(
+            initial >= 0.0 && !initial.is_nan(),
+            "budget must be a non-negative amount"
+        );
+        assert!(
+            remaining <= initial && !remaining.is_nan(),
+            "remaining budget must be a non-NaN amount of at most the initial budget"
+        );
+        Self { initial, remaining }
+    }
+
     /// The budget the optimizer started with.
     #[must_use]
     pub fn initial(&self) -> f64 {

@@ -1,0 +1,328 @@
+//! Deterministic fault injection: the vocabulary of cloud failures and the
+//! seeded plans that schedule them.
+//!
+//! A production profiling run meets failures a lookup-table replay never
+//! shows: spot instances get revoked mid-run, oracles time out transiently,
+//! worker processes panic, spot prices jump. This module provides the
+//! *deterministic* version of that weather so the recovery machinery in
+//! [`crate::service`] can be tested bit-for-bit:
+//!
+//! * [`OracleFault`] — what a failed profiling run reports (the fallible
+//!   channel of [`crate::CostOracle::try_run`]);
+//! * [`FaultKind`] — the injectable failure modes;
+//! * [`FaultPlan`] — a schedule mapping oracle-call indices to faults,
+//!   either hand-built or derived from a seed ([`FaultPlan::seeded`]). The
+//!   plan is **part of the session seed**: the same seed always produces the
+//!   same storm, so a faulted run is as reproducible as a clean one.
+//!
+//! The `sim` crate's `TurbulentOracle` consumes these plans to wrap any
+//! oracle in deterministic turbulence.
+
+use crate::codec::{CodecError, Decoder, Encoder};
+use lynceus_math::rng::SeededRng;
+
+/// Why a profiling run failed (as opposed to *completing with an unusable
+/// value*, which is [`crate::ProfileError::InvalidCost`]). Transient by
+/// definition: a retry may succeed, so the service's
+/// [`crate::service::RetryPolicy`] applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleFault {
+    /// The instance running the profiling job was revoked (spot/preemptible
+    /// reclaim) before the run finished. No cost was incurred.
+    Revoked,
+    /// A transient error (timeout, throttling, network partition) aborted
+    /// the run; the message is diagnostic only.
+    Transient(String),
+}
+
+impl std::fmt::Display for OracleFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleFault::Revoked => write!(f, "spot instance revoked mid-run"),
+            OracleFault::Transient(message) => write!(f, "transient oracle error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleFault {}
+
+/// An injectable failure mode, scheduled by a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The run's instance is revoked: `try_run` returns
+    /// [`OracleFault::Revoked`].
+    Revocation,
+    /// A transient oracle error: `try_run` returns
+    /// [`OracleFault::Transient`].
+    TransientError,
+    /// The oracle panics mid-step (a crashing profiling harness); the
+    /// service contains the panic to the session and restores it from its
+    /// latest checkpoint.
+    Panic,
+    /// The spot price jumps: every later run's cost is multiplied by this
+    /// factor (must be finite and positive). The run itself completes.
+    PriceShock(f64),
+}
+
+/// A deterministic schedule of faults, keyed by **oracle call index**: the
+/// `n`-th call the wrapped oracle receives (counting every call, including
+/// ones that themselves fault) triggers the fault planned at index `n`.
+/// Call counting — not wall-clock — is what keeps a storm reproducible under
+/// any scheduling interleave: only the session that owns the oracle advances
+/// its counter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// `(call index, fault)` pairs, sorted by call index (one fault per
+    /// index; later insertions for the same index replace earlier ones).
+    events: Vec<(u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: clear skies.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a fault at an oracle-call index (builder form). A fault
+    /// already planned at that index is replaced.
+    #[must_use]
+    pub fn with_fault(mut self, at_call: u64, kind: FaultKind) -> Self {
+        if let FaultKind::PriceShock(factor) = kind {
+            assert!(
+                factor.is_finite() && factor > 0.0,
+                "price-shock factors must be finite and positive, got {factor}"
+            );
+        }
+        match self.events.binary_search_by_key(&at_call, |(at, _)| *at) {
+            Ok(position) => self.events[position] = (at_call, kind),
+            Err(position) => self.events.insert(position, (at_call, kind)),
+        }
+        self
+    }
+
+    /// Derives a plan from a seed: each call index in `0..horizon` draws
+    /// independently against the profile's per-call probabilities. The same
+    /// `(seed, profile, horizon)` triple always yields the same plan — the
+    /// fault plan is part of the session seed, not ambient randomness.
+    #[must_use]
+    pub fn seeded(seed: u64, profile: &FaultProfile, horizon: u64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let mut plan = Self::new();
+        for at_call in 0..horizon {
+            let draw = rng.next_f64();
+            let mut threshold = profile.revocation;
+            if draw < threshold {
+                plan = plan.with_fault(at_call, FaultKind::Revocation);
+                continue;
+            }
+            threshold += profile.transient;
+            if draw < threshold {
+                plan = plan.with_fault(at_call, FaultKind::TransientError);
+                continue;
+            }
+            threshold += profile.panic;
+            if draw < threshold {
+                plan = plan.with_fault(at_call, FaultKind::Panic);
+                continue;
+            }
+            threshold += profile.price_shock;
+            if draw < threshold {
+                let factor = rng.uniform(profile.shock_range.0, profile.shock_range.1);
+                plan = plan.with_fault(at_call, FaultKind::PriceShock(factor));
+            }
+        }
+        plan
+    }
+
+    /// The fault planned at a call index, if any.
+    #[must_use]
+    pub fn fault_at(&self, call: u64) -> Option<&FaultKind> {
+        self.events
+            .binary_search_by_key(&call, |(at, _)| *at)
+            .ok()
+            .map(|position| &self.events[position].1)
+    }
+
+    /// Every planned `(call index, fault)`, in call order.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, FaultKind)] {
+        &self.events
+    }
+
+    /// Number of planned faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no fault is planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the plan with the checkpoint codec.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_into(&mut enc);
+        enc.finish()
+    }
+
+    /// Appends the plan to an in-progress encoding.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_usize(self.events.len());
+        for (at, kind) in &self.events {
+            enc.put_u64(*at);
+            match kind {
+                FaultKind::Revocation => enc.put_u8(0),
+                FaultKind::TransientError => enc.put_u8(1),
+                FaultKind::Panic => enc.put_u8(2),
+                FaultKind::PriceShock(factor) => {
+                    enc.put_u8(3);
+                    enc.put_f64(*factor);
+                }
+            }
+        }
+    }
+
+    /// Reads a plan back out of an encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.get_usize()?;
+        let mut plan = Self::new();
+        for _ in 0..len {
+            let at = dec.get_u64()?;
+            let kind = match dec.get_u8()? {
+                0 => FaultKind::Revocation,
+                1 => FaultKind::TransientError,
+                2 => FaultKind::Panic,
+                3 => {
+                    let factor = dec.get_f64()?;
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(CodecError::Invalid("price-shock factor out of range"));
+                    }
+                    FaultKind::PriceShock(factor)
+                }
+                _ => return Err(CodecError::Invalid("unknown fault-kind tag")),
+            };
+            plan = plan.with_fault(at, kind);
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-call fault probabilities for [`FaultPlan::seeded`]. The four
+/// probabilities are disjoint (at most one fault per call index); their sum
+/// must stay within `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Probability of a spot revocation per call.
+    pub revocation: f64,
+    /// Probability of a transient oracle error per call.
+    pub transient: f64,
+    /// Probability of a mid-step panic per call.
+    pub panic: f64,
+    /// Probability of a price shock per call.
+    pub price_shock: f64,
+    /// `(low, high)` bounds of the shock's uniform multiplier draw.
+    pub shock_range: (f64, f64),
+}
+
+impl Default for FaultProfile {
+    /// A mild storm: occasional revocations and transient errors, rare
+    /// panics, rare ±40% price swings.
+    fn default() -> Self {
+        Self {
+            revocation: 0.05,
+            transient: 0.05,
+            panic: 0.01,
+            price_shock: 0.04,
+            shock_range: (0.6, 1.4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_plans_are_sorted_and_looked_up_by_call() {
+        let plan = FaultPlan::new()
+            .with_fault(7, FaultKind::Revocation)
+            .with_fault(2, FaultKind::TransientError)
+            .with_fault(7, FaultKind::Panic); // replaces the revocation
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fault_at(2), Some(&FaultKind::TransientError));
+        assert_eq!(plan.fault_at(7), Some(&FaultKind::Panic));
+        assert_eq!(plan.fault_at(3), None);
+        assert!(plan.events().windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let profile = FaultProfile::default();
+        let a = FaultPlan::seeded(11, &profile, 500);
+        let b = FaultPlan::seeded(11, &profile, 500);
+        let c = FaultPlan::seeded(12, &profile, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // The default profile plans *some* faults over 500 calls.
+        assert!(!a.is_empty());
+        for (_, kind) in a.events() {
+            if let FaultKind::PriceShock(factor) = kind {
+                assert!((0.6..1.4).contains(factor));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_codec_round_trips() {
+        let plan = FaultPlan::seeded(3, &FaultProfile::default(), 300)
+            .with_fault(1_000, FaultKind::PriceShock(2.5));
+        let bytes = plan.encode();
+        let mut dec = Decoder::new(&bytes);
+        let back = FaultPlan::decode_from(&mut dec).unwrap();
+        assert!(dec.is_finished());
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn corrupt_plan_encodings_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_usize(1);
+        enc.put_u64(4);
+        enc.put_u8(9); // unknown tag
+        let bytes = enc.finish();
+        assert!(FaultPlan::decode_from(&mut Decoder::new(&bytes)).is_err());
+
+        let mut enc = Encoder::new();
+        enc.put_usize(1);
+        enc.put_u64(4);
+        enc.put_u8(3);
+        enc.put_f64(f64::NAN); // shock factor out of range
+        let bytes = enc.finish();
+        assert!(FaultPlan::decode_from(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_shock_factors_are_rejected() {
+        let _ = FaultPlan::new().with_fault(0, FaultKind::PriceShock(0.0));
+    }
+
+    #[test]
+    fn fault_display_is_descriptive() {
+        assert!(OracleFault::Revoked.to_string().contains("revoked"));
+        assert!(OracleFault::Transient("timeout".into())
+            .to_string()
+            .contains("timeout"));
+    }
+}

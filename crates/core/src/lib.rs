@@ -59,14 +59,18 @@
 pub mod acquisition;
 pub mod bo;
 pub mod budget;
+pub mod checkpoint;
+pub mod codec;
 pub mod constraints;
 pub mod disjoint;
+pub mod faults;
 pub mod lynceus;
 pub mod optimizer;
 pub mod oracle;
 pub(crate) mod poison;
 pub mod pool;
 pub mod random;
+pub mod receipt;
 pub mod service;
 pub mod state;
 pub mod switching;
@@ -74,8 +78,11 @@ pub mod switching;
 pub use acquisition::{constrained_ei, expected_improvement, incumbent_cost, score_cmp};
 pub use bo::BoOptimizer;
 pub use budget::Budget;
+pub use checkpoint::{CheckpointStore, DirStore, MemoryStore, SessionCheckpoint};
+pub use codec::{CodecError, Decoder, Encoder};
 pub use constraints::SecondaryConstraint;
 pub use disjoint::{disjoint_optimization, DisjointOutcome};
+pub use faults::{FaultKind, FaultPlan, FaultProfile, OracleFault};
 pub use lynceus::{LynceusOptimizer, PathEngine, PruneStats, DEEP_CUT_LEVELS};
 pub use optimizer::{
     Exploration, OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
@@ -83,9 +90,10 @@ pub use optimizer::{
 pub use oracle::{CostOracle, Observation, TableOracle};
 pub use pool::Pool;
 pub use random::RandomOptimizer;
+pub use receipt::DecisionReceipt;
 pub use service::{
-    SchedulePolicy, SessionError, SessionId, SessionOutcome, SessionSpec, SessionStatus,
-    TuningService, STARVATION_LIMIT,
+    RetryPolicy, SchedulePolicy, SessionError, SessionId, SessionOutcome, SessionSpec,
+    SessionStatus, TuningService, STARVATION_LIMIT,
 };
 pub use state::{SearchState, SpeculativeCursor};
 pub use switching::SwitchingCost;

@@ -66,10 +66,14 @@ use crate::acquisition::{
     budget_filter_z, constrained_ei, fits_budget, incumbent_cost, score_cmp, score_from_key,
     score_key,
 };
+use crate::budget::Budget;
+use crate::checkpoint::SessionCheckpoint;
+use crate::codec::CodecError;
 use crate::constraints::ConstraintModels;
 use crate::optimizer::{Driver, OptimizationReport, Optimizer, OptimizerSettings, ProfileError};
 use crate::oracle::CostOracle;
 use crate::pool;
+use crate::receipt::DecisionReceipt;
 use crate::state::{SearchState, SpeculativeCursor};
 use crate::switching::{FreeSwitching, SwitchingCost};
 use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Prediction, RowValueMemo, Surrogate};
@@ -609,21 +613,24 @@ impl LynceusOptimizer {
     /// `NextConfig` (Algorithm 1, lines 22–28) under the naive reference
     /// engine: the first configuration of the exploration path with the best
     /// reward-to-cost ratio, every branch refit from scratch.
+    /// Also returns `|Γ|`, the size of the budget filter the decision chose
+    /// from (0 for the unfitted first decision), for the decision receipt.
     fn next_config_naive(
         &self,
         driver: &Driver<'_>,
         constraint_models: &ConstraintModels,
         z: f64,
-    ) -> Option<ConfigId> {
+    ) -> (Option<ConfigId>, usize) {
         let model = self.fit_model(driver, &driver.state);
         if !model.is_fitted() {
-            return driver.state.untested().first().copied();
+            return (driver.state.untested().first().copied(), 0);
         }
         let gamma = self.budget_feasible(driver, &driver.state, &model, z);
         if gamma.is_empty() {
-            return None;
+            return (None, 0);
         }
-        gamma
+        let gamma_size = gamma.len();
+        let id = gamma
             .into_iter()
             .map(|id| {
                 let (reward, cost) = self.explore_path(
@@ -638,7 +645,8 @@ impl LynceusOptimizer {
                 (id, reward / cost.max(MIN_STEP_COST))
             })
             .max_by(|a, b| score_cmp(a.1, b.1))
-            .map(|(id, _)| id)
+            .map(|(id, _)| id);
+        (id, gamma_size)
     }
 
     // =====================================================================
@@ -658,6 +666,7 @@ impl LynceusOptimizer {
         z: f64,
         scratch: &mut DecisionScratch,
     ) -> Option<ConfigId> {
+        scratch.last_gamma = 0;
         if !model.is_fitted() {
             return driver.state.untested().first().copied();
         }
@@ -676,6 +685,7 @@ impl LynceusOptimizer {
             spans,
             nodes,
             workers,
+            last_gamma,
             ..
         } = scratch;
         let ctx = prepare_root(
@@ -701,6 +711,7 @@ impl LynceusOptimizer {
         if gamma.is_empty() {
             return None;
         }
+        *last_gamma = gamma.len();
 
         // Flatten the first level of every candidate's exploration tree into
         // `candidates × nodes` branch tasks (buffers reserved to their
@@ -788,6 +799,7 @@ impl LynceusOptimizer {
         z: f64,
         scratch: &mut DecisionScratch,
     ) -> Option<ConfigId> {
+        scratch.last_gamma = 0;
         if !model.is_fitted() {
             return driver.state.untested().first().copied();
         }
@@ -807,6 +819,7 @@ impl LynceusOptimizer {
             cont,
             order,
             workers,
+            last_gamma,
             ..
         } = scratch;
         let ctx = prepare_root(
@@ -832,6 +845,7 @@ impl LynceusOptimizer {
         if gamma.is_empty() {
             return None;
         }
+        *last_gamma = gamma.len();
         let lookahead = self.settings.lookahead;
         if lookahead == 0 {
             // Myopic variant: the score is known in closed form, nothing to
@@ -1426,6 +1440,10 @@ pub(crate) struct DecisionScratch {
     /// Recycler of per-worker branch scratches (leased at worker init,
     /// returned on completion).
     workers: Mutex<Vec<BranchScratch>>,
+    /// `|Γ|` of the most recent decision (0 for unfitted early-outs), read
+    /// by the session's receipt emission. Plain data, not a buffer — it does
+    /// not participate in the capacity signature.
+    last_gamma: usize,
 }
 
 impl DecisionScratch {
@@ -2149,6 +2167,15 @@ pub(crate) struct LynceusSession<'a> {
     z: f64,
     model: BaggingEnsemble,
     model_len: usize,
+    // Durability bookkeeping: the session seed (checkpoints re-derive the
+    // session from it), the profiling-step counter, the receipt trail and
+    // the fault/retry tallies accumulated since the last receipt.
+    seed: u64,
+    steps: u64,
+    receipts: Vec<DecisionReceipt>,
+    pending_faults: u32,
+    pending_retries: u32,
+    attempts_used: u32,
 }
 
 impl<'a> LynceusSession<'a> {
@@ -2205,6 +2232,12 @@ impl<'a> LynceusSession<'a> {
             z,
             model,
             model_len: 0,
+            seed,
+            steps: 0,
+            receipts: Vec::new(),
+            pending_faults: 0,
+            pending_retries: 0,
+            attempts_used: 0,
         }
     }
 
@@ -2216,20 +2249,36 @@ impl<'a> LynceusSession<'a> {
     /// Runs one profiling step: the next bootstrap sample while the plan
     /// lasts, then one decision of the configured engine. A misbehaving
     /// oracle or switching model surfaces as a [`ProfileError`] with the
-    /// session state untouched by the failed run.
+    /// session state untouched by the failed run — including the RNG and
+    /// the bootstrap plan, so re-calling `step` after a transient fault
+    /// replays the identical attempt (the retry transparency the service's
+    /// [`crate::service::RetryPolicy`] relies on).
     pub(crate) fn step(&mut self) -> Result<SessionStep, ProfileError> {
         let optimizer = self.optimizer.get();
         let switching = optimizer.switching.as_ref();
-        while let Some(sample) = self.bootstrap_plan.pop_front() {
+        let budget_before = self.driver.state.budget().remaining();
+        while let Some(sample) = self.bootstrap_plan.front().cloned() {
+            // `bootstrap_step` may advance the RNG (random fallback draw)
+            // before the profiling run; snapshot it so a faulted run leaves
+            // no trace and the retry draws the same stream.
+            let rng_before = self.rng.clone();
             match self
                 .driver
-                .bootstrap_step(&sample, &mut self.rng, switching)?
+                .bootstrap_step(&sample, &mut self.rng, switching)
             {
-                Some(id) => return Ok(SessionStep::Profiled(id)),
-                None => {
+                Ok(Some(id)) => {
+                    self.bootstrap_plan.pop_front();
+                    self.emit_receipt(id, true, 0, budget_before, (0, 0, 0));
+                    return Ok(SessionStep::Profiled(id));
+                }
+                Ok(None) => {
                     // Untested set exhausted: drop the rest of the plan and
                     // fall through to the decision loop (which will stop).
                     self.bootstrap_plan.clear();
+                }
+                Err(error) => {
+                    self.rng = rng_before;
+                    return Err(error);
                 }
             }
         }
@@ -2238,7 +2287,8 @@ impl<'a> LynceusSession<'a> {
             self.constraint_models
                 .fit(self.driver.oracle().space(), self.driver.observed_metrics());
         }
-        let id = match optimizer.engine {
+        let prune_before = optimizer.prune_stats();
+        let (id, gamma_size) = match optimizer.engine {
             PathEngine::Batched | PathEngine::BoundAndPrune => {
                 let tested = self.driver.state.tested();
                 if tested.len() > self.model_len {
@@ -2272,8 +2322,9 @@ impl<'a> LynceusSession<'a> {
                         &mut scratch,
                     ),
                 };
+                let gamma_size = scratch.last_gamma;
                 self.driver.decision_scratch = scratch;
-                id
+                (id, gamma_size)
             }
             PathEngine::NaiveReference => {
                 optimizer.next_config_naive(&self.driver, &self.constraint_models, self.z)
@@ -2282,8 +2333,53 @@ impl<'a> LynceusSession<'a> {
         let Some(id) = id else {
             return Ok(SessionStep::Done);
         };
+        // A faulted decision run is transparent too: `try_profile` records
+        // and charges nothing on the `Err` path, the engine selection is a
+        // deterministic recomputation, and the decision loop draws no RNG.
         self.driver.try_profile(id, false, switching)?;
+        let prune_after = optimizer.prune_stats();
+        // Saturating: `reset_prune_stats` may race this decision when the
+        // optimizer is shared across threads, shrinking the counters between
+        // the two snapshots. The receipt then under-reports that one step
+        // instead of underflowing.
+        let deltas = (
+            prune_after
+                .candidates
+                .saturating_sub(prune_before.candidates),
+            prune_after.pruned.saturating_sub(prune_before.pruned),
+            prune_after
+                .deep_pruned()
+                .saturating_sub(prune_before.deep_pruned()),
+        );
+        self.emit_receipt(id, false, gamma_size, budget_before, deltas);
         Ok(SessionStep::Profiled(id))
+    }
+
+    /// Appends the audit record of a just-profiled step and consumes the
+    /// fault/retry tallies accumulated since the previous receipt.
+    fn emit_receipt(
+        &mut self,
+        chosen: ConfigId,
+        bootstrap: bool,
+        gamma_size: usize,
+        budget_before: f64,
+        (candidates, pruned, deep_pruned): (u64, u64, u64),
+    ) {
+        self.receipts.push(DecisionReceipt {
+            step: self.steps,
+            chosen,
+            bootstrap,
+            gamma_size: gamma_size as u64,
+            incumbent: self.driver.state.best_feasible().map(|t| t.cost),
+            budget_before,
+            budget_after: self.driver.state.budget().remaining(),
+            candidates,
+            pruned,
+            deep_pruned,
+            faults_observed: std::mem::take(&mut self.pending_faults),
+            retries_consumed: std::mem::take(&mut self.pending_retries),
+        });
+        self.steps += 1;
     }
 
     /// The decision arena (for the scratch-reuse assertions in the tests).
@@ -2296,6 +2392,149 @@ impl<'a> LynceusSession<'a> {
     /// used to produce the partial report of a failed session).
     pub(crate) fn finish(self, optimizer_name: &str) -> OptimizationReport {
         self.driver.finish(optimizer_name)
+    }
+
+    /// Number of profiling steps completed so far.
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Takes the receipt trail out of the session (for delivery with the
+    /// session outcome).
+    pub(crate) fn take_receipts(&mut self) -> Vec<DecisionReceipt> {
+        std::mem::take(&mut self.receipts)
+    }
+
+    /// Retry attempts consumed across the session's lifetime (checkpointed,
+    /// so a restored session cannot reset its retry budget).
+    pub(crate) fn attempts_used(&self) -> u32 {
+        self.attempts_used
+    }
+
+    /// Records one recovered fault: a fault was observed, a retry attempt
+    /// was consumed, and the next receipt will carry both tallies.
+    pub(crate) fn note_recovery(&mut self) {
+        self.pending_faults += 1;
+        self.pending_retries += 1;
+        self.attempts_used += 1;
+    }
+
+    /// Charges the retry surcharge against the session budget `β` (retries
+    /// are never free when the policy prices them; a zero surcharge charges
+    /// nothing, keeping recovered runs bit-identical to fault-free ones).
+    pub(crate) fn charge_retry(&mut self, cost: f64) {
+        if cost > 0.0 {
+            self.driver.state.charge_extra(cost);
+        }
+    }
+
+    /// Serializes the session's full durable state at a decision boundary.
+    pub(crate) fn encode_checkpoint(&self) -> Vec<u8> {
+        let state = &self.driver.state;
+        SessionCheckpoint {
+            seed: self.seed,
+            steps: self.steps,
+            attempts_used: self.attempts_used,
+            pending_faults: self.pending_faults,
+            pending_retries: self.pending_retries,
+            rng_state: self.rng.state(),
+            bootstrap_plan: self.bootstrap_plan.iter().cloned().collect(),
+            tested: state.tested().to_vec(),
+            untested: state.untested().to_vec(),
+            budget_initial: state.budget().initial(),
+            budget_remaining: state.budget().remaining(),
+            current: state.current(),
+            explorations: self.driver.explorations.clone(),
+            receipts: self.receipts.clone(),
+            oracle_state: self.driver.oracle().durable_state(),
+        }
+        .encode()
+    }
+
+    /// Rebuilds a self-contained session from a checkpoint. The optimizer
+    /// and oracle are reconstructed by the caller exactly as at submission;
+    /// everything history-dependent comes from the checkpoint. The surrogate
+    /// is left unfitted with `model_len = 0` — the first decision refits the
+    /// whole checkpointed training set, which is bit-identical to the
+    /// incremental refits of the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the bytes do not decode, describe
+    /// configurations outside the oracle's space, carry an out-of-range
+    /// budget, or the oracle rejects its durable state.
+    pub(crate) fn owned_from_checkpoint(
+        optimizer: LynceusOptimizer,
+        oracle: Box<dyn CostOracle>,
+        bytes: &[u8],
+    ) -> Result<LynceusSession<'static>, CodecError> {
+        let checkpoint = SessionCheckpoint::decode(bytes)?;
+        let universe = oracle.space().len();
+        let id_ok = |id: ConfigId| id.index() < universe;
+        if !checkpoint.tested.iter().all(|t| id_ok(t.id))
+            || !checkpoint.untested.iter().all(|&id| id_ok(id))
+            || !checkpoint.explorations.iter().all(|e| id_ok(e.id))
+            || !checkpoint.current.is_none_or(id_ok)
+        {
+            return Err(CodecError::Invalid(
+                "checkpoint references configurations outside the space",
+            ));
+        }
+        if checkpoint.budget_initial.is_nan()
+            || checkpoint.budget_initial < 0.0
+            || checkpoint.budget_remaining.is_nan()
+            || checkpoint.budget_remaining > checkpoint.budget_initial
+        {
+            return Err(CodecError::Invalid("checkpoint budget out of range"));
+        }
+        if !checkpoint
+            .tested
+            .iter()
+            .all(|t| t.cost.is_finite() && t.cost >= 0.0)
+        {
+            return Err(CodecError::Invalid(
+                "checkpoint training costs out of range",
+            ));
+        }
+        if let Some(state) = &checkpoint.oracle_state {
+            if !oracle.restore_durable_state(state) {
+                return Err(CodecError::Invalid(
+                    "oracle rejected its checkpointed durable state",
+                ));
+            }
+        }
+        let mut session = LynceusSession::owned(optimizer, oracle, checkpoint.seed);
+        let budget = Budget::from_parts(checkpoint.budget_initial, checkpoint.budget_remaining);
+        let state = SearchState::from_parts(
+            checkpoint.tested,
+            checkpoint.untested,
+            budget,
+            checkpoint.current,
+        );
+        session.driver.restore(state, checkpoint.explorations);
+        session.rng = SeededRng::from_state(checkpoint.rng_state);
+        session.bootstrap_plan = checkpoint.bootstrap_plan.into_iter().collect();
+        session.steps = checkpoint.steps;
+        session.attempts_used = checkpoint.attempts_used;
+        session.pending_faults = checkpoint.pending_faults;
+        session.pending_retries = checkpoint.pending_retries;
+        session.receipts = checkpoint.receipts;
+        Ok(session)
+    }
+
+    /// Takes a self-contained session apart into its optimizer and oracle,
+    /// so the service can rebuild it from a checkpoint after a contained
+    /// panic left the in-memory state untrustworthy. `None` for borrowed
+    /// sessions (the standalone `optimize()` path never dismantles).
+    pub(crate) fn dismantle(self) -> Option<(LynceusOptimizer, Box<dyn CostOracle>)> {
+        let LynceusSession {
+            optimizer, driver, ..
+        } = self;
+        let oracle = driver.into_oracle()?;
+        match optimizer {
+            OptimizerHandle::Owned(optimizer) => Some((*optimizer, oracle)),
+            OptimizerHandle::Borrowed(_) => None,
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::budget::Budget;
 use crate::constraints::SecondaryConstraint;
+use crate::faults::OracleFault;
 use crate::oracle::{CostOracle, Observation};
 use crate::state::SearchState;
 use crate::switching::SwitchingCost;
@@ -168,6 +169,28 @@ pub enum ProfileError {
         /// The unusable switching cost the model produced.
         cost: f64,
     },
+    /// The profiling run itself failed with a recoverable fault (spot
+    /// revocation, transient oracle error). Nothing was recorded or charged;
+    /// the service's retry policy decides whether to run it again.
+    Fault {
+        /// The configuration whose run faulted.
+        id: ConfigId,
+        /// The fault the oracle reported.
+        fault: OracleFault,
+    },
+}
+
+impl ProfileError {
+    /// True when a retry of the same run may succeed (oracle faults), false
+    /// for contract violations (unusable costs) where retrying would just
+    /// reproduce the bad value.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ProfileError::Fault { .. } => true,
+            ProfileError::InvalidCost { .. } | ProfileError::InvalidSwitchingCost { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ProfileError {
@@ -183,6 +206,11 @@ impl std::fmt::Display for ProfileError {
                 "switching-cost model produced an unusable charge {cost} for {:?} -> {}",
                 from.map(ConfigId::index),
                 to.index()
+            ),
+            ProfileError::Fault { id, fault } => write!(
+                f,
+                "profiling run of configuration {} faulted: {fault}",
+                id.index()
             ),
         }
     }
@@ -344,6 +372,36 @@ impl<'a> Driver<'a> {
         self.oracle.get()
     }
 
+    /// Reclaims an owned oracle from the driver (e.g. to rebuild a session
+    /// from a checkpoint after a contained panic). `None` for drivers that
+    /// merely borrow their oracle.
+    pub(crate) fn into_oracle(self) -> Option<Box<dyn CostOracle>> {
+        match self.oracle {
+            OracleHandle::Owned(oracle) => Some(oracle),
+            OracleHandle::Borrowed(_) => None,
+        }
+    }
+
+    /// Overwrites the driver's bookkeeping with checkpointed state: the
+    /// search state `Σ` and the exploration log are taken verbatim, and the
+    /// observed-metrics table (a pure function of the explorations and the
+    /// feature matrix) is rebuilt to match. Everything else on the driver —
+    /// feature matrix, price rates, settings, model seed — is derived from
+    /// the oracle and settings, which the caller reconstructs identically.
+    pub(crate) fn restore(&mut self, state: SearchState, explorations: Vec<Exploration>) {
+        self.observed_metrics = explorations
+            .iter()
+            .map(|e| {
+                (
+                    self.features.row(e.id.index()).to_vec(),
+                    e.observation.metrics.clone(),
+                )
+            })
+            .collect();
+        self.state = state;
+        self.explorations = explorations;
+    }
+
     /// Feature vector of a configuration (cached).
     pub(crate) fn features_of(&self, id: ConfigId) -> &[f64] {
         self.features.row(id.index())
@@ -409,7 +467,11 @@ impl<'a> Driver<'a> {
                 cost: switch_cost,
             });
         }
-        let observation = self.oracle.get().run(id);
+        let observation = self
+            .oracle
+            .get()
+            .try_run(id)
+            .map_err(|fault| ProfileError::Fault { id, fault })?;
         if !(observation.cost.is_finite() && observation.cost >= 0.0) {
             return Err(ProfileError::InvalidCost {
                 id,

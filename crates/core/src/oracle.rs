@@ -1,5 +1,6 @@
 //! The black-box environment that the optimizers profile.
 
+use crate::faults::OracleFault;
 use lynceus_space::{ConfigId, ConfigSpace};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +53,38 @@ pub trait CostOracle: Send + Sync {
 
     /// Runs the job once on a configuration and reports what was measured.
     fn run(&self, id: ConfigId) -> Observation;
+
+    /// Runs the job once, reporting a recoverable [`OracleFault`] instead of
+    /// panicking when the run fails transiently (spot revocation, timeout).
+    ///
+    /// The default forwards to [`CostOracle::run`] — an infallible oracle
+    /// needs no changes. Fallible oracles (real clouds, the `sim` crate's
+    /// `TurbulentOracle`) override this; the service's retry policy handles
+    /// the `Err` channel, and a faulted run charges nothing against β.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault that aborted the run.
+    fn try_run(&self, id: ConfigId) -> Result<Observation, OracleFault> {
+        Ok(self.run(id))
+    }
+
+    /// Opaque durable state to ride inside session checkpoints (e.g. a
+    /// fault-plan cursor or an accumulated price multiplier). `None` — the
+    /// default — means the oracle is stateless and needs nothing persisted.
+    fn durable_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`CostOracle::durable_state`], returning
+    /// `false` if the bytes are not recognized (the session then fails with
+    /// a corrupt-checkpoint error instead of resuming wrongly). Oracles are
+    /// shared behind `&self`, so stateful implementations use interior
+    /// mutability. The default accepts anything: a stateless oracle has
+    /// nothing to restore.
+    fn restore_durable_state(&self, _bytes: &[u8]) -> bool {
+        true
+    }
 
     /// The price rate `U(x)` of a configuration in dollars per second.
     ///

@@ -42,6 +42,31 @@
 //!   [`crate::optimizer::Driver::try_profile`]); an oracle that *panics* is
 //!   likewise contained to its session ([`SessionError::Panicked`]). Every
 //!   other session is untouched.
+//! * **Retry with deterministic backoff.** A *transient* profiling fault
+//!   (spot revocation, oracle timeout — [`ProfileError::is_transient`]) does
+//!   not fail the session: its [`RetryPolicy`] grants a bounded per-session
+//!   retry budget, each retry optionally charges a surcharge against the
+//!   session's own β (retries are never free when priced), and backoff is
+//!   measured in **scheduler dispatches**, never wall-clock, so a faulted
+//!   schedule replays deterministically. An exhausted retry budget degrades
+//!   to [`SessionError::RetriesExhausted`] with the partial report and the
+//!   receipt trail — siblings never notice.
+//! * **Checkpoint/replay durability.** With a [`CheckpointStore`] attached
+//!   ([`TuningService::with_checkpoints`]), every decision boundary persists
+//!   the session's full state — search state `Σ`, RNG position, remaining
+//!   bootstrap plan, receipts, retry ledger, oracle cursor — through the
+//!   [`crate::codec`] wire format. A killed process calls
+//!   [`TuningService::restore`] with the original spec and the session
+//!   resumes from its latest checkpoint; the finished report is
+//!   **bit-identical** to the uninterrupted run on every engine and thread
+//!   count. [`SessionSpec::with_step_limit`] suspends a session at a chosen
+//!   boundary ([`SessionStatus::Suspended`]) for controlled kill-and-resume.
+//! * **Decision receipts.** Every profiling run appends a
+//!   [`DecisionReceipt`] (chosen configuration, `Γ` size, incumbent, β
+//!   before/after, prune counters, faults observed and retries consumed);
+//!   the trail rides inside checkpoints and is delivered with every
+//!   [`SessionOutcome`] — failed and panicked sessions included, so a dead
+//!   session still explains every dollar it spent.
 //! * **Bit-identical reports.** Each session owns its full state (RNG,
 //!   surrogate, decision arena) and moves with it between lanes, so its
 //!   sequence of random draws, refits and profiling runs is exactly the
@@ -79,12 +104,14 @@
 //! }
 //! ```
 
+use crate::checkpoint::CheckpointStore;
 use crate::lynceus::{LynceusOptimizer, LynceusSession, PathEngine, SessionStep};
 use crate::optimizer::{
     OptimizationReport, Optimizer, OptimizerError, OptimizerSettings, ProfileError,
 };
 use crate::oracle::CostOracle;
 use crate::pool::Pool;
+use crate::receipt::DecisionReceipt;
 use crate::switching::SwitchingCost;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -118,10 +145,58 @@ pub enum SchedulePolicy {
 /// time instead of allowing indefinite parking.
 pub const STARVATION_LIMIT: u64 = 16;
 
+/// How the service handles a session's *transient* profiling faults (spot
+/// revocations, oracle timeouts — [`ProfileError::is_transient`]) and panic
+/// recovery from checkpoints.
+///
+/// Backoff is counted in **scheduler dispatches**, never wall-clock time:
+/// after its `k`-th retry a session rejoins the ready queue but is not
+/// dispatchable until `backoff_steps × k` further dispatches have happened
+/// service-wide (an idle scheduler fast-forwards instead of spinning). This
+/// keeps faulted schedules exactly replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retry attempts granted over the whole session lifetime — the
+    /// per-session retry budget. `0` makes every fault terminal. The count
+    /// is checkpointed, so a restored session cannot reset it.
+    pub max_attempts: u32,
+    /// Deterministic backoff, in scheduler dispatches per consumed attempt
+    /// (linear: the `k`-th retry waits `backoff_steps × k` dispatches).
+    pub backoff_steps: u64,
+    /// Surcharge in dollars charged against the session's remaining budget
+    /// `β` for every consumed retry, so retries are never free when priced.
+    /// The default `0.0` keeps recovered runs bit-identical to fault-free
+    /// ones. Must be finite and non-negative.
+    pub retry_cost: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_steps: 0,
+            retry_cost: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first fault (or panic) is terminal.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 0,
+            backoff_steps: 0,
+            retry_cost: 0.0,
+        }
+    }
+}
+
 /// Everything one tuning session needs: a name for reporting, the optimizer
 /// settings (budget, constraint, lookahead, …), the black-box oracle to
 /// profile, a seed, and optionally a switching-cost model, an engine
-/// override, a scheduling priority and a deadline.
+/// override, a scheduling priority, a deadline, a retry policy and a step
+/// limit.
 pub struct SessionSpec {
     name: String,
     settings: OptimizerSettings,
@@ -131,6 +206,8 @@ pub struct SessionSpec {
     engine: PathEngine,
     priority: i64,
     deadline: f64,
+    retry: RetryPolicy,
+    halt_after: Option<u64>,
 }
 
 impl SessionSpec {
@@ -152,6 +229,8 @@ impl SessionSpec {
             engine: PathEngine::default(),
             priority: 0,
             deadline: f64::INFINITY,
+            retry: RetryPolicy::default(),
+            halt_after: None,
         }
     }
 
@@ -192,6 +271,36 @@ impl SessionSpec {
         self
     }
 
+    /// Overrides the session's [`RetryPolicy`] (default: three retries,
+    /// no backoff, no surcharge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry.retry_cost` is negative or not finite — the
+    /// surcharge is charged against the budget `β`, which only accepts
+    /// finite non-negative amounts.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        assert!(
+            retry.retry_cost.is_finite() && retry.retry_cost >= 0.0,
+            "retry_cost must be a finite non-negative surcharge"
+        );
+        self.retry = retry;
+        self
+    }
+
+    /// Suspends the session once it has completed `steps` profiling runs,
+    /// delivering [`SessionStatus::Suspended`] with the checkpoint flushed
+    /// to the service's [`CheckpointStore`] (if any). A later
+    /// [`TuningService::restore`] with the original spec — typically
+    /// *without* the limit — resumes from that exact decision boundary.
+    /// This is the controlled kill switch used by the durability tests.
+    #[must_use]
+    pub fn with_step_limit(mut self, steps: u64) -> Self {
+        self.halt_after = Some(steps);
+        self
+    }
+
     /// The session's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -210,6 +319,19 @@ impl SessionSpec {
     pub fn deadline(&self) -> f64 {
         self.deadline
     }
+
+    /// The session's retry policy (see [`SessionSpec::with_retry_policy`]).
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The session's step limit, if any (see
+    /// [`SessionSpec::with_step_limit`]).
+    #[must_use]
+    pub fn step_limit(&self) -> Option<u64> {
+        self.halt_after
+    }
 }
 
 /// Why a session ended in [`SessionStatus::Failed`].
@@ -223,6 +345,18 @@ pub enum SessionError {
     /// The oracle (or other per-session code) panicked mid-step; the panic
     /// was contained to this session and its message captured.
     Panicked(String),
+    /// A transient fault recurred past the session's
+    /// [`RetryPolicy::max_attempts`]; the session degraded gracefully to a
+    /// partial report instead of spending more of its budget.
+    RetriesExhausted {
+        /// The fault observed on the final, unretried attempt.
+        last: ProfileError,
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// A checkpoint could not be decoded (truncated, corrupted, or written
+    /// by an incompatible version); the session was not started.
+    CorruptCheckpoint(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -231,6 +365,13 @@ impl std::fmt::Display for SessionError {
             SessionError::InvalidSettings(e) => write!(f, "session rejected: {e}"),
             SessionError::Profile(e) => write!(f, "session failed: {e}"),
             SessionError::Panicked(message) => write!(f, "session panicked: {message}"),
+            SessionError::RetriesExhausted { last, attempts } => write!(
+                f,
+                "session failed after exhausting {attempts} retry attempts: {last}"
+            ),
+            SessionError::CorruptCheckpoint(message) => {
+                write!(f, "session checkpoint is unusable: {message}")
+            }
         }
     }
 }
@@ -257,6 +398,13 @@ pub enum SessionStatus {
         /// (`None` when the spec was rejected before any run).
         partial: Option<OptimizationReport>,
     },
+    /// The session hit its [`SessionSpec::with_step_limit`] fuse and parked
+    /// at a decision boundary with its checkpoint flushed; resume it with
+    /// [`TuningService::restore`].
+    Suspended {
+        /// Profiling steps completed before suspension.
+        steps: u64,
+    },
 }
 
 /// The terminal outcome of one session.
@@ -268,6 +416,10 @@ pub struct SessionOutcome {
     pub name: String,
     /// How the session ended.
     pub status: SessionStatus,
+    /// One [`DecisionReceipt`] per profiling run, in step order — delivered
+    /// on every terminal path (failed and panicked sessions included), so
+    /// the session's spending is auditable even when no report exists.
+    pub receipts: Vec<DecisionReceipt>,
 }
 
 impl SessionOutcome {
@@ -276,7 +428,7 @@ impl SessionOutcome {
     pub fn report(&self) -> Option<&OptimizationReport> {
         match &self.status {
             SessionStatus::Finished(report) => Some(report),
-            SessionStatus::Failed { .. } => None,
+            SessionStatus::Failed { .. } | SessionStatus::Suspended { .. } => None,
         }
     }
 
@@ -297,6 +449,18 @@ struct Slot {
     /// Dispatch count at which the session (re-)joined the ready queue;
     /// FIFO key of the round-robin order and the aging guard.
     enqueued_at: u64,
+    /// Dispatch count before which the session must not be dispatched —
+    /// the deterministic backoff gate (0 = immediately dispatchable).
+    ready_after: u64,
+    retry: RetryPolicy,
+    halt_after: Option<u64>,
+    /// True when the session checkpoints at every decision boundary (a
+    /// retry budget, a step limit, or an attached store requires one).
+    durable: bool,
+    /// The latest checkpoint bytes — the in-memory authoritative copy used
+    /// for panic recovery; mirrored to the [`CheckpointStore`] when one is
+    /// attached.
+    checkpoint: Option<Vec<u8>>,
     session: Option<LynceusSession<'static>>,
     /// The terminal outcome, held until a drain call delivers it.
     outcome: Option<SessionOutcome>,
@@ -315,10 +479,22 @@ struct Sched {
     /// Terminal sessions whose outcome has not been delivered yet, in
     /// completion order.
     undelivered: Vec<usize>,
+    /// Sessions currently checked out by a lane. When 0 and every ready
+    /// session is backing off, the scheduler fast-forwards `dispatches`
+    /// instead of waiting for time that will never pass on its own.
+    running: usize,
+    /// Checkpoint persistence, when attached via
+    /// [`TuningService::with_checkpoints`].
+    store: Option<Arc<dyn CheckpointStore>>,
     shutdown: bool,
 }
 
 impl Sched {
+    /// A session is dispatchable when its backoff gate has passed.
+    fn dispatchable(&self, id: usize) -> bool {
+        self.slots[id].ready_after <= self.dispatches
+    }
+
     /// The next session to dispatch under the active policy, or `None` when
     /// nothing is ready. The starvation guard overrides every policy: any
     /// session that waited [`STARVATION_LIMIT`] dispatches goes first.
@@ -328,13 +504,16 @@ impl Sched {
     /// ignores priorities and deadlines, otherwise a high-priority starver
     /// could keep leapfrogging an older low-priority one and unbound its
     /// wait again (pinned by the tie-break test in
-    /// `tests/concurrent_service.rs`).
+    /// `tests/concurrent_service.rs`). Sessions still waiting out a retry
+    /// backoff are invisible to the policies *and* to the guard (a session
+    /// waiting out its own backoff is parked, not starving).
     fn pick(&self) -> Option<usize> {
         let fifo = |&id: &usize| (self.slots[id].enqueued_at, id);
         let starving = self
             .ready
             .iter()
             .copied()
+            .filter(|&id| self.dispatchable(id))
             .filter(|&id| {
                 self.dispatches.saturating_sub(self.slots[id].enqueued_at) >= STARVATION_LIMIT
             })
@@ -342,15 +521,21 @@ impl Sched {
         if starving.is_some() {
             return starving;
         }
+        let candidates = || {
+            self.ready
+                .iter()
+                .copied()
+                .filter(|&id| self.dispatchable(id))
+        };
         match self.policy {
-            SchedulePolicy::RoundRobin => self.ready.iter().copied().min_by_key(|id| fifo(id)),
-            SchedulePolicy::Priority => self.ready.iter().copied().min_by(|&a, &b| {
+            SchedulePolicy::RoundRobin => candidates().min_by_key(|id| fifo(id)),
+            SchedulePolicy::Priority => candidates().min_by(|&a, &b| {
                 self.slots[b]
                     .priority
                     .cmp(&self.slots[a].priority)
                     .then_with(|| fifo(&a).cmp(&fifo(&b)))
             }),
-            SchedulePolicy::EarliestDeadline => self.ready.iter().copied().min_by(|&a, &b| {
+            SchedulePolicy::EarliestDeadline => candidates().min_by(|&a, &b| {
                 self.slots[a]
                     .deadline
                     .total_cmp(&self.slots[b].deadline)
@@ -359,12 +544,22 @@ impl Sched {
         }
     }
 
+    /// The earliest backoff gate among ready sessions, used to fast-forward
+    /// the dispatch clock when the scheduler is otherwise idle.
+    fn next_wakeup(&self) -> Option<u64> {
+        self.ready
+            .iter()
+            .map(|&id| self.slots[id].ready_after)
+            .min()
+    }
+
     /// Records a terminal outcome and queues it for delivery.
-    fn finalize(&mut self, index: usize, status: SessionStatus) {
+    fn finalize(&mut self, index: usize, status: SessionStatus, receipts: Vec<DecisionReceipt>) {
         let outcome = SessionOutcome {
             id: SessionId(index),
             name: self.slots[index].name.clone(),
             status,
+            receipts,
         };
         self.slots[index].outcome = Some(outcome);
         self.undelivered.push(index);
@@ -419,6 +614,8 @@ impl TuningService {
                     live: 0,
                     dispatches: 0,
                     undelivered: Vec::new(),
+                    running: 0,
+                    store: None,
                     shutdown: false,
                 }),
                 work: Condvar::new(),
@@ -448,6 +645,17 @@ impl TuningService {
         self.lock_state().policy
     }
 
+    /// Attaches a [`CheckpointStore`]: from now on every session persists a
+    /// checkpoint at each decision boundary under its session *name*, and
+    /// [`TuningService::restore`] can resume sessions by name. Attach the
+    /// store **before** submitting — sessions admitted earlier keep running
+    /// but are not persisted.
+    #[must_use]
+    pub fn with_checkpoints(self, store: Arc<dyn CheckpointStore>) -> Self {
+        self.lock_state().store = Some(store);
+        self
+    }
+
     /// The pool shared by every session of this service.
     #[must_use]
     pub fn shared_pool(&self) -> &Arc<Pool> {
@@ -469,6 +677,35 @@ impl TuningService {
     /// [`SessionError::InvalidSettings`] and no partial report); nothing
     /// else is affected.
     pub fn submit(&self, spec: SessionSpec) -> SessionId {
+        self.admit(spec, None)
+    }
+
+    /// Resumes a session from the checkpoint stored under `spec.name()` in
+    /// the attached [`CheckpointStore`]. The spec must match the one the
+    /// session was originally submitted with (same settings, oracle, seed,
+    /// engine) — the checkpoint carries search state, not configuration —
+    /// though the step limit may differ (typically dropped, to run to
+    /// completion). The resumed run is bit-identical to one that was never
+    /// interrupted.
+    ///
+    /// With no store attached, or no checkpoint under that name, the spec is
+    /// admitted as a fresh session. A checkpoint that fails to decode or
+    /// validate fails its session immediately with
+    /// [`SessionError::CorruptCheckpoint`]; nothing else is affected.
+    pub fn restore(&self, spec: SessionSpec) -> SessionId {
+        let resume = {
+            let state = self.lock_state();
+            state
+                .store
+                .as_ref()
+                .and_then(|store| store.load(spec.name()))
+        };
+        self.admit(spec, resume)
+    }
+
+    /// Shared admission path of [`TuningService::submit`] (no `resume`) and
+    /// [`TuningService::restore`] (checkpoint bytes to resume from).
+    fn admit(&self, spec: SessionSpec, resume: Option<Vec<u8>>) -> SessionId {
         let SessionSpec {
             name,
             settings,
@@ -478,30 +715,57 @@ impl TuningService {
             engine,
             priority,
             deadline,
+            retry,
+            halt_after,
         } = spec;
+        let store = self.lock_state().store.clone();
+        // Panic recovery restarts from the latest checkpoint, the step-limit
+        // fuse flushes one, and an attached store persists them — each needs
+        // the session to checkpoint at every decision boundary.
+        let durable = retry.max_attempts > 0 || halt_after.is_some() || store.is_some();
         // Build the owned session outside the scheduler lock: constructing
         // the optimizer draws the bootstrap plan and allocates the decision
         // arena, none of which should serialize concurrent submitters.
-        let prepared = settings.validate().map(|()| {
-            let mut optimizer = LynceusOptimizer::new(settings)
-                .with_engine(engine)
-                .with_pool(Arc::clone(&self.shared.pool));
-            if let Some(switching) = switching {
-                optimizer = optimizer.with_switching_cost(switching);
-            }
-            LynceusSession::owned(optimizer, oracle, seed)
-        });
+        let prepared: Result<(LynceusSession<'static>, Option<Vec<u8>>), SessionError> = settings
+            .validate()
+            .map_err(SessionError::InvalidSettings)
+            .and_then(|()| {
+                let mut optimizer = LynceusOptimizer::new(settings)
+                    .with_engine(engine)
+                    .with_pool(Arc::clone(&self.shared.pool));
+                if let Some(switching) = switching {
+                    optimizer = optimizer.with_switching_cost(switching);
+                }
+                let session = match resume {
+                    Some(bytes) => LynceusSession::owned_from_checkpoint(optimizer, oracle, &bytes)
+                        .map_err(|e| SessionError::CorruptCheckpoint(e.to_string()))?,
+                    None => LynceusSession::owned(optimizer, oracle, seed),
+                };
+                // The step-0 (or resumed) checkpoint exists before the first
+                // dispatch, so even a panic on the very first step recovers.
+                let checkpoint = durable.then(|| session.encode_checkpoint());
+                Ok((session, checkpoint))
+            });
+        if let (Ok((_, Some(bytes))), Some(store)) = (&prepared, &store) {
+            store.save(&name, bytes);
+        }
 
         let mut state = self.lock_state();
         let index = state.slots.len();
         let enqueued_at = state.dispatches;
+        let ready_after = state.dispatches;
         match prepared {
-            Ok(session) => {
+            Ok((session, checkpoint)) => {
                 state.slots.push(Slot {
                     name,
                     priority,
                     deadline,
                     enqueued_at,
+                    ready_after,
+                    retry,
+                    halt_after,
+                    durable,
+                    checkpoint,
                     session: Some(session),
                     outcome: None,
                 });
@@ -517,15 +781,21 @@ impl TuningService {
                     id: SessionId(index),
                     name: name.clone(),
                     status: SessionStatus::Failed {
-                        error: SessionError::InvalidSettings(error),
+                        error,
                         partial: None,
                     },
+                    receipts: Vec::new(),
                 };
                 state.slots.push(Slot {
                     name,
                     priority,
                     deadline,
                     enqueued_at,
+                    ready_after,
+                    retry,
+                    halt_after,
+                    durable,
+                    checkpoint: None,
                     session: None,
                     outcome: Some(outcome),
                 });
@@ -688,7 +958,7 @@ fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
 /// and returns the session (or records its terminal outcome).
 fn run_lane(shared: &Shared) {
     loop {
-        let (index, mut session) = {
+        let (index, mut session, name, retry, halt_after, durable, store) = {
             let mut state = crate::poison::lock(&shared.state);
             loop {
                 if state.shutdown {
@@ -696,6 +966,7 @@ fn run_lane(shared: &Shared) {
                 }
                 if let Some(index) = state.pick() {
                     state.dispatches += 1;
+                    state.running += 1;
                     let position = state
                         .ready
                         .iter()
@@ -708,11 +979,53 @@ fn run_lane(shared: &Shared) {
                         .take()
                         // lint: allow(no-panic) -- registry invariant: a ready index always has its session checked in; a None is a scheduler bug worth a loud stop
                         .expect("ready sessions are checked in");
-                    break (index, session);
+                    let slot = &state.slots[index];
+                    break (
+                        index,
+                        session,
+                        slot.name.clone(),
+                        slot.retry,
+                        slot.halt_after,
+                        slot.durable,
+                        state.store.clone(),
+                    );
+                }
+                // Backoff fast-forward: when no lane is stepping and every
+                // ready session is still gated, no dispatch will ever happen
+                // to age the gates out — jump the dispatch clock to the
+                // earliest gate instead of deadlocking. Deterministic: the
+                // jump target depends only on scheduler state.
+                if state.running == 0 {
+                    if let Some(gate) = state.next_wakeup() {
+                        if gate > state.dispatches {
+                            state.dispatches = gate;
+                            shared.work.notify_all();
+                            continue;
+                        }
+                    }
                 }
                 state = crate::poison::wait(&shared.work, state);
             }
         };
+
+        // The step-limit fuse parks the session *at* the boundary, before
+        // stepping: its latest checkpoint already describes this exact state.
+        if halt_after.is_some_and(|limit| session.steps() >= limit) {
+            let bytes = session.encode_checkpoint();
+            if let Some(store) = &store {
+                store.save(&name, &bytes);
+            }
+            let steps = session.steps();
+            let receipts = session.take_receipts();
+            drop(session);
+            let mut state = crate::poison::lock(&shared.state);
+            state.slots[index].checkpoint = Some(bytes);
+            state.running -= 1;
+            state.finalize(index, SessionStatus::Suspended { steps }, receipts);
+            drop(state);
+            shared.progress.notify_all();
+            continue;
+        }
 
         // One slot per stepping session: this lane's thread is the computing
         // thread the slot pays for, held only for the duration of the step.
@@ -722,27 +1035,94 @@ fn run_lane(shared: &Shared) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.step()));
         drop(slot);
 
-        let mut state = crate::poison::lock(&shared.state);
         match result {
             Ok(Ok(SessionStep::Profiled(_))) => {
+                // Checkpoint the fresh decision boundary outside the lock
+                // (encoding and store I/O must not serialize other lanes).
+                let bytes = durable.then(|| session.encode_checkpoint());
+                if let (Some(store), Some(bytes)) = (&store, &bytes) {
+                    store.save(&name, bytes);
+                }
+                let mut state = crate::poison::lock(&shared.state);
+                if bytes.is_some() {
+                    state.slots[index].checkpoint = bytes;
+                }
+                state.running -= 1;
                 state.slots[index].enqueued_at = state.dispatches;
+                state.slots[index].ready_after = state.dispatches;
                 state.slots[index].session = Some(session);
                 state.ready.push(index);
                 drop(state);
                 shared.work.notify_one();
             }
             Ok(Ok(SessionStep::Done)) => {
+                if let Some(store) = &store {
+                    store.remove(&name);
+                }
+                let receipts = session.take_receipts();
                 let status = SessionStatus::Finished(finish_session(session));
-                state.finalize(index, status);
+                let mut state = crate::poison::lock(&shared.state);
+                state.running -= 1;
+                state.finalize(index, status, receipts);
                 drop(state);
                 shared.progress.notify_all();
             }
+            Ok(Err(error))
+                if error.is_transient() && session.attempts_used() < retry.max_attempts =>
+            {
+                // Transient fault within the retry budget. `try_profile`
+                // validates before recording, so the failed run left the
+                // session at the same decision boundary (bootstrap steps
+                // rewound their RNG draw) — retrying is transparent. The
+                // recovery is tallied into the next receipt and the optional
+                // surcharge is charged against β before re-checkpointing, so
+                // a later crash cannot forget the charge.
+                session.note_recovery();
+                session.charge_retry(retry.retry_cost);
+                let bytes = durable.then(|| session.encode_checkpoint());
+                if let (Some(store), Some(bytes)) = (&store, &bytes) {
+                    store.save(&name, bytes);
+                }
+                let backoff = retry
+                    .backoff_steps
+                    .saturating_mul(u64::from(session.attempts_used()));
+                let mut state = crate::poison::lock(&shared.state);
+                if bytes.is_some() {
+                    state.slots[index].checkpoint = bytes;
+                }
+                state.running -= 1;
+                state.slots[index].enqueued_at = state.dispatches;
+                state.slots[index].ready_after = state.dispatches.saturating_add(backoff);
+                state.slots[index].session = Some(session);
+                state.ready.push(index);
+                drop(state);
+                // notify_all: the waiter that can make progress might be a
+                // lane whose only job is to fast-forward past this backoff.
+                shared.work.notify_all();
+            }
             Ok(Err(error)) => {
+                // Fatal fault, or a transient one past the retry budget:
+                // degrade gracefully to a partial report plus the receipts.
+                if let Some(store) = &store {
+                    store.remove(&name);
+                }
+                let attempts = session.attempts_used();
+                let receipts = session.take_receipts();
+                let error = if error.is_transient() {
+                    SessionError::RetriesExhausted {
+                        last: error,
+                        attempts,
+                    }
+                } else {
+                    error.into()
+                };
                 let status = SessionStatus::Failed {
-                    error: error.into(),
+                    error,
                     partial: Some(finish_session(session)),
                 };
-                state.finalize(index, status);
+                let mut state = crate::poison::lock(&shared.state);
+                state.running -= 1;
+                state.finalize(index, status, receipts);
                 drop(state);
                 shared.progress.notify_all();
             }
@@ -752,14 +1132,99 @@ fn run_lane(shared: &Shared) {
                     .map(|s| (*s).to_owned())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic payload".to_owned());
-                let status = SessionStatus::Failed {
-                    error: SessionError::Panicked(message),
-                    partial: Some(finish_session(session)),
-                };
-                state.finalize(index, status);
-                drop(state);
-                shared.progress.notify_all();
+                recover_from_panic(shared, index, session, &name, retry, &store, message);
             }
+        }
+    }
+}
+
+/// Panic containment and recovery. The unwound step may have died anywhere,
+/// so the in-memory session is not trusted to *continue* — recovery rebuilds
+/// it from the slot's latest checkpoint (which describes the decision
+/// boundary the failed step started from). Without retry budget or
+/// checkpoint, the panic is terminal — but the receipt trail is flushed and
+/// the partial report attached, because nothing of the failed step was ever
+/// recorded (`try_profile` validates before recording): a dead session still
+/// explains every dollar it spent.
+fn recover_from_panic(
+    shared: &Shared,
+    index: usize,
+    session: LynceusSession<'static>,
+    name: &str,
+    retry: RetryPolicy,
+    store: &Option<Arc<dyn CheckpointStore>>,
+    message: String,
+) {
+    let bytes = if session.attempts_used() < retry.max_attempts {
+        crate::poison::lock(&shared.state).slots[index]
+            .checkpoint
+            .clone()
+    } else {
+        None
+    };
+    let terminal = |status: SessionStatus, receipts: Vec<DecisionReceipt>| {
+        if let Some(store) = store {
+            store.remove(name);
+        }
+        let mut state = crate::poison::lock(&shared.state);
+        state.running -= 1;
+        state.finalize(index, status, receipts);
+        drop(state);
+        shared.progress.notify_all();
+    };
+    let Some(bytes) = bytes else {
+        // No retry budget left (or the session never checkpointed): flush
+        // what the session can still tell us.
+        let mut session = session;
+        let receipts = session.take_receipts();
+        let status = SessionStatus::Failed {
+            error: SessionError::Panicked(message),
+            partial: Some(finish_session(session)),
+        };
+        terminal(status, receipts);
+        return;
+    };
+    // Rebuild from the checkpoint. `dismantle` recovers the optimizer and
+    // the oracle (whose in-memory state legitimately survives the panic —
+    // a one-shot fault stays spent); the restored session then re-runs the
+    // failed decision bit-identically.
+    let Some((optimizer, oracle)) = session.dismantle() else {
+        let status = SessionStatus::Failed {
+            error: SessionError::Panicked(message),
+            partial: None,
+        };
+        terminal(status, Vec::new());
+        return;
+    };
+    match LynceusSession::owned_from_checkpoint(optimizer, oracle, &bytes) {
+        Ok(mut restored) => {
+            restored.note_recovery();
+            restored.charge_retry(retry.retry_cost);
+            let fresh = restored.encode_checkpoint();
+            if let Some(store) = store {
+                store.save(name, &fresh);
+            }
+            let backoff = retry
+                .backoff_steps
+                .saturating_mul(u64::from(restored.attempts_used()));
+            let mut state = crate::poison::lock(&shared.state);
+            state.slots[index].checkpoint = Some(fresh);
+            state.running -= 1;
+            state.slots[index].enqueued_at = state.dispatches;
+            state.slots[index].ready_after = state.dispatches.saturating_add(backoff);
+            state.slots[index].session = Some(restored);
+            state.ready.push(index);
+            drop(state);
+            shared.work.notify_all();
+        }
+        Err(e) => {
+            let status = SessionStatus::Failed {
+                error: SessionError::Panicked(format!(
+                    "{message} (checkpoint restore failed: {e})"
+                )),
+                partial: None,
+            };
+            terminal(status, Vec::new());
         }
     }
 }
@@ -1122,5 +1587,262 @@ mod tests {
         let spec = spec.with_deadline(12.5);
         assert_eq!(spec.deadline(), 12.5);
         assert_eq!(SessionId(2), SessionId(2));
+        assert_eq!(spec.retry_policy(), RetryPolicy::default());
+        assert_eq!(spec.step_limit(), None);
+        let spec = spec
+            .with_retry_policy(RetryPolicy::none())
+            .with_step_limit(4);
+        assert_eq!(spec.retry_policy().max_attempts, 0);
+        assert_eq!(spec.step_limit(), Some(4));
+    }
+
+    /// An oracle whose `try_run` reports a transient fault at chosen global
+    /// call indices (the faulted call itself consumes an index, exactly like
+    /// a revoked spot instance consumes an attempt).
+    struct FlakyOracle {
+        inner: TableOracle,
+        calls: std::sync::atomic::AtomicUsize,
+        faults: Vec<usize>,
+    }
+
+    impl FlakyOracle {
+        fn new(inner: TableOracle, faults: Vec<usize>) -> Self {
+            Self {
+                inner,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                faults,
+            }
+        }
+    }
+
+    impl CostOracle for FlakyOracle {
+        fn space(&self) -> &ConfigSpace {
+            self.inner.space()
+        }
+        fn candidates(&self) -> Vec<ConfigId> {
+            self.inner.candidates()
+        }
+        fn run(&self, id: ConfigId) -> Observation {
+            self.inner.run(id)
+        }
+        fn try_run(&self, id: ConfigId) -> Result<Observation, crate::faults::OracleFault> {
+            use std::sync::atomic::Ordering;
+            // ordering: Relaxed — one lane steps this session at a time, and
+            // the scheduler's lock hand-offs order the counter updates.
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if self.faults.contains(&call) {
+                Err(crate::faults::OracleFault::Revoked)
+            } else {
+                Ok(self.inner.run(id))
+            }
+        }
+        fn price_rate(&self, id: ConfigId) -> f64 {
+            self.inner.price_rate(id)
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_the_recovered_run_is_bit_identical() {
+        let solo = LynceusOptimizer::new(settings(500.0, 1)).optimize(&valley_oracle(5.0), 11);
+        let service = TuningService::with_threads(2);
+        service.submit(
+            SessionSpec::new(
+                "flaky",
+                settings(500.0, 1),
+                Box::new(FlakyOracle::new(valley_oracle(5.0), vec![2, 6])),
+                11,
+            )
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 3,
+                backoff_steps: 2,
+                retry_cost: 0.0,
+            }),
+        );
+        let outcomes = service.run();
+        assert_eq!(
+            outcomes[0].report(),
+            Some(&solo),
+            "a recovered session must be bit-identical to the fault-free run"
+        );
+        // The recoveries are tallied on the receipts of the decisions they
+        // delayed, and β was charged exactly once per profiling run.
+        let receipts = &outcomes[0].receipts;
+        assert_eq!(
+            receipts.len() as u64,
+            receipts.last().map_or(0, |r| r.step) + 1
+        );
+        let faults: u32 = receipts.iter().map(|r| r.faults_observed).sum();
+        let retries: u32 = receipts.iter().map(|r| r.retries_consumed).sum();
+        assert_eq!((faults, retries), (2, 2));
+        assert_eq!(
+            solo.budget_spent,
+            outcomes[0]
+                .report()
+                .map(|r| r.budget_spent)
+                .unwrap_or(f64::NAN),
+            "free retries must not double-charge β"
+        );
+    }
+
+    #[test]
+    fn a_priced_retry_charges_its_surcharge_against_the_budget() {
+        let solo = LynceusOptimizer::new(settings(500.0, 0)).optimize(&valley_oracle(5.0), 3);
+        let service = TuningService::with_threads(1);
+        service.submit(
+            SessionSpec::new(
+                "priced",
+                settings(500.0, 0),
+                Box::new(FlakyOracle::new(valley_oracle(5.0), vec![1])),
+                3,
+            )
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 3,
+                backoff_steps: 0,
+                retry_cost: 2.5,
+            }),
+        );
+        let outcomes = service.run();
+        let report = outcomes[0].report().expect("recovered within the policy");
+        assert!(
+            (report.budget_spent - (solo.budget_spent + 2.5)).abs() < 1e-9,
+            "one retry at $2.50 must surcharge β exactly once: {} vs {}",
+            report.budget_spent,
+            solo.budget_spent
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_to_a_partial_report_with_receipts() {
+        let service = TuningService::with_threads(1);
+        service.submit(
+            SessionSpec::new(
+                "doomed",
+                settings(500.0, 0),
+                Box::new(FlakyOracle::new(valley_oracle(5.0), vec![2, 3, 4, 5, 6])),
+                7,
+            )
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 3,
+                backoff_steps: 1,
+                retry_cost: 0.0,
+            }),
+        );
+        let outcomes = service.run();
+        let SessionStatus::Failed { error, partial } = &outcomes[0].status else {
+            panic!("an always-faulting decision must exhaust its retries");
+        };
+        assert!(
+            matches!(error, SessionError::RetriesExhausted { attempts: 3, .. }),
+            "unexpected diagnostic: {error}"
+        );
+        assert!(error.to_string().contains("exhausting 3 retry attempts"));
+        let partial = partial.as_ref().expect("two clean runs happened");
+        assert_eq!(partial.num_explorations(), 2);
+        assert_eq!(outcomes[0].receipts.len(), 2);
+    }
+
+    #[test]
+    fn a_step_limited_session_suspends_and_restores_bit_identically() {
+        let solo = LynceusOptimizer::new(settings(500.0, 1)).optimize(&valley_oracle(6.0), 21);
+        let store: Arc<dyn CheckpointStore> = Arc::new(crate::checkpoint::MemoryStore::new());
+
+        let service = TuningService::with_threads(2).with_checkpoints(Arc::clone(&store));
+        service.submit(
+            SessionSpec::new(
+                "parked",
+                settings(500.0, 1),
+                Box::new(valley_oracle(6.0)),
+                21,
+            )
+            .with_step_limit(3),
+        );
+        let outcomes = service.run();
+        assert!(
+            matches!(outcomes[0].status, SessionStatus::Suspended { steps: 3 }),
+            "expected suspension at step 3, got {:?}",
+            outcomes[0].status
+        );
+        assert_eq!(outcomes[0].receipts.len(), 3);
+        assert!(outcomes[0].report().is_none());
+
+        // A new service — a new process, as far as the session can tell —
+        // resumes from the stored checkpoint and matches the solo run.
+        let revived = TuningService::with_threads(2).with_checkpoints(Arc::clone(&store));
+        revived.restore(SessionSpec::new(
+            "parked",
+            settings(500.0, 1),
+            Box::new(valley_oracle(6.0)),
+            21,
+        ));
+        let outcomes = revived.run();
+        assert_eq!(
+            outcomes[0].report(),
+            Some(&solo),
+            "kill-and-resume must be bit-identical to the uninterrupted run"
+        );
+        // The checkpoint carried the receipt trail across the kill: the
+        // resumed outcome delivers the complete, contiguous audit from
+        // step 0, not just the post-restore half.
+        let steps: Vec<u64> = outcomes[0].receipts.iter().map(|r| r.step).collect();
+        assert_eq!(steps, (0..steps.len() as u64).collect::<Vec<_>>());
+        assert!(
+            steps.len() > 3,
+            "the resumed run kept stepping past the fuse"
+        );
+    }
+
+    #[test]
+    fn restoring_without_a_checkpoint_runs_fresh_and_corrupt_bytes_fail_cleanly() {
+        let solo = LynceusOptimizer::new(settings(400.0, 0)).optimize(&valley_oracle(2.0), 9);
+        let store = Arc::new(crate::checkpoint::MemoryStore::new());
+        store.save("corrupt", &[0xde, 0xad, 0xbe, 0xef]);
+
+        let service = TuningService::with_threads(1).with_checkpoints(store);
+        service.restore(SessionSpec::new(
+            "fresh",
+            settings(400.0, 0),
+            Box::new(valley_oracle(2.0)),
+            9,
+        ));
+        service.restore(SessionSpec::new(
+            "corrupt",
+            settings(400.0, 0),
+            Box::new(valley_oracle(2.0)),
+            9,
+        ));
+        let outcomes = service.run();
+        assert_eq!(
+            outcomes[0].report(),
+            Some(&solo),
+            "restore of an unknown name admits a fresh session"
+        );
+        let SessionStatus::Failed { error, partial } = &outcomes[1].status else {
+            panic!("garbage bytes must fail the session at admission");
+        };
+        assert!(
+            matches!(error, SessionError::CorruptCheckpoint(_)),
+            "unexpected diagnostic: {error}"
+        );
+        assert!(partial.is_none());
+        assert!(error.to_string().contains("checkpoint is unusable"));
+    }
+
+    #[test]
+    fn a_finished_session_clears_its_checkpoint_from_the_store() {
+        let store = Arc::new(crate::checkpoint::MemoryStore::new());
+        let service = TuningService::with_threads(1)
+            .with_checkpoints(Arc::clone(&store) as Arc<dyn CheckpointStore>);
+        service.submit(SessionSpec::new(
+            "transient-state",
+            settings(400.0, 0),
+            Box::new(valley_oracle(3.0)),
+            4,
+        ));
+        let outcomes = service.run();
+        assert!(outcomes[0].report().is_some());
+        assert!(
+            store.is_empty(),
+            "finished sessions must not leave stale checkpoints behind"
+        );
     }
 }

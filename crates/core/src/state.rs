@@ -45,6 +45,26 @@ impl SearchState {
         }
     }
 
+    /// Rebuilds a state from checkpointed parts, verbatim. The untested
+    /// list must be the checkpointed *live order* — [`SearchState::record`]
+    /// swap-removes, so the order is history-dependent and tie-breaks
+    /// acquisition scores; reconstructing it any other way would break
+    /// bit-identical replay.
+    #[must_use]
+    pub(crate) fn from_parts(
+        tested: Vec<TestedConfig>,
+        untested: Vec<ConfigId>,
+        budget: Budget,
+        current: Option<ConfigId>,
+    ) -> Self {
+        Self {
+            tested,
+            untested,
+            budget,
+            current,
+        }
+    }
+
     /// The profiled configurations (the training set `S`).
     #[must_use]
     pub fn tested(&self) -> &[TestedConfig] {

@@ -7,3 +7,8 @@ fn decide() -> bool {
     let start = Instant::now();
     start.elapsed().as_secs() == 0
 }
+
+fn backoff() {
+    // Sleeping out a retry backoff instead of counting scheduler steps.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}

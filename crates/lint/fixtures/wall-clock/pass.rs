@@ -9,3 +9,8 @@ fn watchdog() {
     // lint: allow(wall-clock) -- fixture: watchdog timeout only; never feeds a decision
     let _probe = std::time::Instant::now();
 }
+
+/// Backoff counted in scheduler dispatches: deterministic, no sleeping.
+fn ready_after(dispatches: u64, backoff_steps: u64, attempts: u64) -> u64 {
+    dispatches.saturating_add(backoff_steps.saturating_mul(attempts))
+}

@@ -13,7 +13,7 @@
 //! | --- | --- |
 //! | [`FLOAT_ORDER`] | No `partial_cmp` float comparisons: a NaN from a bad oracle turns them into a panic (`.expect`) or an inconsistent sort. Use `f64::total_cmp` or `core::acquisition::score_cmp`. |
 //! | [`HASH_ITERATION`] | No `HashMap`/`HashSet` *iteration* in the decision crates (`core`, `learners`): hash iteration order is nondeterministic across runs and toolchains. |
-//! | [`WALL_CLOCK`] | No `Instant::now`/`SystemTime` outside `crates/bench`: wall-clock reads feeding a decision make it irreproducible. |
+//! | [`WALL_CLOCK`] | No `Instant::now`/`SystemTime`/`thread::sleep` outside `crates/bench`: wall-clock reads feeding a decision make it irreproducible, and retry backoff must be counted in scheduler steps, not slept out. |
 //! | [`THREAD_SPAWN`] | Threads are spawned only by `core::pool` and `core::service`: every other thread would escape the shared worker budget and the panic-containment lanes. |
 //! | [`ATOMIC_ORDERING`] | Every atomic `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site carries an adjacent `// ordering:` justification, so memory-ordering choices are audited, not inherited. |
 //! | [`NO_PANIC`] | No `unwrap()`/`expect()` in the scheduler/engine panic-containment paths (`core::{pool,service,lynceus}`): a stray panic there poisons locks that outlive the contained session. |
@@ -670,6 +670,19 @@ fn rule_wall_clock(path: &str, masked: &MaskedSource, out: &mut Vec<Violation>) 
                 WALL_CLOCK,
                 "wall-clock read outside crates/bench: time feeding a decision makes it \
                  irreproducible",
+            );
+        }
+        // Sleeping is the write side of the same coin: retry backoff must be
+        // counted in scheduler dispatches, never waited out in real time.
+        if line.contains("thread::sleep") {
+            report(
+                out,
+                masked,
+                path,
+                idx,
+                WALL_CLOCK,
+                "thread::sleep outside crates/bench: backoff must be counted in \
+                 deterministic scheduler steps, not waited out in wall-clock time",
             );
         }
     }

@@ -16,7 +16,11 @@
 //! * [`noise`] — multiplicative measurement noise, so datasets can model
 //!   cloud performance variability;
 //! * [`execution`] — the common result type (`runtime`, `cost`, timeout
-//!   flag).
+//!   flag);
+//! * [`turbulence`] — a [`TurbulentOracle`] wrapper that injects the
+//!   deterministic fault plans of `lynceus_core::faults` (revocations,
+//!   transient errors, mid-step panics, price shocks) into any oracle, for
+//!   exercising the service's retry and checkpoint-recovery machinery.
 //!
 //! The optimizers never see these models: they only observe the resulting
 //! `configuration → (runtime, cost)` tables, exactly as they would observe
@@ -29,8 +33,10 @@ pub mod analytics;
 pub mod execution;
 pub mod noise;
 pub mod tensorflow;
+pub mod turbulence;
 
 pub use analytics::{AnalyticsJobProfile, AnalyticsModel};
 pub use execution::Execution;
 pub use noise::NoiseModel;
 pub use tensorflow::{NetworkKind, TensorflowModel, TfHyperParams, TrainingMode};
+pub use turbulence::TurbulentOracle;

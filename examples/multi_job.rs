@@ -70,6 +70,9 @@ fn print_outcome(outcome: &SessionOutcome) {
                 .as_ref()
                 .map_or(0, OptimizationReport::num_explorations),
         ),
+        SessionStatus::Suspended { steps } => {
+            println!("[parked] {:<42} checkpointed at step {steps}", outcome.name,)
+        }
     }
 }
 

@@ -73,6 +73,45 @@
 //! for a service serving the Scout/CherryPick/TensorFlow datasets under
 //! the priority policy with steady submission.
 //!
+//! # Fault model & durability
+//!
+//! Production profiling runs meet weather a lookup-table replay never
+//! shows: spot instances are revoked mid-run, oracles time out, harness
+//! processes crash, spot prices jump. The reproduction models that storm
+//! *deterministically* and makes the serving layer survive it:
+//!
+//! * **Deterministic fault injection** — [`core::faults`] defines the
+//!   failure vocabulary ([`core::OracleFault`], [`core::FaultKind`]) and
+//!   seeded schedules ([`core::FaultPlan`]) keyed by oracle-call index, so
+//!   the fault plan is part of the session seed: the same seed always
+//!   produces the same storm under any thread count or scheduling
+//!   interleave. [`sim::TurbulentOracle`] wraps any oracle in such a plan
+//!   (revocations, transient errors, mid-step panics, price shocks), and
+//!   [`cloud::SpotPriceSeries`] provides seeded step-indexed spot-price
+//!   walks.
+//! * **Retrying sessions** — a transient fault does not fail a session:
+//!   its [`core::RetryPolicy`] grants a bounded per-session retry budget
+//!   with backoff counted in *scheduler dispatches* (never wall-clock) and
+//!   an optional surcharge charged against the session's own β, so
+//!   retries are never free when priced. Exhaustion degrades gracefully to
+//!   a `Failed` outcome carrying the partial report — sibling sessions
+//!   never notice, and β is never double-charged (a faulted run records
+//!   and charges nothing).
+//! * **Checkpoint/replay durability** — with a [`core::CheckpointStore`]
+//!   attached, every decision boundary serializes the session's complete
+//!   state (search state Σ, RNG position, bootstrap plan, receipts, retry
+//!   ledger, oracle cursor) through the std-only binary codec
+//!   ([`core::codec`]); `TuningService::restore` resumes a killed session
+//!   **bit-identically** to the uninterrupted run, on every engine and
+//!   thread count (enforced by the `durability` and `fault_matrix` suites
+//!   and the CI `chaos` job).
+//! * **Decision receipts** — every profiling run appends a
+//!   [`core::DecisionReceipt`] (chosen configuration, Γ size, incumbent, β
+//!   before/after, prune counters, faults observed, retries consumed);
+//!   the trail rides inside checkpoints and is delivered with every
+//!   terminal outcome, so even a panicked session explains every dollar
+//!   it spent.
+//!
 //! # Performance
 //!
 //! The hottest path of the system is the speculation engine: every
@@ -263,11 +302,13 @@ pub use lynceus_space as space;
 /// applications.
 pub mod prelude {
     pub use crate::core::{
-        BoOptimizer, CostOracle, LynceusOptimizer, Observation, OptimizationReport, Optimizer,
-        OptimizerSettings, RandomOptimizer, SchedulePolicy, SecondaryConstraint, SessionSpec,
-        SessionStatus, TableOracle, TuningService,
+        BoOptimizer, CheckpointStore, CostOracle, DecisionReceipt, DirStore, FaultKind, FaultPlan,
+        FaultProfile, LynceusOptimizer, MemoryStore, Observation, OptimizationReport, Optimizer,
+        OptimizerSettings, OracleFault, RandomOptimizer, RetryPolicy, SchedulePolicy,
+        SecondaryConstraint, SessionSpec, SessionStatus, TableOracle, TuningService,
     };
     pub use crate::datasets::{catalog, LookupDataset};
     pub use crate::experiments::{ExperimentConfig, OptimizerKind};
+    pub use crate::sim::TurbulentOracle;
     pub use crate::space::{Config, ConfigId, ConfigSpace, SpaceBuilder};
 }

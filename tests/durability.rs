@@ -1,0 +1,302 @@
+//! Kill-and-resume durability suite.
+//!
+//! The load-bearing property: a session killed at **any** decision boundary
+//! and resumed via `TuningService::restore` produces a report bit-identical
+//! to the uninterrupted run — for all three speculation engines and every
+//! thread count in the matrix. The kill switch is the deterministic
+//! `SessionSpec::with_step_limit` fuse (the session parks as `Suspended`
+//! with its checkpoint flushed), so every boundary of every engine can be
+//! exercised without real process kills; nothing here reads wall-clock time.
+
+use lynceus::core::{
+    CheckpointStore, DirStore, LynceusOptimizer, MemoryStore, Optimizer, OptimizerSettings,
+    PathEngine, SessionSpec, SessionStatus, TuningService,
+};
+use lynceus::space::SpaceBuilder;
+use std::sync::Arc;
+
+fn valley_oracle(shift: f64) -> lynceus::core::TableOracle {
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..10).map(f64::from))
+        .numeric("y", (0..4).map(f64::from))
+        .build();
+    lynceus::core::TableOracle::from_fn(space, 1.0, move |f| {
+        20.0 + (f[0] - shift).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 8.0
+    })
+}
+
+fn settings(budget: f64, lookahead: usize) -> OptimizerSettings {
+    OptimizerSettings {
+        budget,
+        tmax_seconds: 1e6,
+        bootstrap_samples: Some(3),
+        lookahead,
+        gauss_hermite_nodes: 2,
+        ..OptimizerSettings::default()
+    }
+}
+
+/// The thread counts under test: the fixed matrix plus `LYNCEUS_TEST_THREADS`.
+fn thread_matrix() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Some(extra) = std::env::var("LYNCEUS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&extra) && extra > 0 {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+const ALL_ENGINES: [PathEngine; 3] = [
+    PathEngine::BoundAndPrune,
+    PathEngine::Batched,
+    PathEngine::NaiveReference,
+];
+
+fn spec_for(engine: PathEngine, seed: u64) -> SessionSpec {
+    SessionSpec::new(
+        format!("durability-{engine:?}-{seed}"),
+        settings(800.0, 1),
+        Box::new(valley_oracle(4.0)),
+        seed,
+    )
+    .with_engine(engine)
+}
+
+/// Steps the uninterrupted run takes, learned from one full service pass
+/// (also pins that an uninterrupted checkpointed run matches the solo run).
+fn uninterrupted_steps(
+    engine: PathEngine,
+    seed: u64,
+    solo: &lynceus::core::OptimizationReport,
+) -> u64 {
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+    let service = TuningService::with_threads(2).with_checkpoints(store);
+    service.submit(spec_for(engine, seed));
+    let outcomes = service.run();
+    assert_eq!(
+        outcomes[0].report(),
+        Some(solo),
+        "a checkpointing-but-uninterrupted {engine:?} session diverged from its solo run"
+    );
+    outcomes[0].receipts.len() as u64
+}
+
+#[test]
+fn kill_at_every_decision_boundary_and_resume_bit_identically() {
+    for engine in ALL_ENGINES {
+        let seed = 13;
+        let solo = LynceusOptimizer::new(settings(800.0, 1))
+            .with_engine(engine)
+            .optimize(&valley_oracle(4.0), seed);
+        let total = uninterrupted_steps(engine, seed, &solo);
+        assert!(
+            total > 3,
+            "the fixture must take several steps, got {total}"
+        );
+
+        for threads in thread_matrix() {
+            for kill_at in 0..=total {
+                let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+
+                // Phase 1: run to the fuse and die (Suspended, checkpoint
+                // flushed to the store).
+                let doomed =
+                    TuningService::with_threads(threads).with_checkpoints(Arc::clone(&store));
+                doomed.submit(spec_for(engine, seed).with_step_limit(kill_at));
+                let first = doomed.run();
+                assert!(
+                    matches!(first[0].status, SessionStatus::Suspended { steps } if steps == kill_at),
+                    "{engine:?}/{threads}t: expected suspension at step {kill_at}, got {:?}",
+                    first[0].status
+                );
+                assert_eq!(first[0].receipts.len() as u64, kill_at);
+
+                // Phase 2: a brand-new service (a new process, as far as the
+                // session can tell) resumes from the store and finishes.
+                let revived =
+                    TuningService::with_threads(threads).with_checkpoints(Arc::clone(&store));
+                revived.restore(spec_for(engine, seed));
+                let second = revived.run();
+                assert_eq!(
+                    second[0].report(),
+                    Some(&solo),
+                    "{engine:?} killed at boundary {kill_at}/{total} on {threads} threads \
+                     did not resume bit-identically"
+                );
+                // The audit trail survived the kill: one contiguous receipt
+                // sequence covering the whole run.
+                let steps: Vec<u64> = second[0].receipts.iter().map(|r| r.step).collect();
+                assert_eq!(steps, (0..total).collect::<Vec<_>>());
+            }
+        }
+    }
+}
+
+#[test]
+fn scout_and_cherrypick_runs_survive_mid_run_kills() {
+    // The paper's own workloads: one Scout and one CherryPick catalog,
+    // killed mid-run and resumed, must finish bit-identical to their
+    // uninterrupted runs.
+    use lynceus::datasets::catalog;
+    use lynceus::experiments::ExperimentConfig;
+
+    let mut jobs = Vec::new();
+    jobs.extend(catalog::scout_datasets().into_iter().take(1));
+    jobs.extend(catalog::cherrypick_datasets().into_iter().take(1));
+    let config = ExperimentConfig {
+        gauss_hermite_nodes: 2,
+        budget_multiplier: 3.0,
+        ..ExperimentConfig::default()
+    };
+
+    for (index, dataset) in jobs.into_iter().enumerate() {
+        let seed = 41 + index as u64;
+        let job_settings = config.settings_for(&dataset, 1);
+        let solo = LynceusOptimizer::new(job_settings.clone()).optimize(&dataset, seed);
+        let spec = || {
+            SessionSpec::new(
+                dataset.name().to_owned(),
+                job_settings.clone(),
+                Box::new(dataset.clone()),
+                seed,
+            )
+        };
+
+        for kill_at in [1u64, 5] {
+            let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+            let doomed = TuningService::with_threads(2).with_checkpoints(Arc::clone(&store));
+            doomed.submit(spec().with_step_limit(kill_at));
+            assert!(matches!(
+                doomed.run()[0].status,
+                SessionStatus::Suspended { steps } if steps == kill_at
+            ));
+
+            let revived = TuningService::with_threads(2).with_checkpoints(store);
+            revived.restore(spec());
+            assert_eq!(
+                revived.run()[0].report(),
+                Some(&solo),
+                "{} killed at step {kill_at} did not resume bit-identically",
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_suspended_session_survives_on_disk_across_services() {
+    // Same kill-and-resume flow, but through the filesystem store: the
+    // checkpoint must survive the death of everything but the directory.
+    let dir = std::env::temp_dir().join(format!("lynceus-durability-{}", std::process::id()));
+    let seed = 29;
+    let solo = LynceusOptimizer::new(settings(800.0, 0)).optimize(&valley_oracle(7.0), seed);
+    let spec = || {
+        SessionSpec::new(
+            "disk-backed",
+            settings(800.0, 0),
+            Box::new(valley_oracle(7.0)),
+            seed,
+        )
+    };
+
+    {
+        let store: Arc<dyn CheckpointStore> =
+            Arc::new(DirStore::new(&dir).expect("the checkpoint directory is creatable"));
+        let service = TuningService::with_threads(2).with_checkpoints(store);
+        service.submit(spec().with_step_limit(4));
+        let outcomes = service.run();
+        assert!(matches!(
+            outcomes[0].status,
+            SessionStatus::Suspended { steps: 4 }
+        ));
+    }
+
+    // Everything dropped; only the directory remains.
+    let store: Arc<dyn CheckpointStore> =
+        Arc::new(DirStore::new(&dir).expect("the checkpoint directory survives"));
+    let service = TuningService::with_threads(2).with_checkpoints(store);
+    service.restore(spec());
+    let outcomes = service.run();
+    assert_eq!(
+        outcomes[0].report(),
+        Some(&solo),
+        "the disk-backed resume diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suspending_at_step_zero_checkpoints_before_any_run() {
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+    let seed = 3;
+    let solo = LynceusOptimizer::new(settings(800.0, 0)).optimize(&valley_oracle(2.0), seed);
+    let spec = || {
+        SessionSpec::new(
+            "unstarted",
+            settings(800.0, 0),
+            Box::new(valley_oracle(2.0)),
+            seed,
+        )
+    };
+
+    let service = TuningService::with_threads(1).with_checkpoints(Arc::clone(&store));
+    service.submit(spec().with_step_limit(0));
+    let outcomes = service.run();
+    assert!(matches!(
+        outcomes[0].status,
+        SessionStatus::Suspended { steps: 0 }
+    ));
+    assert!(outcomes[0].receipts.is_empty());
+
+    let revived = TuningService::with_threads(1).with_checkpoints(store);
+    revived.restore(spec());
+    let outcomes = revived.run();
+    assert_eq!(
+        outcomes[0].report(),
+        Some(&solo),
+        "a step-0 checkpoint must replay the entire run"
+    );
+}
+
+#[test]
+fn a_killed_session_can_be_killed_and_resumed_again() {
+    // Two consecutive kills at different boundaries, then run to completion:
+    // checkpoints must chain.
+    let store: Arc<dyn CheckpointStore> = Arc::new(MemoryStore::new());
+    let seed = 17;
+    let solo = LynceusOptimizer::new(settings(800.0, 1)).optimize(&valley_oracle(5.0), seed);
+    let spec = || {
+        SessionSpec::new(
+            "twice-killed",
+            settings(800.0, 1),
+            Box::new(valley_oracle(5.0)),
+            seed,
+        )
+    };
+
+    let first = TuningService::with_threads(2).with_checkpoints(Arc::clone(&store));
+    first.submit(spec().with_step_limit(2));
+    assert!(matches!(
+        first.run()[0].status,
+        SessionStatus::Suspended { steps: 2 }
+    ));
+
+    let second = TuningService::with_threads(2).with_checkpoints(Arc::clone(&store));
+    second.restore(spec().with_step_limit(5));
+    assert!(matches!(
+        second.run()[0].status,
+        SessionStatus::Suspended { steps: 5 }
+    ));
+
+    let third = TuningService::with_threads(2).with_checkpoints(store);
+    third.restore(spec());
+    assert_eq!(
+        third.run()[0].report(),
+        Some(&solo),
+        "chained kills must still resume bit-identically"
+    );
+}
