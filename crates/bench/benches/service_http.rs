@@ -1,0 +1,239 @@
+//! HTTP service load generator: end-to-end throughput and latency of the
+//! tuner-as-a-service front-end (`crates/serve`), plus a deterministic
+//! admission-shedding leg.
+//!
+//! Two legs, one artifact (`BENCH_service_http.json`, override with
+//! `LYNCEUS_BENCH_OUT`):
+//!
+//! * **Throughput leg** — a keep-alive client submits a mix of tuning
+//!   sessions over the wire, long-polls each to completion and fetches its
+//!   report. Recorded: sustained sessions/sec through the full HTTP path
+//!   (parse → admit → schedule → optimize → encode) and the p50/p99 of
+//!   per-session report latency (submit accepted → report fetched). Every
+//!   wire report is bit-compared against the same spec run solo in-process
+//!   (`wire_reports_identical`) — the serving layer must not cost a bit.
+//! * **Shed leg** — a 2000-session burst against a held service with
+//!   `max_live = 64`: exactly 64 admissions and 1936 sheds, every run.
+//!   The artifact's `admitted + shed == submitted` accounting (both legs
+//!   combined) is re-checked by `bench_check`.
+
+use lynceus_core::{
+    CostOracle, LynceusOptimizer, OptimizationReport, Optimizer, OptimizerSettings, PathEngine,
+    TableOracle,
+};
+use lynceus_serve::client::Client;
+use lynceus_serve::server::{OracleFactory, Server, ServerConfig};
+use lynceus_serve::wire::{self, SpecRequest};
+use lynceus_serve::AdmissionPolicy;
+use lynceus_space::SpaceBuilder;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn valley_oracle(shift: f64) -> TableOracle {
+    let space = SpaceBuilder::new()
+        .numeric("x", (0..10).map(f64::from))
+        .numeric("y", (0..4).map(f64::from))
+        .build();
+    TableOracle::from_fn(space, 1.0, move |f| {
+        20.0 + (f[0] - shift).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 8.0
+    })
+}
+
+fn factory() -> OracleFactory {
+    Arc::new(|name: &str| -> Option<Box<dyn CostOracle>> {
+        let shift: f64 = name.strip_prefix("valley-")?.parse().ok()?;
+        Some(Box::new(valley_oracle(shift)))
+    })
+}
+
+fn settings_for(index: u64) -> OptimizerSettings {
+    OptimizerSettings {
+        budget: 320.0 + 30.0 * (index % 4) as f64,
+        tmax_seconds: 1e6,
+        bootstrap_samples: Some(3),
+        lookahead: (index % 2) as usize,
+        gauss_hermite_nodes: 2,
+        ..OptimizerSettings::default()
+    }
+}
+
+/// The wire workload: heterogeneous shifts, seeds, lookaheads and engines.
+fn wire_mix(sessions: usize) -> Vec<SpecRequest> {
+    (0..sessions as u64)
+        .map(|i| {
+            let shift = 1.0 + (i % 5) as f64;
+            let mut spec = SpecRequest::new(
+                format!("load-{i}"),
+                format!("valley-{shift}"),
+                settings_for(i),
+                i,
+            );
+            spec.engine = match i % 3 {
+                0 => PathEngine::BoundAndPrune,
+                1 => PathEngine::Batched,
+                _ => PathEngine::NaiveReference,
+            };
+            spec
+        })
+        .collect()
+}
+
+/// The bit-identity reference: the same spec run solo, no wire involved.
+fn solo_report(spec: &SpecRequest) -> OptimizationReport {
+    let shift: f64 = spec
+        .oracle
+        .strip_prefix("valley-")
+        .and_then(|s| s.parse().ok())
+        .expect("load oracles are valley oracles");
+    LynceusOptimizer::new(spec.settings.clone())
+        .with_engine(spec.engine)
+        .optimize(&valley_oracle(shift), spec.seed)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let lanes = cpus.min(4);
+    let sessions = 24usize;
+
+    // --- Throughput leg -------------------------------------------------
+    let specs = wire_mix(sessions);
+    let references: Vec<OptimizationReport> = specs.iter().map(solo_report).collect();
+
+    let server = Server::start(
+        ServerConfig {
+            service_threads: lanes,
+            handler_threads: 4,
+            read_timeout_ms: 60_000,
+            ..ServerConfig::default()
+        },
+        factory(),
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let started = Instant::now();
+    let mut submitted_at = Vec::with_capacity(sessions);
+    let mut ids = Vec::with_capacity(sessions);
+    for spec in &specs {
+        let response = client
+            .post("/v1/sessions", &wire::encode_spec(spec).to_json())
+            .expect("submission succeeds");
+        assert_eq!(response.status, 202, "{}", response.body);
+        let body = response.json().expect("valid JSON");
+        ids.push(
+            body.get("id")
+                .and_then(|v| v.as_usize())
+                .expect("an id in the accept body"),
+        );
+        submitted_at.push(started.elapsed().as_secs_f64());
+    }
+
+    let mut identical = true;
+    let mut latencies = Vec::with_capacity(sessions);
+    for ((id, spec), reference) in ids.iter().zip(&specs).zip(&references) {
+        let status = client
+            .get(&format!("/v1/sessions/{id}?wait=1"))
+            .expect("status poll succeeds");
+        assert_eq!(status.status, 200);
+        let report = client
+            .get(&format!("/v1/sessions/{id}/report"))
+            .expect("report fetch succeeds");
+        assert_eq!(report.status, 200, "{} produced no report", spec.name);
+        let body = report.json().expect("valid JSON");
+        let wire_report =
+            wire::decode_report(body.get("report").expect("a report")).expect("report decodes");
+        identical &= wire_report == *reference;
+        latencies.push((started.elapsed().as_secs_f64() - submitted_at[*id]) * 1e3);
+    }
+    let total_seconds = started.elapsed().as_secs_f64();
+    let throughput_stats = server.admission_stats();
+    server.shutdown();
+    assert!(identical, "a wire report diverged from its solo run");
+
+    let rate = sessions as f64 / total_seconds;
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p50 = percentile(&sorted, 50.0);
+    let p99 = percentile(&sorted, 99.0);
+    println!("{sessions} wire sessions on {cpus} cpu(s), {lanes} lane(s), 4 handlers");
+    println!(
+        "throughput  {rate:>8.2} sessions/s   report latency p50 {p50:>8.1} ms   p99 {p99:>8.1} ms"
+    );
+
+    // --- Shed leg -------------------------------------------------------
+    let shed_server = Server::start(
+        ServerConfig {
+            hold_sessions: true,
+            admission: AdmissionPolicy {
+                max_live: 64,
+                retry_after_seconds: 1,
+            },
+            read_timeout_ms: 60_000,
+            ..ServerConfig::default()
+        },
+        factory(),
+    )
+    .expect("shed server starts");
+    let mut burst_client = Client::connect(shed_server.addr()).expect("burst client connects");
+    let burst_body = wire::encode_spec(&wire_mix(1)[0]).to_json();
+    let burst_started = Instant::now();
+    for _ in 0..2000 {
+        let response = burst_client
+            .post("/v1/sessions", &burst_body)
+            .expect("burst submission succeeds");
+        assert!(
+            matches!(response.status, 202 | 503),
+            "burst answered {}",
+            response.status
+        );
+    }
+    let burst_seconds = burst_started.elapsed().as_secs_f64();
+    let shed_stats = shed_server.admission_stats();
+    shed_server.shutdown();
+    assert_eq!(shed_stats.admitted, 64, "held shedding must be exact");
+    assert_eq!(shed_stats.shed, 2000 - 64);
+    println!(
+        "shed burst  {:>8.0} requests/s   admitted {} / shed {} of {}",
+        2000.0 / burst_seconds,
+        shed_stats.admitted,
+        shed_stats.shed,
+        shed_stats.submitted
+    );
+
+    // Combined admission accounting across both legs; the invariant
+    // admitted + shed == submitted is re-checked by bench_check.
+    let submitted = throughput_stats.submitted + shed_stats.submitted;
+    let admitted = throughput_stats.admitted + shed_stats.admitted;
+    let shed = throughput_stats.shed + shed_stats.shed;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"service_http\",\n  \"cpus\": {cpus},\n  \
+         \"lanes\": {lanes},\n  \"handlers\": 4,\n  \"sessions\": {sessions},\n  \
+         \"sessions_per_second\": {rate:.3},\n  \
+         \"report_latency_p50_ms\": {p50:.3},\n  \
+         \"report_latency_p99_ms\": {p99:.3},\n  \
+         \"burst_requests_per_second\": {:.0},\n  \
+         \"submitted\": {submitted},\n  \"admitted\": {admitted},\n  \
+         \"shed\": {shed},\n  \"shed_burst_max_live\": 64,\n  \
+         \"wire_reports_identical\": {identical}\n}}\n",
+        2000.0 / burst_seconds
+    );
+    let destination = std::env::var("LYNCEUS_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_service_http.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&destination, &json) {
+        Ok(()) => println!("wrote {destination}"),
+        Err(e) => eprintln!("could not write {destination}: {e}"),
+    }
+}

@@ -218,6 +218,60 @@ fn faults_violations(json: &str) -> Vec<String> {
     violations
 }
 
+/// Validates the HTTP service-load artifact: throughput must be a real
+/// positive number, the latency quantiles must be ordered, the admission
+/// accounting must balance (`admitted + shed == submitted` — the serving
+/// layer's hard invariant, re-checked here against the published numbers),
+/// and the wire-vs-solo bit-identity flag must be present at all (its
+/// truth is gated by the `identical` scan like every other flag).
+fn http_violations(json: &str) -> Vec<String> {
+    if !json.contains("\"benchmark\": \"service_http\"") {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let whole = json.replace('\n', " ");
+    match field_f64(&whole, "sessions_per_second") {
+        Some(rate) if rate.is_finite() && rate > 0.0 => {}
+        Some(rate) => violations.push(format!(
+            "sessions_per_second {rate} is not a positive throughput"
+        )),
+        None => violations.push("no sessions_per_second recorded".to_owned()),
+    }
+    match (
+        field_f64(&whole, "report_latency_p50_ms"),
+        field_f64(&whole, "report_latency_p99_ms"),
+    ) {
+        (Some(p50), Some(p99)) => {
+            if !(p50.is_finite() && p99.is_finite() && p50 >= 0.0) {
+                violations.push(format!("latency quantiles p50 {p50} / p99 {p99} unusable"));
+            } else if p50 > p99 {
+                violations.push(format!("latency p50 {p50} ms exceeds p99 {p99} ms"));
+            }
+        }
+        _ => violations.push("latency quantiles p50/p99 not both recorded".to_owned()),
+    }
+    match (
+        field_f64(&whole, "submitted"),
+        field_f64(&whole, "admitted"),
+        field_f64(&whole, "shed"),
+    ) {
+        (Some(submitted), Some(admitted), Some(shed)) => {
+            if admitted + shed != submitted {
+                violations.push(format!(
+                    "admission accounting broken: admitted {admitted} + shed {shed} \
+                     != submitted {submitted}"
+                ));
+            }
+        }
+        _ => violations.push("admission counters submitted/admitted/shed incomplete".to_owned()),
+    }
+    if !whole.contains("\"wire_reports_identical\": ") {
+        violations
+            .push("wire_reports_identical flag missing — the bench stopped asserting".to_owned());
+    }
+    violations
+}
+
 fn workspace_bench_files() -> Vec<PathBuf> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Ok(entries) = std::fs::read_dir(&root) else {
@@ -276,9 +330,15 @@ fn main() -> ExitCode {
         let violations = cell_violations(&json);
         let flat = flat_violations(&json);
         let faults = faults_violations(&json);
-        if false_flags.is_empty() && violations.is_empty() && flat.is_empty() && faults.is_empty() {
+        let http = http_violations(&json);
+        if false_flags.is_empty()
+            && violations.is_empty()
+            && flat.is_empty()
+            && faults.is_empty()
+            && http.is_empty()
+        {
             println!(
-                "bench_check: {} ok ({} equivalence flag(s) true, pruning, flat and fault cells coherent)",
+                "bench_check: {} ok ({} equivalence flag(s) true, pruning, flat, fault and http cells coherent)",
                 file.display(),
                 flags.len()
             );
@@ -305,6 +365,12 @@ fn main() -> ExitCode {
             for violation in &faults {
                 eprintln!(
                     "bench_check: {} has an invalid fault-recovery cell — {violation}",
+                    file.display()
+                );
+            }
+            for violation in &http {
+                eprintln!(
+                    "bench_check: {} has an invalid http-service cell — {violation}",
                     file.display()
                 );
             }
@@ -482,6 +548,65 @@ mod tests {
         assert!(faults_violations(bare)
             .iter()
             .any(|v| v.contains("no checkpointed_steps_per_pass")));
+    }
+
+    use super::http_violations;
+
+    fn http_artifact(submitted: u64, admitted: u64, shed: u64, p50: f64, p99: f64) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"service_http\",\n  \
+             \"sessions_per_second\": 42.500,\n  \
+             \"report_latency_p50_ms\": {p50:.3},\n  \
+             \"report_latency_p99_ms\": {p99:.3},\n  \
+             \"submitted\": {submitted},\n  \"admitted\": {admitted},\n  \
+             \"shed\": {shed},\n  \
+             \"wire_reports_identical\": true\n}}\n"
+        )
+    }
+
+    #[test]
+    fn coherent_http_cells_pass() {
+        assert_eq!(
+            http_violations(&http_artifact(2000, 64, 1936, 3.5, 12.0)),
+            Vec::<String>::new()
+        );
+        // Other artifacts are not required to carry http cells.
+        assert!(http_violations(r#"{ "benchmark": "multi_session" }"#).is_empty());
+    }
+
+    #[test]
+    fn broken_http_cells_are_reported() {
+        // Admission accounting that does not balance.
+        assert!(http_violations(&http_artifact(2000, 64, 1935, 3.5, 12.0))
+            .iter()
+            .any(|v| v.contains("accounting broken")));
+        // Inverted latency quantiles.
+        assert!(http_violations(&http_artifact(100, 100, 0, 12.0, 3.5))
+            .iter()
+            .any(|v| v.contains("exceeds p99")));
+        // Zero throughput.
+        let stalled = http_artifact(100, 100, 0, 3.5, 12.0).replace(
+            "\"sessions_per_second\": 42.500",
+            "\"sessions_per_second\": 0.000",
+        );
+        assert!(http_violations(&stalled)
+            .iter()
+            .any(|v| v.contains("not a positive throughput")));
+        // A dropped bit-identity flag.
+        let unasserted =
+            http_artifact(100, 100, 0, 3.5, 12.0).replace("wire_reports_identical", "gone");
+        assert!(http_violations(&unasserted)
+            .iter()
+            .any(|v| v.contains("stopped asserting")));
+        // Missing counters entirely.
+        let bare = r#"{ "benchmark": "service_http" }"#;
+        let violations = http_violations(bare);
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("no sessions_per_second")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("counters submitted/admitted/shed incomplete")));
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub use pool::Pool;
 pub use random::RandomOptimizer;
 pub use receipt::DecisionReceipt;
 pub use service::{
-    RetryPolicy, SchedulePolicy, SessionError, SessionId, SessionOutcome, SessionSpec,
+    RetryPolicy, SchedulePolicy, ServiceLoad, SessionError, SessionId, SessionOutcome, SessionSpec,
     SessionStatus, TuningService, STARVATION_LIMIT,
 };
 pub use state::{SearchState, SpeculativeCursor};

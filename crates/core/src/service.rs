@@ -334,6 +334,26 @@ impl SessionSpec {
     }
 }
 
+/// A point-in-time snapshot of the service's population, used by admission
+/// layers (e.g. an HTTP front-end deciding whether to shed load) and by
+/// operators watching queue depth. All counters come from one acquisition
+/// of the scheduler lock, so they are mutually consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceLoad {
+    /// Sessions ever submitted (terminal ones included).
+    pub submitted: usize,
+    /// Sessions in the ready queue (dispatchable or waiting out a backoff).
+    pub ready: usize,
+    /// Sessions currently checked out by a scheduler lane.
+    pub running: usize,
+    /// Non-terminal sessions (`ready + running`); 0 means idle.
+    pub live: usize,
+    /// Terminal sessions whose outcome has not been delivered yet.
+    pub undelivered: usize,
+    /// Scheduler dispatches performed so far (the service's logical clock).
+    pub dispatches: u64,
+}
+
 /// Why a session ended in [`SessionStatus::Failed`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
@@ -357,6 +377,10 @@ pub enum SessionError {
     /// A checkpoint could not be decoded (truncated, corrupted, or written
     /// by an incompatible version); the session was not started.
     CorruptCheckpoint(String),
+    /// The session was cancelled via [`TuningService::cancel`] before it
+    /// reached a natural terminal state. The partial report and the receipt
+    /// trail cover everything profiled up to the cancellation boundary.
+    Cancelled,
 }
 
 impl std::fmt::Display for SessionError {
@@ -372,6 +396,7 @@ impl std::fmt::Display for SessionError {
             SessionError::CorruptCheckpoint(message) => {
                 write!(f, "session checkpoint is unusable: {message}")
             }
+            SessionError::Cancelled => write!(f, "session cancelled"),
         }
     }
 }
@@ -462,6 +487,10 @@ struct Slot {
     /// attached.
     checkpoint: Option<Vec<u8>>,
     session: Option<LynceusSession<'static>>,
+    /// Set by [`TuningService::cancel`] while the session is checked out by
+    /// a lane; honored at the next decision boundary (the session finishes
+    /// its in-flight step, then terminates instead of re-queueing).
+    cancel_requested: bool,
     /// The terminal outcome, held until a drain call delivers it.
     outcome: Option<SessionOutcome>,
 }
@@ -668,6 +697,119 @@ impl TuningService {
         self.lock_state().slots.len()
     }
 
+    /// A mutually consistent snapshot of the service's population — queue
+    /// depth, checked-out sessions, undelivered outcomes and the dispatch
+    /// clock. This is the hook an admission layer polls to decide whether
+    /// the pool can usefully interleave one more session.
+    #[must_use]
+    pub fn load(&self) -> ServiceLoad {
+        let state = self.lock_state();
+        ServiceLoad {
+            submitted: state.slots.len(),
+            ready: state.ready.len(),
+            running: state.running,
+            live: state.live,
+            undelivered: state.undelivered.len(),
+            dispatches: state.dispatches,
+        }
+    }
+
+    /// A clone of the terminal outcome of `id`, without consuming it:
+    /// the outcome remains queued for the drain calls
+    /// ([`TuningService::run_until_idle`], [`TuningService::take_next_outcome`],
+    /// …), which still deliver it exactly once. Returns `None` while the
+    /// session is live, for unknown ids, and for outcomes a drain call has
+    /// already delivered.
+    #[must_use]
+    pub fn peek_outcome(&self, id: SessionId) -> Option<SessionOutcome> {
+        let state = self.lock_state();
+        state.slots.get(id.0).and_then(|slot| slot.outcome.clone())
+    }
+
+    /// Blocks until some session reaches a terminal state and delivers its
+    /// outcome — the streaming drain for long-lived daemons. Outcomes are
+    /// delivered in completion order, each exactly once across all drain
+    /// calls. Returns `None` once the service has been halted
+    /// ([`TuningService::halt`]/[`TuningService::shutdown`]) and every
+    /// already-terminal outcome has been delivered.
+    ///
+    /// Unlike [`TuningService::run_until_idle`] this blocks even when no
+    /// session is live — a daemon's drain thread parks here waiting for the
+    /// next submission to finish — so interactive callers that expect an
+    /// idle service to return should prefer `run_until_idle`.
+    #[must_use]
+    pub fn take_next_outcome(&self) -> Option<SessionOutcome> {
+        let mut state = self.lock_state();
+        loop {
+            if !state.undelivered.is_empty() {
+                let index = state.undelivered.remove(0);
+                return Some(take_outcome(&mut state, index));
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = crate::poison::wait(&self.shared.progress, state);
+        }
+    }
+
+    /// Cancels a session. A session still waiting in the ready queue is
+    /// finalized immediately — [`SessionStatus::Failed`] with
+    /// [`SessionError::Cancelled`], a partial report covering everything
+    /// profiled so far, and the receipt trail. A session currently checked
+    /// out by a lane finishes its in-flight profiling step first and is
+    /// finalized at that decision boundary. Returns `true` when the cancel
+    /// took hold, `false` for unknown ids, already-terminal sessions, and
+    /// repeat cancels of an in-flight session.
+    pub fn cancel(&self, id: SessionId) -> bool {
+        let mut state = self.lock_state();
+        let Some(slot) = state.slots.get_mut(id.0) else {
+            return false;
+        };
+        if slot.outcome.is_some() || slot.cancel_requested {
+            return false;
+        }
+        match slot.session.take() {
+            Some(mut session) => {
+                // Ready (checked in): finalize in place. The session sits at
+                // a decision boundary, so its partial report is coherent.
+                let name = slot.name.clone();
+                let receipts = session.take_receipts();
+                let status = SessionStatus::Failed {
+                    error: SessionError::Cancelled,
+                    partial: Some(finish_session(session)),
+                };
+                if let Some(position) = state.ready.iter().position(|&ready| ready == id.0) {
+                    state.ready.swap_remove(position);
+                }
+                state.finalize(id.0, status, receipts);
+                let store = state.store.clone();
+                drop(state);
+                if let Some(store) = store {
+                    store.remove(&name);
+                }
+                self.shared.progress.notify_all();
+                true
+            }
+            None => {
+                // Checked out by a lane: flag it; the lane honors the flag
+                // at the next decision boundary instead of re-queueing.
+                slot.cancel_requested = true;
+                true
+            }
+        }
+    }
+
+    /// Stops the scheduler without consuming the service: lanes finish
+    /// their in-flight step and exit, later submissions are rejected by the
+    /// idle scheduler, and every drain blocked in
+    /// [`TuningService::take_next_outcome`] wakes up (draining the
+    /// already-terminal outcomes, then observing the halt). This is the
+    /// shutdown hook for daemons that share the service behind an `Arc` and
+    /// therefore cannot call the consuming [`TuningService::shutdown`].
+    pub fn halt(&self) {
+        self.stop_lanes();
+    }
+
     /// Queues a session; scheduling starts immediately. May be called from
     /// any thread, including while the service is mid-run — the steady
     /// submission path of a long-lived service.
@@ -767,6 +909,7 @@ impl TuningService {
                     durable,
                     checkpoint,
                     session: Some(session),
+                    cancel_requested: false,
                     outcome: None,
                 });
                 state.ready.push(index);
@@ -797,6 +940,7 @@ impl TuningService {
                     durable,
                     checkpoint: None,
                     session: None,
+                    cancel_requested: false,
                     outcome: Some(outcome),
                 });
                 state.undelivered.push(index);
@@ -958,7 +1102,7 @@ fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
 /// and returns the session (or records its terminal outcome).
 fn run_lane(shared: &Shared) {
     loop {
-        let (index, mut session, name, retry, halt_after, durable, store) = {
+        let (index, mut session, name, retry, halt_after, durable, cancelled, store) = {
             let mut state = crate::poison::lock(&shared.state);
             loop {
                 if state.shutdown {
@@ -987,6 +1131,7 @@ fn run_lane(shared: &Shared) {
                         slot.retry,
                         slot.halt_after,
                         slot.durable,
+                        slot.cancel_requested,
                         state.store.clone(),
                     );
                 }
@@ -1007,6 +1152,26 @@ fn run_lane(shared: &Shared) {
                 state = crate::poison::wait(&shared.work, state);
             }
         };
+
+        // A cancel that landed while the session was checked out elsewhere
+        // terminates it here — at the decision boundary, before another
+        // step — with the same graceful degradation as a fatal fault.
+        if cancelled {
+            if let Some(store) = &store {
+                store.remove(&name);
+            }
+            let receipts = session.take_receipts();
+            let status = SessionStatus::Failed {
+                error: SessionError::Cancelled,
+                partial: Some(finish_session(session)),
+            };
+            let mut state = crate::poison::lock(&shared.state);
+            state.running -= 1;
+            state.finalize(index, status, receipts);
+            drop(state);
+            shared.progress.notify_all();
+            continue;
+        }
 
         // The step-limit fuse parks the session *at* the boundary, before
         // stepping: its latest checkpoint already describes this exact state.
@@ -1825,6 +1990,131 @@ mod tests {
         );
         assert!(partial.is_none());
         assert!(error.to_string().contains("checkpoint is unusable"));
+    }
+
+    #[test]
+    fn peek_and_streamed_drain_deliver_exactly_once() {
+        let service = TuningService::with_threads(1);
+        let bad = OptimizerSettings {
+            budget: -1.0,
+            ..OptimizerSettings::default()
+        };
+        let id = service.submit(SessionSpec::new(
+            "bad",
+            bad,
+            Box::new(valley_oracle(1.0)),
+            0,
+        ));
+
+        // Peeking is non-consuming: the outcome stays queued for the drain.
+        assert!(service.peek_outcome(id).is_some());
+        assert!(service.peek_outcome(id).is_some());
+        assert!(service.peek_outcome(SessionId(99)).is_none());
+
+        let outcome = service.take_next_outcome().expect("one terminal outcome");
+        assert_eq!(outcome.id, id);
+        assert!(outcome.is_failed());
+        // Delivered exactly once: the peek window is gone too.
+        assert!(service.peek_outcome(id).is_none());
+
+        // After halt, a drained service reports None instead of blocking.
+        service.halt();
+        assert!(service.take_next_outcome().is_none());
+    }
+
+    #[test]
+    fn halt_wakes_a_parked_streamed_drain() {
+        let service = Arc::new(TuningService::with_threads(1));
+        let drain = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.take_next_outcome())
+        };
+        // The drain thread parks on an idle service; halt must wake it.
+        service.halt();
+        assert!(drain.join().expect("drain thread exited cleanly").is_none());
+    }
+
+    #[test]
+    fn load_snapshots_the_population() {
+        let service = TuningService::with_threads(2);
+        assert_eq!(service.load(), ServiceLoad::default());
+        for seed in 0..3 {
+            service.submit(SessionSpec::new(
+                format!("job-{seed}"),
+                settings(400.0, 0),
+                Box::new(valley_oracle(2.0)),
+                seed,
+            ));
+        }
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), 3);
+        let load = service.load();
+        assert_eq!(load.submitted, 3);
+        assert_eq!(
+            (load.ready, load.running, load.live, load.undelivered),
+            (0, 0, 0, 0)
+        );
+        assert!(load.dispatches > 0);
+    }
+
+    #[test]
+    fn a_cancelled_session_degrades_to_a_partial_report() {
+        let service = TuningService::with_threads(1);
+        let id = service.submit(SessionSpec::new(
+            "cancelled",
+            settings(100_000.0, 1),
+            Box::new(valley_oracle(5.0)),
+            13,
+        ));
+        assert!(
+            !service.cancel(SessionId(7)),
+            "unknown ids are not cancellable"
+        );
+        assert!(service.cancel(id));
+        assert!(!service.cancel(id), "repeat cancels do not take hold twice");
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), 1);
+        let SessionStatus::Failed { error, partial } = &outcomes[0].status else {
+            panic!("a cancelled session must report Failed/Cancelled");
+        };
+        assert_eq!(*error, SessionError::Cancelled);
+        assert!(partial.is_some(), "cancellation keeps the partial report");
+        assert_eq!(error.to_string(), "session cancelled");
+        assert!(!service.cancel(id), "terminal sessions are not cancellable");
+    }
+
+    #[test]
+    fn cancelling_a_queued_session_spares_its_siblings() {
+        let service = TuningService::with_threads(1);
+        let doomed = service.submit(SessionSpec::new(
+            "doomed",
+            settings(100_000.0, 1),
+            Box::new(valley_oracle(3.0)),
+            2,
+        ));
+        let healthy = service.submit(SessionSpec::new(
+            "healthy",
+            settings(400.0, 0),
+            Box::new(valley_oracle(3.0)),
+            8,
+        ));
+        assert!(service.cancel(doomed));
+        let outcomes = service.run_until_idle();
+        assert_eq!(outcomes.len(), 2);
+        let by_id = |id: SessionId| outcomes.iter().find(|o| o.id == id).expect("delivered");
+        assert!(matches!(
+            &by_id(doomed).status,
+            SessionStatus::Failed {
+                error: SessionError::Cancelled,
+                ..
+            }
+        ));
+        let solo = LynceusOptimizer::new(settings(400.0, 0)).optimize(&valley_oracle(3.0), 8);
+        assert_eq!(
+            by_id(healthy).report(),
+            Some(&solo),
+            "a sibling's cancellation must not disturb the survivor"
+        );
     }
 
     #[test]

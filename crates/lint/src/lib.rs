@@ -481,19 +481,23 @@ fn in_decision_crate(path: &str) -> bool {
     path.starts_with("crates/core/src/") || path.starts_with("crates/learners/src/")
 }
 
-/// Panic-containment files: the rule 6 scope.
+/// Panic-containment files: the rule 6 scope. The whole serve crate is in
+/// scope — a connection handler that panics on hostile bytes is a remote
+/// denial of service, so the HTTP layer holds the same no-panic bar as the
+/// scheduler spine.
 fn in_containment_path(path: &str) -> bool {
     matches!(
         path,
         "crates/core/src/pool.rs" | "crates/core/src/service.rs" | "crates/core/src/lynceus.rs"
-    )
+    ) || path.starts_with("crates/serve/src/")
 }
 
-/// Modules allowed to spawn threads (rule 4).
+/// Modules allowed to spawn threads (rule 4). The serve server spawns its
+/// handler and drain threads; everything else in serve goes through it.
 fn may_spawn(path: &str) -> bool {
     matches!(
         path,
-        "crates/core/src/pool.rs" | "crates/core/src/service.rs"
+        "crates/core/src/pool.rs" | "crates/core/src/service.rs" | "crates/serve/src/server.rs"
     )
 }
 
@@ -908,6 +912,29 @@ mod tests {
         assert!(is_crate_root("vendor/serde/src/lib.rs"));
         assert!(!is_crate_root("crates/core/src/pool.rs"));
         assert!(!is_crate_root("crates/core/src/sub/lib.rs"));
+    }
+
+    #[test]
+    fn the_serve_crate_is_a_containment_path() {
+        // The whole serve crate holds the no-panic bar: a panic on hostile
+        // bytes is a remote denial of service.
+        let src = "fn f(v: Option<u8>) { let _ = v.unwrap(); }\n";
+        let v = scan_source("crates/serve/src/http.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_PANIC);
+        assert_eq!(scan_source("crates/serve/src/json.rs", src).len(), 1);
+        assert_eq!(scan_source("crates/serve/src/wire.rs", src).len(), 1);
+        // Other non-containment crates remain out of scope.
+        assert!(scan_source("crates/datasets/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn only_the_serve_server_module_may_spawn() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(scan_source("crates/serve/src/server.rs", src).is_empty());
+        let v = scan_source("crates/serve/src/client.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, THREAD_SPAWN);
     }
 
     #[test]

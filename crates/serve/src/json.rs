@@ -1,0 +1,610 @@
+//! A small, strict JSON codec — hand-rolled with no dependencies, the same
+//! discipline as `core::codec`.
+//!
+//! Two properties matter more than generality here:
+//!
+//! * **Determinism.** [`Value::to_json`] emits objects in insertion order
+//!   with no whitespace, and numbers are carried as their *raw literal
+//!   text* ([`Value::Num`] holds a `String`), so encode∘decode is the
+//!   identity on every number the peer sent — `u64` seeds above 2^53 and
+//!   shortest-round-trip `f64` literals survive untouched.
+//! * **Hostility.** [`parse`] is the first thing untrusted bytes reach.
+//!   It enforces a nesting-depth cap, rejects trailing garbage, duplicate
+//!   object keys, malformed escapes and bare non-finite literals, and
+//!   never panics on any input.
+
+/// Maximum nesting depth accepted by [`parse`]; deeper documents are
+/// rejected instead of risking a stack overflow on hostile input.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw literal text (already validated against
+    /// the JSON number grammar) so re-encoding preserves it bit-for-bit.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order (keys are unique).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A number value from an `f64`. Finite values use Rust's shortest
+    /// round-trip formatting (so `decode(encode(v)) == v` bit-exactly);
+    /// non-finite values have no JSON number form and are encoded as the
+    /// strings `"Infinity"`, `"-Infinity"` and `"NaN"`.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Num(format!("{v}"))
+        } else if v.is_nan() {
+            Value::Str("NaN".to_owned())
+        } else if v > 0.0 {
+            Value::Str("Infinity".to_owned())
+        } else {
+            Value::Str("-Infinity".to_owned())
+        }
+    }
+
+    /// A number value from a `u64` (exact: the literal is the decimal
+    /// digits, never an `f64` approximation).
+    #[must_use]
+    pub fn from_u64(v: u64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// A number value from an `i64`.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// A number value from a `usize`.
+    #[must_use]
+    pub fn from_usize(v: usize) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a number. Finite-only by
+    /// construction (JSON has no non-finite literals); see
+    /// [`crate::wire`] for the non-finite string convention.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is a number with an exact
+    /// non-negative integer literal.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `i64`, if this is a number with an exact
+    /// integer literal.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `usize`, if this is a number with an exact
+    /// non-negative integer literal.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, if this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, value)| value)
+    }
+
+    /// Encodes the document: compact (no whitespace), object fields in
+    /// insertion order, number literals verbatim — deterministic, and the
+    /// identity on anything [`parse`] produced.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => write_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a document was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// Byte offset the parser stopped at.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON document. Strict: trailing non-whitespace,
+/// duplicate object keys, documents nested deeper than [`MAX_DEPTH`], and
+/// every grammar violation are errors. Never panics.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn require(&mut self, byte: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        let end = self.pos.saturating_add(word.len());
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+            None => Err(self.fail("unexpected end of document")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.require(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.require(b'{', "expected '{'")?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(name, _)| *name == key) {
+                return Err(self.fail("duplicate object key"));
+            }
+            self.skip_ws();
+            self.require(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.fail("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.require(b'"', "expected '\"'")?;
+        let mut out = Vec::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.fail("unterminated string"));
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => break,
+                b'\\' => {
+                    let Some(escape) = self.peek() else {
+                        return Err(self.fail("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                // High surrogate: a low surrogate must follow.
+                                if self.bytes.get(self.pos..self.pos.saturating_add(2))
+                                    != Some(b"\\u")
+                                {
+                                    return Err(self.fail("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.fail("unpaired surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => {
+                                    let mut buf = [0u8; 4];
+                                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                                }
+                                None => return Err(self.fail("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.fail("invalid escape character")),
+                    }
+                }
+                0x00..=0x1f => return Err(self.fail("raw control character in string")),
+                byte => out.push(byte),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.fail("invalid UTF-8 in string"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(digit) = self.peek().and_then(|b| (b as char).to_digit(16)) else {
+                return Err(self.fail("invalid unicode escape"));
+            };
+            self.pos += 1;
+            code = (code << 4) | digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0, or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return Err(self.fail("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let raw = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        // The grammar above admits ASCII only, so the slice is valid UTF-8.
+        String::from_utf8(raw.to_vec())
+            .map(Value::Num)
+            .map_err(|_| self.fail("invalid number"))
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.fail("expected digits"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for doc in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-1",
+            "3.25",
+            "1e-9",
+            "18446744073709551615",
+            "\"hello\"",
+            "\"\"",
+        ] {
+            let value = parse(doc).expect(doc);
+            assert_eq!(value.to_json(), doc, "round-trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn numbers_preserve_raw_literals() {
+        // 2^64 − 1 does not fit in an f64; the raw literal must survive.
+        let value = parse("18446744073709551615").expect("u64 max");
+        assert_eq!(value.as_u64(), Some(u64::MAX));
+        assert_eq!(value.as_f64(), Some(1.8446744073709552e19));
+        // Shortest-round-trip f64 formatting parses back bit-exactly.
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-17] {
+            let encoded = Value::from_f64(v).to_json();
+            let decoded = parse(&encoded).expect("valid").as_f64().expect("number");
+            assert_eq!(decoded.to_bits(), v.to_bits(), "literal {encoded}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_tagged_strings() {
+        assert_eq!(Value::from_f64(f64::INFINITY).to_json(), "\"Infinity\"");
+        assert_eq!(
+            Value::from_f64(f64::NEG_INFINITY).to_json(),
+            "\"-Infinity\""
+        );
+        assert_eq!(Value::from_f64(f64::NAN).to_json(), "\"NaN\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order_and_reject_duplicates() {
+        let doc = "{\"z\":1,\"a\":2,\"m\":[true,null]}";
+        let value = parse(doc).expect("valid");
+        assert_eq!(value.to_json(), doc);
+        assert_eq!(value.get("a").and_then(Value::as_u64), Some(2));
+        assert!(value.get("missing").is_none());
+        assert!(
+            parse("{\"k\":1,\"k\":2}").is_err(),
+            "duplicate keys rejected"
+        );
+    }
+
+    #[test]
+    fn strings_unescape_and_reescape() {
+        let doc = "\"line\\nquote\\\"tab\\tslash\\\\u\\u00e9\\ud83d\\ude00\"";
+        let value = parse(doc).expect("valid");
+        assert_eq!(value.as_str(), Some("line\nquote\"tab\tslash\\ué😀"));
+        let re = parse(&value.to_json()).expect("re-parse");
+        assert_eq!(re, value);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_panicked() {
+        for doc in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"k\" 1}",
+            "{\"k\":}",
+            "{k:1}",
+            "nul",
+            "tru",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad\\escape\"",
+            "\"\\u12g4\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0020\"",
+            "Infinity",
+            "NaN",
+            "1 2",
+            "[1]]",
+            "{\"a\":1}b",
+            "\u{1}",
+        ] {
+            assert!(parse(doc).is_err(), "must reject: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_hostile_nesting() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let deep_bad = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 2),
+            "]".repeat(MAX_DEPTH + 2)
+        );
+        assert!(parse(&deep_bad).is_err());
+    }
+
+    #[test]
+    fn control_characters_encode_as_unicode_escapes() {
+        let value = Value::Str("\u{1}\u{1f}".to_owned());
+        assert_eq!(value.to_json(), "\"\\u0001\\u001f\"");
+        assert_eq!(parse(&value.to_json()).expect("valid"), value);
+    }
+}

@@ -1,0 +1,21 @@
+//! Poison-tolerant lock acquisition, mirroring `core::poison`.
+//!
+//! The HTTP layer is a containment boundary too: a handler thread that
+//! panicked mid-request must not cascade into a server-wide poison panic
+//! on the registry or admission locks. Every lock in this crate recovers
+//! the guard instead — the protected state is plain data (counters, the
+//! session registry) whose invariants the next holder re-checks, and a
+//! possibly-stale view beats taking down every unrelated connection.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the reacquired guard if a holder panicked
+/// while the waiter was parked.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

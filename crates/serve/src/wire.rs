@@ -1,0 +1,1206 @@
+//! Versioned JSON wire forms for the service types.
+//!
+//! [`SessionStatus`] and [`SessionOutcome`] are internal enums that grow
+//! with the engine; wire clients need a representation that is **explicit**
+//! (every variant spelled as a `kind` tag), **versioned** (a `v` field a
+//! future revision can bump without ambushing old clients) and **lossless**
+//! (encode∘decode is the identity, proven by round-trip tests — the wire
+//! conformance suite leans on this to diff wire reports against solo runs
+//! with plain `PartialEq`).
+//!
+//! Number fidelity: `f64` fields use Rust's shortest-round-trip formatting
+//! (bit-exact on re-parse); non-finite values, which JSON cannot spell as
+//! numbers, travel as the strings `"Infinity"`, `"-Infinity"` and `"NaN"`.
+//! `u64` fields (seeds, step counters) are carried as raw decimal literals
+//! and never pass through an `f64`.
+//!
+//! Decoding is strict: a missing `v`, a wrong version, an unknown field or
+//! a mistyped value is a [`WireError`] — the HTTP layer turns that into a
+//! clean 400 instead of guessing.
+
+use crate::json::Value;
+use lynceus_core::optimizer::OptimizerError;
+use lynceus_core::{
+    DecisionReceipt, Exploration, Observation, OptimizationReport, OptimizerSettings, OracleFault,
+    PathEngine, ProfileError, RetryPolicy, SessionError, SessionId, SessionOutcome, SessionStatus,
+};
+use lynceus_space::ConfigId;
+
+/// The wire-format revision every versioned object carries as `"v"`.
+pub const WIRE_VERSION: u64 = 1;
+
+/// A document that is valid JSON but not a valid wire object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(message.into()))
+}
+
+fn obj<'a>(value: &'a Value, what: &str) -> Result<&'a [(String, Value)], WireError> {
+    match value.as_obj() {
+        Some(fields) => Ok(fields),
+        None => err(format!("{what} must be an object")),
+    }
+}
+
+/// Strictness backbone: any field outside `allowed` rejects the document.
+fn deny_unknown(fields: &[(String, Value)], allowed: &[&str], what: &str) -> Result<(), WireError> {
+    for (name, _) in fields {
+        if !allowed.contains(&name.as_str()) {
+            return err(format!("unknown field {name:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, value)| value)
+}
+
+fn req<'a>(fields: &'a [(String, Value)], key: &str, what: &str) -> Result<&'a Value, WireError> {
+    match get(fields, key) {
+        Some(value) => Ok(value),
+        None => err(format!("{what} is missing field {key:?}")),
+    }
+}
+
+fn check_version(fields: &[(String, Value)], what: &str) -> Result<(), WireError> {
+    match req(fields, "v", what)?.as_u64() {
+        Some(WIRE_VERSION) => Ok(()),
+        Some(v) => err(format!("{what} has unsupported version {v}")),
+        None => err(format!("{what} has a malformed version field")),
+    }
+}
+
+/// Decodes an `f64`, honoring the non-finite string convention.
+fn as_wire_f64(value: &Value, what: &str) -> Result<f64, WireError> {
+    match value {
+        Value::Num(_) => match value.as_f64() {
+            Some(v) if v.is_finite() => Ok(v),
+            _ => err(format!("{what} is out of f64 range")),
+        },
+        Value::Str(s) => match s.as_str() {
+            "Infinity" => Ok(f64::INFINITY),
+            "-Infinity" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            _ => err(format!("{what} must be a number")),
+        },
+        _ => err(format!("{what} must be a number")),
+    }
+}
+
+fn as_wire_u64(value: &Value, what: &str) -> Result<u64, WireError> {
+    match value.as_u64() {
+        Some(v) => Ok(v),
+        None => err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn as_wire_u32(value: &Value, what: &str) -> Result<u32, WireError> {
+    match as_wire_u64(value, what)?.try_into() {
+        Ok(v) => Ok(v),
+        Err(_) => err(format!("{what} exceeds u32 range")),
+    }
+}
+
+fn as_wire_usize(value: &Value, what: &str) -> Result<usize, WireError> {
+    match value.as_usize() {
+        Some(v) => Ok(v),
+        None => err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn as_wire_bool(value: &Value, what: &str) -> Result<bool, WireError> {
+    match value.as_bool() {
+        Some(v) => Ok(v),
+        None => err(format!("{what} must be a boolean")),
+    }
+}
+
+fn as_wire_str<'a>(value: &'a Value, what: &str) -> Result<&'a str, WireError> {
+    match value.as_str() {
+        Some(s) => Ok(s),
+        None => err(format!("{what} must be a string")),
+    }
+}
+
+fn opt_config_id(id: Option<ConfigId>) -> Value {
+    match id {
+        Some(ConfigId(index)) => Value::from_usize(index),
+        None => Value::Null,
+    }
+}
+
+fn as_opt_config_id(value: &Value, what: &str) -> Result<Option<ConfigId>, WireError> {
+    match value {
+        Value::Null => Ok(None),
+        _ => Ok(Some(ConfigId(as_wire_usize(value, what)?))),
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> Value {
+    match v {
+        Some(v) => Value::from_f64(v),
+        None => Value::Null,
+    }
+}
+
+fn as_opt_f64(value: &Value, what: &str) -> Result<Option<f64>, WireError> {
+    match value {
+        Value::Null => Ok(None),
+        _ => Ok(Some(as_wire_f64(value, what)?)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observation / Exploration / OptimizationReport
+// ---------------------------------------------------------------------------
+
+/// Encodes an [`Observation`].
+#[must_use]
+pub fn encode_observation(observation: &Observation) -> Value {
+    Value::Obj(vec![
+        (
+            "runtime_seconds".to_owned(),
+            Value::from_f64(observation.runtime_seconds),
+        ),
+        ("cost".to_owned(), Value::from_f64(observation.cost)),
+        (
+            "metrics".to_owned(),
+            Value::Arr(
+                observation
+                    .metrics
+                    .iter()
+                    .copied()
+                    .map(Value::from_f64)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes an [`Observation`].
+pub fn decode_observation(value: &Value) -> Result<Observation, WireError> {
+    let fields = obj(value, "observation")?;
+    deny_unknown(
+        fields,
+        &["runtime_seconds", "cost", "metrics"],
+        "observation",
+    )?;
+    let metrics = match req(fields, "metrics", "observation")?.as_arr() {
+        Some(items) => items
+            .iter()
+            .map(|item| as_wire_f64(item, "observation metric"))
+            .collect::<Result<Vec<f64>, WireError>>()?,
+        None => return err("observation metrics must be an array"),
+    };
+    Ok(Observation {
+        runtime_seconds: as_wire_f64(
+            req(fields, "runtime_seconds", "observation")?,
+            "runtime_seconds",
+        )?,
+        cost: as_wire_f64(req(fields, "cost", "observation")?, "cost")?,
+        metrics,
+    })
+}
+
+/// Encodes an [`Exploration`].
+#[must_use]
+pub fn encode_exploration(exploration: &Exploration) -> Value {
+    Value::Obj(vec![
+        ("id".to_owned(), Value::from_usize(exploration.id.0)),
+        (
+            "observation".to_owned(),
+            encode_observation(&exploration.observation),
+        ),
+        ("bootstrap".to_owned(), Value::Bool(exploration.bootstrap)),
+    ])
+}
+
+/// Decodes an [`Exploration`].
+pub fn decode_exploration(value: &Value) -> Result<Exploration, WireError> {
+    let fields = obj(value, "exploration")?;
+    deny_unknown(fields, &["id", "observation", "bootstrap"], "exploration")?;
+    Ok(Exploration {
+        id: ConfigId(as_wire_usize(
+            req(fields, "id", "exploration")?,
+            "exploration id",
+        )?),
+        observation: decode_observation(req(fields, "observation", "exploration")?)?,
+        bootstrap: as_wire_bool(req(fields, "bootstrap", "exploration")?, "bootstrap")?,
+    })
+}
+
+/// Encodes an [`OptimizationReport`].
+#[must_use]
+pub fn encode_report(report: &OptimizationReport) -> Value {
+    Value::Obj(vec![
+        ("optimizer".to_owned(), Value::Str(report.optimizer.clone())),
+        (
+            "explorations".to_owned(),
+            Value::Arr(report.explorations.iter().map(encode_exploration).collect()),
+        ),
+        ("recommended".to_owned(), opt_config_id(report.recommended)),
+        (
+            "recommended_cost".to_owned(),
+            opt_f64(report.recommended_cost),
+        ),
+        (
+            "budget_initial".to_owned(),
+            Value::from_f64(report.budget_initial),
+        ),
+        (
+            "budget_spent".to_owned(),
+            Value::from_f64(report.budget_spent),
+        ),
+        (
+            "tmax_seconds".to_owned(),
+            Value::from_f64(report.tmax_seconds),
+        ),
+    ])
+}
+
+/// Decodes an [`OptimizationReport`].
+pub fn decode_report(value: &Value) -> Result<OptimizationReport, WireError> {
+    let fields = obj(value, "report")?;
+    deny_unknown(
+        fields,
+        &[
+            "optimizer",
+            "explorations",
+            "recommended",
+            "recommended_cost",
+            "budget_initial",
+            "budget_spent",
+            "tmax_seconds",
+        ],
+        "report",
+    )?;
+    let explorations = match req(fields, "explorations", "report")?.as_arr() {
+        Some(items) => items
+            .iter()
+            .map(decode_exploration)
+            .collect::<Result<Vec<Exploration>, WireError>>()?,
+        None => return err("report explorations must be an array"),
+    };
+    Ok(OptimizationReport {
+        optimizer: as_wire_str(req(fields, "optimizer", "report")?, "optimizer")?.to_owned(),
+        explorations,
+        recommended: as_opt_config_id(req(fields, "recommended", "report")?, "recommended")?,
+        recommended_cost: as_opt_f64(
+            req(fields, "recommended_cost", "report")?,
+            "recommended_cost",
+        )?,
+        budget_initial: as_wire_f64(req(fields, "budget_initial", "report")?, "budget_initial")?,
+        budget_spent: as_wire_f64(req(fields, "budget_spent", "report")?, "budget_spent")?,
+        tmax_seconds: as_wire_f64(req(fields, "tmax_seconds", "report")?, "tmax_seconds")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DecisionReceipt
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`DecisionReceipt`].
+#[must_use]
+pub fn encode_receipt(receipt: &DecisionReceipt) -> Value {
+    Value::Obj(vec![
+        ("step".to_owned(), Value::from_u64(receipt.step)),
+        ("chosen".to_owned(), Value::from_usize(receipt.chosen.0)),
+        ("bootstrap".to_owned(), Value::Bool(receipt.bootstrap)),
+        ("gamma_size".to_owned(), Value::from_u64(receipt.gamma_size)),
+        ("incumbent".to_owned(), opt_f64(receipt.incumbent)),
+        (
+            "budget_before".to_owned(),
+            Value::from_f64(receipt.budget_before),
+        ),
+        (
+            "budget_after".to_owned(),
+            Value::from_f64(receipt.budget_after),
+        ),
+        ("candidates".to_owned(), Value::from_u64(receipt.candidates)),
+        ("pruned".to_owned(), Value::from_u64(receipt.pruned)),
+        (
+            "deep_pruned".to_owned(),
+            Value::from_u64(receipt.deep_pruned),
+        ),
+        (
+            "faults_observed".to_owned(),
+            Value::from_u64(u64::from(receipt.faults_observed)),
+        ),
+        (
+            "retries_consumed".to_owned(),
+            Value::from_u64(u64::from(receipt.retries_consumed)),
+        ),
+    ])
+}
+
+/// Decodes a [`DecisionReceipt`].
+pub fn decode_receipt(value: &Value) -> Result<DecisionReceipt, WireError> {
+    let fields = obj(value, "receipt")?;
+    deny_unknown(
+        fields,
+        &[
+            "step",
+            "chosen",
+            "bootstrap",
+            "gamma_size",
+            "incumbent",
+            "budget_before",
+            "budget_after",
+            "candidates",
+            "pruned",
+            "deep_pruned",
+            "faults_observed",
+            "retries_consumed",
+        ],
+        "receipt",
+    )?;
+    Ok(DecisionReceipt {
+        step: as_wire_u64(req(fields, "step", "receipt")?, "step")?,
+        chosen: ConfigId(as_wire_usize(req(fields, "chosen", "receipt")?, "chosen")?),
+        bootstrap: as_wire_bool(req(fields, "bootstrap", "receipt")?, "bootstrap")?,
+        gamma_size: as_wire_u64(req(fields, "gamma_size", "receipt")?, "gamma_size")?,
+        incumbent: as_opt_f64(req(fields, "incumbent", "receipt")?, "incumbent")?,
+        budget_before: as_wire_f64(req(fields, "budget_before", "receipt")?, "budget_before")?,
+        budget_after: as_wire_f64(req(fields, "budget_after", "receipt")?, "budget_after")?,
+        candidates: as_wire_u64(req(fields, "candidates", "receipt")?, "candidates")?,
+        pruned: as_wire_u64(req(fields, "pruned", "receipt")?, "pruned")?,
+        deep_pruned: as_wire_u64(req(fields, "deep_pruned", "receipt")?, "deep_pruned")?,
+        faults_observed: as_wire_u32(
+            req(fields, "faults_observed", "receipt")?,
+            "faults_observed",
+        )?,
+        retries_consumed: as_wire_u32(
+            req(fields, "retries_consumed", "receipt")?,
+            "retries_consumed",
+        )?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Errors (OracleFault / ProfileError / OptimizerError / SessionError)
+// ---------------------------------------------------------------------------
+
+fn encode_oracle_fault(fault: &OracleFault) -> Value {
+    match fault {
+        OracleFault::Revoked => {
+            Value::Obj(vec![("kind".to_owned(), Value::Str("revoked".to_owned()))])
+        }
+        OracleFault::Transient(message) => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("transient".to_owned())),
+            ("message".to_owned(), Value::Str(message.clone())),
+        ]),
+    }
+}
+
+fn decode_oracle_fault(value: &Value) -> Result<OracleFault, WireError> {
+    let fields = obj(value, "oracle fault")?;
+    deny_unknown(fields, &["kind", "message"], "oracle fault")?;
+    match as_wire_str(req(fields, "kind", "oracle fault")?, "fault kind")? {
+        "revoked" => Ok(OracleFault::Revoked),
+        "transient" => Ok(OracleFault::Transient(
+            as_wire_str(req(fields, "message", "oracle fault")?, "fault message")?.to_owned(),
+        )),
+        other => err(format!("unknown oracle fault kind {other:?}")),
+    }
+}
+
+fn encode_profile_error(error: &ProfileError) -> Value {
+    match error {
+        ProfileError::InvalidCost { id, cost } => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("invalid_cost".to_owned())),
+            ("id".to_owned(), Value::from_usize(id.0)),
+            ("cost".to_owned(), Value::from_f64(*cost)),
+        ]),
+        ProfileError::InvalidSwitchingCost { from, to, cost } => Value::Obj(vec![
+            (
+                "kind".to_owned(),
+                Value::Str("invalid_switching_cost".to_owned()),
+            ),
+            ("from".to_owned(), opt_config_id(*from)),
+            ("to".to_owned(), Value::from_usize(to.0)),
+            ("cost".to_owned(), Value::from_f64(*cost)),
+        ]),
+        ProfileError::Fault { id, fault } => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("fault".to_owned())),
+            ("id".to_owned(), Value::from_usize(id.0)),
+            ("fault".to_owned(), encode_oracle_fault(fault)),
+        ]),
+    }
+}
+
+fn decode_profile_error(value: &Value) -> Result<ProfileError, WireError> {
+    let fields = obj(value, "profile error")?;
+    match as_wire_str(req(fields, "kind", "profile error")?, "error kind")? {
+        "invalid_cost" => {
+            deny_unknown(fields, &["kind", "id", "cost"], "profile error")?;
+            Ok(ProfileError::InvalidCost {
+                id: ConfigId(as_wire_usize(req(fields, "id", "profile error")?, "id")?),
+                cost: as_wire_f64(req(fields, "cost", "profile error")?, "cost")?,
+            })
+        }
+        "invalid_switching_cost" => {
+            deny_unknown(fields, &["kind", "from", "to", "cost"], "profile error")?;
+            Ok(ProfileError::InvalidSwitchingCost {
+                from: as_opt_config_id(req(fields, "from", "profile error")?, "from")?,
+                to: ConfigId(as_wire_usize(req(fields, "to", "profile error")?, "to")?),
+                cost: as_wire_f64(req(fields, "cost", "profile error")?, "cost")?,
+            })
+        }
+        "fault" => {
+            deny_unknown(fields, &["kind", "id", "fault"], "profile error")?;
+            Ok(ProfileError::Fault {
+                id: ConfigId(as_wire_usize(req(fields, "id", "profile error")?, "id")?),
+                fault: decode_oracle_fault(req(fields, "fault", "profile error")?)?,
+            })
+        }
+        other => err(format!("unknown profile error kind {other:?}")),
+    }
+}
+
+fn encode_optimizer_error(error: &OptimizerError) -> Value {
+    match error {
+        OptimizerError::InvalidSetting(reason) => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("invalid_setting".to_owned())),
+            ("reason".to_owned(), Value::Str(reason.clone())),
+        ]),
+        OptimizerError::NoCandidates => Value::Obj(vec![(
+            "kind".to_owned(),
+            Value::Str("no_candidates".to_owned()),
+        )]),
+    }
+}
+
+fn decode_optimizer_error(value: &Value) -> Result<OptimizerError, WireError> {
+    let fields = obj(value, "optimizer error")?;
+    deny_unknown(fields, &["kind", "reason"], "optimizer error")?;
+    match as_wire_str(req(fields, "kind", "optimizer error")?, "error kind")? {
+        "invalid_setting" => Ok(OptimizerError::InvalidSetting(
+            as_wire_str(req(fields, "reason", "optimizer error")?, "reason")?.to_owned(),
+        )),
+        "no_candidates" => Ok(OptimizerError::NoCandidates),
+        other => err(format!("unknown optimizer error kind {other:?}")),
+    }
+}
+
+/// Encodes a [`SessionError`].
+#[must_use]
+pub fn encode_session_error(error: &SessionError) -> Value {
+    match error {
+        SessionError::InvalidSettings(inner) => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("invalid_settings".to_owned())),
+            ("error".to_owned(), encode_optimizer_error(inner)),
+        ]),
+        SessionError::Profile(inner) => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("profile".to_owned())),
+            ("error".to_owned(), encode_profile_error(inner)),
+        ]),
+        SessionError::Panicked(message) => Value::Obj(vec![
+            ("kind".to_owned(), Value::Str("panicked".to_owned())),
+            ("message".to_owned(), Value::Str(message.clone())),
+        ]),
+        SessionError::RetriesExhausted { last, attempts } => Value::Obj(vec![
+            (
+                "kind".to_owned(),
+                Value::Str("retries_exhausted".to_owned()),
+            ),
+            ("last".to_owned(), encode_profile_error(last)),
+            ("attempts".to_owned(), Value::from_u64(u64::from(*attempts))),
+        ]),
+        SessionError::CorruptCheckpoint(message) => Value::Obj(vec![
+            (
+                "kind".to_owned(),
+                Value::Str("corrupt_checkpoint".to_owned()),
+            ),
+            ("message".to_owned(), Value::Str(message.clone())),
+        ]),
+        SessionError::Cancelled => Value::Obj(vec![(
+            "kind".to_owned(),
+            Value::Str("cancelled".to_owned()),
+        )]),
+    }
+}
+
+/// Decodes a [`SessionError`].
+pub fn decode_session_error(value: &Value) -> Result<SessionError, WireError> {
+    let fields = obj(value, "session error")?;
+    match as_wire_str(req(fields, "kind", "session error")?, "error kind")? {
+        "invalid_settings" => {
+            deny_unknown(fields, &["kind", "error"], "session error")?;
+            Ok(SessionError::InvalidSettings(decode_optimizer_error(req(
+                fields,
+                "error",
+                "session error",
+            )?)?))
+        }
+        "profile" => {
+            deny_unknown(fields, &["kind", "error"], "session error")?;
+            Ok(SessionError::Profile(decode_profile_error(req(
+                fields,
+                "error",
+                "session error",
+            )?)?))
+        }
+        "panicked" => {
+            deny_unknown(fields, &["kind", "message"], "session error")?;
+            Ok(SessionError::Panicked(
+                as_wire_str(req(fields, "message", "session error")?, "message")?.to_owned(),
+            ))
+        }
+        "retries_exhausted" => {
+            deny_unknown(fields, &["kind", "last", "attempts"], "session error")?;
+            Ok(SessionError::RetriesExhausted {
+                last: decode_profile_error(req(fields, "last", "session error")?)?,
+                attempts: as_wire_u32(req(fields, "attempts", "session error")?, "attempts")?,
+            })
+        }
+        "corrupt_checkpoint" => {
+            deny_unknown(fields, &["kind", "message"], "session error")?;
+            Ok(SessionError::CorruptCheckpoint(
+                as_wire_str(req(fields, "message", "session error")?, "message")?.to_owned(),
+            ))
+        }
+        "cancelled" => {
+            deny_unknown(fields, &["kind"], "session error")?;
+            Ok(SessionError::Cancelled)
+        }
+        other => err(format!("unknown session error kind {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SessionStatus / SessionOutcome
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`SessionStatus`] in its versioned wire form.
+#[must_use]
+pub fn encode_status(status: &SessionStatus) -> Value {
+    let mut fields = vec![("v".to_owned(), Value::from_u64(WIRE_VERSION))];
+    match status {
+        SessionStatus::Finished(report) => {
+            fields.push(("kind".to_owned(), Value::Str("finished".to_owned())));
+            fields.push(("report".to_owned(), encode_report(report)));
+        }
+        SessionStatus::Failed { error, partial } => {
+            fields.push(("kind".to_owned(), Value::Str("failed".to_owned())));
+            fields.push(("error".to_owned(), encode_session_error(error)));
+            fields.push((
+                "partial".to_owned(),
+                match partial {
+                    Some(report) => encode_report(report),
+                    None => Value::Null,
+                },
+            ));
+        }
+        SessionStatus::Suspended { steps } => {
+            fields.push(("kind".to_owned(), Value::Str("suspended".to_owned())));
+            fields.push(("steps".to_owned(), Value::from_u64(*steps)));
+        }
+    }
+    Value::Obj(fields)
+}
+
+/// Decodes a [`SessionStatus`] from its versioned wire form.
+pub fn decode_status(value: &Value) -> Result<SessionStatus, WireError> {
+    let fields = obj(value, "session status")?;
+    check_version(fields, "session status")?;
+    match as_wire_str(req(fields, "kind", "session status")?, "status kind")? {
+        "finished" => {
+            deny_unknown(fields, &["v", "kind", "report"], "session status")?;
+            Ok(SessionStatus::Finished(decode_report(req(
+                fields,
+                "report",
+                "session status",
+            )?)?))
+        }
+        "failed" => {
+            deny_unknown(fields, &["v", "kind", "error", "partial"], "session status")?;
+            let partial = match req(fields, "partial", "session status")? {
+                Value::Null => None,
+                report => Some(decode_report(report)?),
+            };
+            Ok(SessionStatus::Failed {
+                error: decode_session_error(req(fields, "error", "session status")?)?,
+                partial,
+            })
+        }
+        "suspended" => {
+            deny_unknown(fields, &["v", "kind", "steps"], "session status")?;
+            Ok(SessionStatus::Suspended {
+                steps: as_wire_u64(req(fields, "steps", "session status")?, "steps")?,
+            })
+        }
+        other => err(format!("unknown session status kind {other:?}")),
+    }
+}
+
+/// Encodes a [`SessionOutcome`] in its versioned wire form.
+#[must_use]
+pub fn encode_outcome(outcome: &SessionOutcome) -> Value {
+    Value::Obj(vec![
+        ("v".to_owned(), Value::from_u64(WIRE_VERSION)),
+        ("id".to_owned(), Value::from_usize(outcome.id.0)),
+        ("name".to_owned(), Value::Str(outcome.name.clone())),
+        ("status".to_owned(), encode_status(&outcome.status)),
+        (
+            "receipts".to_owned(),
+            Value::Arr(outcome.receipts.iter().map(encode_receipt).collect()),
+        ),
+    ])
+}
+
+/// Decodes a [`SessionOutcome`] from its versioned wire form.
+pub fn decode_outcome(value: &Value) -> Result<SessionOutcome, WireError> {
+    let fields = obj(value, "session outcome")?;
+    check_version(fields, "session outcome")?;
+    deny_unknown(
+        fields,
+        &["v", "id", "name", "status", "receipts"],
+        "session outcome",
+    )?;
+    let receipts = match req(fields, "receipts", "session outcome")?.as_arr() {
+        Some(items) => items
+            .iter()
+            .map(decode_receipt)
+            .collect::<Result<Vec<DecisionReceipt>, WireError>>()?,
+        None => return err("outcome receipts must be an array"),
+    };
+    Ok(SessionOutcome {
+        id: SessionId(as_wire_usize(
+            req(fields, "id", "session outcome")?,
+            "outcome id",
+        )?),
+        name: as_wire_str(req(fields, "name", "session outcome")?, "outcome name")?.to_owned(),
+        status: decode_status(req(fields, "status", "session outcome")?)?,
+        receipts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Session spec (submission request)
+// ---------------------------------------------------------------------------
+
+/// A session submission as it travels over the wire. Oracles cannot cross
+/// the wire; `oracle` names one in the server's
+/// [`crate::server::OracleFactory`] registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecRequest {
+    /// Session name (reporting / checkpoint key).
+    pub name: String,
+    /// The oracle registry key to tune against.
+    pub oracle: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optimizer settings (wire v1 carries the scalar fields; secondary
+    /// constraints are not expressible over the wire).
+    pub settings: OptimizerSettings,
+    /// Speculation engine.
+    pub engine: PathEngine,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Scheduling deadline key.
+    pub deadline: f64,
+    /// Retry policy.
+    pub retry: RetryPolicy,
+    /// Step-limit fuse.
+    pub step_limit: Option<u64>,
+}
+
+impl SpecRequest {
+    /// A request with defaults matching [`lynceus_core::SessionSpec::new`].
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        oracle: impl Into<String>,
+        settings: OptimizerSettings,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            oracle: oracle.into(),
+            seed,
+            settings,
+            engine: PathEngine::default(),
+            priority: 0,
+            deadline: f64::INFINITY,
+            retry: RetryPolicy::default(),
+            step_limit: None,
+        }
+    }
+}
+
+fn encode_engine(engine: PathEngine) -> Value {
+    Value::Str(
+        match engine {
+            PathEngine::BoundAndPrune => "bound_and_prune",
+            PathEngine::Batched => "batched",
+            PathEngine::NaiveReference => "naive_reference",
+        }
+        .to_owned(),
+    )
+}
+
+fn decode_engine(value: &Value) -> Result<PathEngine, WireError> {
+    match as_wire_str(value, "engine")? {
+        "bound_and_prune" => Ok(PathEngine::BoundAndPrune),
+        "batched" => Ok(PathEngine::Batched),
+        "naive_reference" => Ok(PathEngine::NaiveReference),
+        other => err(format!("unknown engine {other:?}")),
+    }
+}
+
+fn encode_settings(settings: &OptimizerSettings) -> Value {
+    Value::Obj(vec![
+        ("budget".to_owned(), Value::from_f64(settings.budget)),
+        (
+            "tmax_seconds".to_owned(),
+            Value::from_f64(settings.tmax_seconds),
+        ),
+        (
+            "bootstrap_samples".to_owned(),
+            match settings.bootstrap_samples {
+                Some(n) => Value::from_usize(n),
+                None => Value::Null,
+            },
+        ),
+        (
+            "lookahead".to_owned(),
+            Value::from_usize(settings.lookahead),
+        ),
+        (
+            "gauss_hermite_nodes".to_owned(),
+            Value::from_usize(settings.gauss_hermite_nodes),
+        ),
+        ("discount".to_owned(), Value::from_f64(settings.discount)),
+        (
+            "budget_confidence".to_owned(),
+            Value::from_f64(settings.budget_confidence),
+        ),
+        (
+            "ensemble_size".to_owned(),
+            Value::from_usize(settings.ensemble_size),
+        ),
+        (
+            "parallel_paths".to_owned(),
+            Value::Bool(settings.parallel_paths),
+        ),
+    ])
+}
+
+fn decode_settings(value: &Value) -> Result<OptimizerSettings, WireError> {
+    let fields = obj(value, "settings")?;
+    deny_unknown(
+        fields,
+        &[
+            "budget",
+            "tmax_seconds",
+            "bootstrap_samples",
+            "lookahead",
+            "gauss_hermite_nodes",
+            "discount",
+            "budget_confidence",
+            "ensemble_size",
+            "parallel_paths",
+        ],
+        "settings",
+    )?;
+    let mut settings = OptimizerSettings {
+        budget: as_wire_f64(req(fields, "budget", "settings")?, "budget")?,
+        tmax_seconds: as_wire_f64(req(fields, "tmax_seconds", "settings")?, "tmax_seconds")?,
+        ..OptimizerSettings::default()
+    };
+    if let Some(value) = get(fields, "bootstrap_samples") {
+        settings.bootstrap_samples = match value {
+            Value::Null => None,
+            _ => Some(as_wire_usize(value, "bootstrap_samples")?),
+        };
+    }
+    if let Some(value) = get(fields, "lookahead") {
+        settings.lookahead = as_wire_usize(value, "lookahead")?;
+    }
+    if let Some(value) = get(fields, "gauss_hermite_nodes") {
+        settings.gauss_hermite_nodes = as_wire_usize(value, "gauss_hermite_nodes")?;
+    }
+    if let Some(value) = get(fields, "discount") {
+        settings.discount = as_wire_f64(value, "discount")?;
+    }
+    if let Some(value) = get(fields, "budget_confidence") {
+        settings.budget_confidence = as_wire_f64(value, "budget_confidence")?;
+    }
+    if let Some(value) = get(fields, "ensemble_size") {
+        settings.ensemble_size = as_wire_usize(value, "ensemble_size")?;
+    }
+    if let Some(value) = get(fields, "parallel_paths") {
+        settings.parallel_paths = as_wire_bool(value, "parallel_paths")?;
+    }
+    Ok(settings)
+}
+
+fn encode_retry(retry: &RetryPolicy) -> Value {
+    Value::Obj(vec![
+        (
+            "max_attempts".to_owned(),
+            Value::from_u64(u64::from(retry.max_attempts)),
+        ),
+        (
+            "backoff_steps".to_owned(),
+            Value::from_u64(retry.backoff_steps),
+        ),
+        ("retry_cost".to_owned(), Value::from_f64(retry.retry_cost)),
+    ])
+}
+
+fn decode_retry(value: &Value) -> Result<RetryPolicy, WireError> {
+    let fields = obj(value, "retry policy")?;
+    deny_unknown(
+        fields,
+        &["max_attempts", "backoff_steps", "retry_cost"],
+        "retry policy",
+    )?;
+    let mut retry = RetryPolicy::default();
+    if let Some(value) = get(fields, "max_attempts") {
+        retry.max_attempts = as_wire_u32(value, "max_attempts")?;
+    }
+    if let Some(value) = get(fields, "backoff_steps") {
+        retry.backoff_steps = as_wire_u64(value, "backoff_steps")?;
+    }
+    if let Some(value) = get(fields, "retry_cost") {
+        retry.retry_cost = as_wire_f64(value, "retry_cost")?;
+        // `SessionSpec::with_retry_policy` treats this as a programming
+        // error and panics; on the wire it is client input, so reject it
+        // here where it becomes a clean 400.
+        if !(retry.retry_cost.is_finite() && retry.retry_cost >= 0.0) {
+            return err("retry_cost must be a finite non-negative surcharge");
+        }
+    }
+    Ok(retry)
+}
+
+/// Encodes a [`SpecRequest`] in its versioned wire form.
+#[must_use]
+pub fn encode_spec(spec: &SpecRequest) -> Value {
+    Value::Obj(vec![
+        ("v".to_owned(), Value::from_u64(WIRE_VERSION)),
+        ("name".to_owned(), Value::Str(spec.name.clone())),
+        ("oracle".to_owned(), Value::Str(spec.oracle.clone())),
+        ("seed".to_owned(), Value::from_u64(spec.seed)),
+        ("settings".to_owned(), encode_settings(&spec.settings)),
+        ("engine".to_owned(), encode_engine(spec.engine)),
+        ("priority".to_owned(), Value::from_i64(spec.priority)),
+        ("deadline".to_owned(), Value::from_f64(spec.deadline)),
+        ("retry".to_owned(), encode_retry(&spec.retry)),
+        (
+            "step_limit".to_owned(),
+            match spec.step_limit {
+                Some(steps) => Value::from_u64(steps),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Decodes a [`SpecRequest`] from its versioned wire form. `name`,
+/// `oracle`, `seed` and `settings` are required; everything else defaults
+/// exactly like [`lynceus_core::SessionSpec::new`].
+pub fn decode_spec(value: &Value) -> Result<SpecRequest, WireError> {
+    let fields = obj(value, "session spec")?;
+    check_version(fields, "session spec")?;
+    deny_unknown(
+        fields,
+        &[
+            "v",
+            "name",
+            "oracle",
+            "seed",
+            "settings",
+            "engine",
+            "priority",
+            "deadline",
+            "retry",
+            "step_limit",
+        ],
+        "session spec",
+    )?;
+    let mut spec = SpecRequest::new(
+        as_wire_str(req(fields, "name", "session spec")?, "name")?.to_owned(),
+        as_wire_str(req(fields, "oracle", "session spec")?, "oracle")?.to_owned(),
+        decode_settings(req(fields, "settings", "session spec")?)?,
+        as_wire_u64(req(fields, "seed", "session spec")?, "seed")?,
+    );
+    if let Some(value) = get(fields, "engine") {
+        spec.engine = decode_engine(value)?;
+    }
+    if let Some(value) = get(fields, "priority") {
+        spec.priority = match value.as_i64() {
+            Some(v) => v,
+            None => return err("priority must be an integer"),
+        };
+    }
+    if let Some(value) = get(fields, "deadline") {
+        spec.deadline = as_wire_f64(value, "deadline")?;
+    }
+    if let Some(value) = get(fields, "retry") {
+        spec.retry = decode_retry(value)?;
+    }
+    if let Some(value) = get(fields, "step_limit") {
+        spec.step_limit = match value {
+            Value::Null => None,
+            _ => Some(as_wire_u64(value, "step_limit")?),
+        };
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> OptimizationReport {
+        OptimizationReport {
+            optimizer: "lynceus".to_owned(),
+            explorations: vec![
+                Exploration {
+                    id: ConfigId(3),
+                    observation: Observation {
+                        runtime_seconds: 12.5,
+                        cost: 1.0 / 3.0,
+                        metrics: vec![0.25, f64::INFINITY],
+                    },
+                    bootstrap: true,
+                },
+                Exploration {
+                    id: ConfigId(7),
+                    observation: Observation {
+                        runtime_seconds: 8.0,
+                        cost: 0.125,
+                        metrics: Vec::new(),
+                    },
+                    bootstrap: false,
+                },
+            ],
+            recommended: Some(ConfigId(7)),
+            recommended_cost: Some(0.125),
+            budget_initial: 400.0,
+            budget_spent: 123.456789,
+            tmax_seconds: 1e6,
+        }
+    }
+
+    fn sample_receipt() -> DecisionReceipt {
+        DecisionReceipt {
+            step: 4,
+            chosen: ConfigId(9),
+            bootstrap: false,
+            gamma_size: 17,
+            incumbent: Some(0.25),
+            budget_before: 100.0,
+            budget_after: 99.875,
+            candidates: 40,
+            pruned: 12,
+            deep_pruned: 3,
+            faults_observed: 1,
+            retries_consumed: 1,
+        }
+    }
+
+    /// encode → JSON text → parse → decode must be the identity; the
+    /// conformance suite relies on this to compare wire and solo runs.
+    #[test]
+    fn report_and_receipt_round_trip_bit_exactly() {
+        let report = sample_report();
+        let json = encode_report(&report).to_json();
+        let decoded = decode_report(&parse(&json).expect("valid JSON")).expect("valid wire");
+        assert_eq!(decoded, report);
+
+        let receipt = sample_receipt();
+        let json = encode_receipt(&receipt).to_json();
+        let decoded = decode_receipt(&parse(&json).expect("valid JSON")).expect("valid wire");
+        assert_eq!(decoded, receipt);
+    }
+
+    #[test]
+    fn every_status_variant_round_trips() {
+        let statuses = [
+            SessionStatus::Finished(sample_report()),
+            SessionStatus::Failed {
+                error: SessionError::InvalidSettings(OptimizerError::InvalidSetting(
+                    "budget must be positive".to_owned(),
+                )),
+                partial: None,
+            },
+            SessionStatus::Failed {
+                error: SessionError::Profile(ProfileError::InvalidCost {
+                    id: ConfigId(2),
+                    cost: f64::NAN,
+                }),
+                partial: Some(sample_report()),
+            },
+            SessionStatus::Failed {
+                error: SessionError::Profile(ProfileError::InvalidSwitchingCost {
+                    from: None,
+                    to: ConfigId(4),
+                    cost: -1.0,
+                }),
+                partial: None,
+            },
+            SessionStatus::Failed {
+                error: SessionError::RetriesExhausted {
+                    last: ProfileError::Fault {
+                        id: ConfigId(5),
+                        fault: OracleFault::Transient("throttled".to_owned()),
+                    },
+                    attempts: 3,
+                },
+                partial: Some(sample_report()),
+            },
+            SessionStatus::Failed {
+                error: SessionError::Panicked("cloud exploded".to_owned()),
+                partial: None,
+            },
+            SessionStatus::Failed {
+                error: SessionError::CorruptCheckpoint("truncated".to_owned()),
+                partial: None,
+            },
+            SessionStatus::Failed {
+                error: SessionError::Cancelled,
+                partial: Some(sample_report()),
+            },
+            SessionStatus::Suspended { steps: 11 },
+        ];
+        for status in statuses {
+            let json = encode_status(&status).to_json();
+            let value = parse(&json).expect("valid JSON");
+            assert_eq!(value.get("v").and_then(Value::as_u64), Some(WIRE_VERSION));
+            let decoded = decode_status(&value).expect("valid wire");
+            // NaN != NaN breaks plain PartialEq; compare the re-encoding.
+            assert_eq!(encode_status(&decoded).to_json(), json);
+        }
+    }
+
+    #[test]
+    fn outcomes_round_trip_with_receipts_and_version() {
+        let outcome = SessionOutcome {
+            id: SessionId(42),
+            name: "job-42".to_owned(),
+            status: SessionStatus::Finished(sample_report()),
+            receipts: vec![sample_receipt()],
+        };
+        let json = encode_outcome(&outcome).to_json();
+        let value = parse(&json).expect("valid JSON");
+        assert_eq!(value.get("v").and_then(Value::as_u64), Some(WIRE_VERSION));
+        let decoded = decode_outcome(&value).expect("valid wire");
+        assert_eq!(decoded.id, outcome.id);
+        assert_eq!(decoded.name, outcome.name);
+        assert_eq!(decoded.status, outcome.status);
+        assert_eq!(decoded.receipts, outcome.receipts);
+    }
+
+    #[test]
+    fn specs_round_trip_with_large_seeds() {
+        let mut spec = SpecRequest::new(
+            "job",
+            "valley:3",
+            OptimizerSettings {
+                budget: 400.0,
+                tmax_seconds: 1e6,
+                bootstrap_samples: Some(4),
+                lookahead: 1,
+                gauss_hermite_nodes: 2,
+                ..OptimizerSettings::default()
+            },
+            // Above 2^53: an f64 detour would corrupt this seed.
+            u64::MAX - 12,
+        );
+        spec.engine = PathEngine::Batched;
+        spec.priority = -3;
+        spec.retry = RetryPolicy {
+            max_attempts: 5,
+            backoff_steps: 2,
+            retry_cost: 0.5,
+        };
+        spec.step_limit = Some(9);
+        let json = encode_spec(&spec).to_json();
+        let decoded = decode_spec(&parse(&json).expect("valid JSON")).expect("valid wire");
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.seed, u64::MAX - 12);
+    }
+
+    #[test]
+    fn minimal_specs_use_core_defaults() {
+        let json = "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":7,\
+                    \"settings\":{\"budget\":100,\"tmax_seconds\":50}}";
+        let spec = decode_spec(&parse(json).expect("valid JSON")).expect("valid wire");
+        assert_eq!(spec.engine, PathEngine::default());
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.deadline, f64::INFINITY);
+        assert_eq!(spec.retry, RetryPolicy::default());
+        assert_eq!(spec.step_limit, None);
+        let defaults = OptimizerSettings::default();
+        assert_eq!(spec.settings.lookahead, defaults.lookahead);
+        assert_eq!(spec.settings.discount, defaults.discount);
+    }
+
+    #[test]
+    fn strict_decoding_rejects_unknowns_versions_and_bad_values() {
+        let reject = [
+            // Unknown field.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1},\"zorp\":true}",
+            // Unknown settings field.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1,\"turbo\":true}}",
+            // Missing version.
+            "{\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1}}",
+            // Future version.
+            "{\"v\":2,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1}}",
+            // Negative seed.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":-1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1}}",
+            // Fractional seed.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1.5,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1}}",
+            // Missing settings.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1}",
+            // NaN retry surcharge (would panic inside the core builder).
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1},\
+             \"retry\":{\"retry_cost\":\"NaN\"}}",
+            // Unknown engine.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1},\"engine\":\"warp\"}",
+        ];
+        for doc in reject {
+            let value = parse(doc).expect("valid JSON");
+            assert!(decode_spec(&value).is_err(), "must reject: {doc}");
+        }
+    }
+
+    #[test]
+    fn status_decoding_rejects_unknown_kinds_and_fields() {
+        for doc in [
+            "{\"v\":1,\"kind\":\"exploded\"}",
+            "{\"v\":1,\"kind\":\"suspended\",\"steps\":1,\"extra\":0}",
+            "{\"kind\":\"suspended\",\"steps\":1}",
+            "{\"v\":1,\"kind\":\"failed\",\"error\":{\"kind\":\"mystery\"},\"partial\":null}",
+        ] {
+            let value = parse(doc).expect("valid JSON");
+            assert!(decode_status(&value).is_err(), "must reject: {doc}");
+        }
+    }
+}

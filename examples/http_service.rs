@@ -1,0 +1,128 @@
+//! The tuner as a network service: a `serve::Server` in front of a
+//! `TuningService`, with a client submitting tuning sessions over plain
+//! HTTP/1.1 + JSON.
+//!
+//! The example starts a server on a loopback ephemeral port with a small
+//! oracle registry (specs *name* their oracle; oracles never cross the
+//! wire), submits three sessions over the wire, long-polls each to its
+//! terminal state, fetches the report and the decision-receipt trail, and
+//! then demonstrates admission control: against a server capped at two
+//! live sessions, a five-session burst is shed down to exactly two
+//! admissions, each rejection carrying a `Retry-After` hint.
+//!
+//! Run with `cargo run --release --example http_service`.
+
+use lynceus::core::{CostOracle, TableOracle};
+use lynceus::prelude::*;
+use lynceus::serve::server::OracleFactory;
+use lynceus::serve::wire;
+use std::sync::Arc;
+
+fn valley_oracle(shift: f64) -> TableOracle {
+    let space = SpaceBuilder::new()
+        .numeric("workers", (0..10).map(f64::from))
+        .numeric("memory_gb", (0..4).map(f64::from))
+        .build();
+    TableOracle::from_fn(space, 1.0, move |f| {
+        20.0 + (f[0] - shift).powi(2) * 4.0 + (f[1] - 1.0).powi(2) * 8.0
+    })
+}
+
+/// The server-side oracle registry: `valley-<shift>` is the whole
+/// vocabulary this deployment tunes against.
+fn registry() -> OracleFactory {
+    Arc::new(|name: &str| -> Option<Box<dyn CostOracle>> {
+        let shift: f64 = name.strip_prefix("valley-")?.parse().ok()?;
+        Some(Box::new(valley_oracle(shift)))
+    })
+}
+
+fn settings(budget: f64) -> OptimizerSettings {
+    OptimizerSettings {
+        budget,
+        tmax_seconds: 1e6,
+        bootstrap_samples: Some(3),
+        lookahead: 1,
+        gauss_hermite_nodes: 2,
+        ..OptimizerSettings::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- A serving deployment --------------------------------------------
+    let server = Server::start(ServerConfig::default(), registry())?;
+    println!("serving on http://{}", server.addr());
+
+    let mut client = Client::connect(server.addr())?;
+    for (i, shift) in [2.0, 4.0, 7.0].iter().enumerate() {
+        let spec = SpecRequest::new(
+            format!("wire-job-{i}"),
+            format!("valley-{shift}"),
+            settings(300.0 + 50.0 * i as f64),
+            i as u64,
+        );
+        let accepted = client.post("/v1/sessions", &wire::encode_spec(&spec).to_json())?;
+        println!(
+            "submitted {:<11} -> {} {}",
+            spec.name, accepted.status, accepted.body
+        );
+    }
+
+    for id in 0..3 {
+        // ?wait=1 long-polls until the session is terminal.
+        client.get(&format!("/v1/sessions/{id}?wait=1"))?;
+        let report = client.get(&format!("/v1/sessions/{id}/report"))?;
+        let body = report.json()?;
+        let report =
+            wire::decode_report(body.get("report").ok_or("no report")?).map_err(|e| e.0)?;
+        let receipts = client.get(&format!("/v1/sessions/{id}/receipts"))?;
+        let receipts = receipts.json()?;
+        let receipts = receipts
+            .get("receipts")
+            .and_then(|v| v.as_arr())
+            .map_or(0, <[_]>::len);
+        println!(
+            "session {id}: recommended {:?} at cost {:.2} after {} runs ({} receipts)",
+            report.recommended,
+            report.recommended_cost.unwrap_or(f64::NAN),
+            report.num_explorations(),
+            receipts,
+        );
+    }
+    server.shutdown();
+
+    // --- Admission control -----------------------------------------------
+    // A deployment capped at two live sessions sheds the rest of a burst
+    // with 503 + Retry-After and zero server-side effect.
+    let capped = Server::start(
+        ServerConfig {
+            admission: AdmissionPolicy {
+                max_live: 2,
+                retry_after_seconds: 5,
+            },
+            // Hold mode so the burst cannot race its own completions —
+            // the same switch the conformance suite and load bench use.
+            hold_sessions: true,
+            ..ServerConfig::default()
+        },
+        registry(),
+    )?;
+    let mut client = Client::connect(capped.addr())?;
+    let spec = SpecRequest::new("burst", "valley-3", settings(300.0), 9);
+    let body = wire::encode_spec(&spec).to_json();
+    for i in 0..5 {
+        let response = client.post("/v1/sessions", &body)?;
+        match response.status {
+            202 => println!("burst {i}: admitted"),
+            503 => println!(
+                "burst {i}: shed, retry after {}s",
+                response.header("retry-after").unwrap_or("?")
+            ),
+            other => println!("burst {i}: unexpected {other}"),
+        }
+    }
+    let stats = client.get("/v1/stats")?;
+    println!("admission counters: {}", stats.body);
+    capped.shutdown();
+    Ok(())
+}

@@ -14,6 +14,7 @@
 //! | [`cloud`] | VM catalog, clusters, pricing, setup costs. |
 //! | [`sim`] | Analytic job-performance simulators. |
 //! | [`math`] | Normal distribution, Gauss–Hermite quadrature, LHS, statistics. |
+//! | [`serve`] | HTTP/1.1 + JSON front-end over the tuning service. |
 //!
 //! # Quick start
 //!
@@ -72,6 +73,36 @@
 //! `LYNCEUS_TEST_THREADS` × policy) enforce. See `examples/multi_job.rs`
 //! for a service serving the Scout/CherryPick/TensorFlow datasets under
 //! the priority policy with steady submission.
+//!
+//! # Serving
+//!
+//! [`serve`] turns the multi-job service into a network service: a
+//! std-only HTTP/1.1 + JSON front-end ([`serve::Server`]) with the same
+//! hand-rolled, no-dependency discipline as `core::codec`. Clients submit
+//! session specs over the wire ([`serve::wire::SpecRequest`]), poll or
+//! long-poll status, fetch reports and decision-receipt trails, and
+//! cancel ([`core::TuningService::cancel`] honors a cancellation at the
+//! next decision boundary and degrades the session to a `Failed` outcome
+//! carrying the partial report). Oracles never cross the wire — a spec
+//! *names* an oracle resolved through a server-side
+//! [`serve::OracleFactory`] — and every wire form is versioned and
+//! rejects unknown fields, so protocol drift fails loudly at the boundary
+//! instead of silently downstream.
+//!
+//! Determinism survives the wire: floats travel in shortest-decimal form
+//! (bit-exact round-trip), u64 seeds above 2^53 ride as raw decimal
+//! literals, and a session submitted over HTTP produces the bit-identical
+//! report and receipt trail of the same spec run solo in-process at any
+//! thread count — enforced by `tests/http_conformance.rs` (golden
+//! transcripts + wire-vs-solo diffs) and the CI `service-http` job.
+//!
+//! In front of the service sits **admission control**
+//! ([`serve::AdmissionPolicy`]): a bounded live-session queue that sheds
+//! past its cap with `503` + `Retry-After` and zero server-side effect.
+//! Shedding is deterministic (`admitted + shed == submitted` is a hard
+//! invariant, gated by `bench_check`), and the committed
+//! `BENCH_service_http.json` (from the `service_http` load bench) records
+//! sessions/sec and p50/p99 report latency through the full wire path.
 //!
 //! # Fault model & durability
 //!
@@ -295,6 +326,7 @@ pub use lynceus_datasets as datasets;
 pub use lynceus_experiments as experiments;
 pub use lynceus_learners as learners;
 pub use lynceus_math as math;
+pub use lynceus_serve as serve;
 pub use lynceus_sim as sim;
 pub use lynceus_space as space;
 
@@ -309,6 +341,7 @@ pub mod prelude {
     };
     pub use crate::datasets::{catalog, LookupDataset};
     pub use crate::experiments::{ExperimentConfig, OptimizerKind};
+    pub use crate::serve::{AdmissionPolicy, Client, Server, ServerConfig, SpecRequest};
     pub use crate::sim::TurbulentOracle;
     pub use crate::space::{Config, ConfigId, ConfigSpace, SpaceBuilder};
 }
