@@ -272,6 +272,94 @@ fn http_violations(json: &str) -> Vec<String> {
     violations
 }
 
+/// Validates the recurring-job artifact: the chain must actually recur
+/// (≥ 2 runs), the cost-to-target trajectory must be coherent and must
+/// improve from the cold run to the final one (the whole point of the
+/// knowledge layer), warm first-decision pruning must beat the cold run's
+/// disarmed guard, and the cross-engine bit-identity flag must be present.
+/// A chain that silently stopped transferring knowledge would otherwise
+/// publish a flat trajectory and pass vacuously.
+fn recurring_violations(json: &str) -> Vec<String> {
+    if !json.contains("\"benchmark\": \"recurring\"") {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    let whole = json.replace('\n', " ");
+    match field_f64(&whole, "runs_chained") {
+        Some(runs) if runs >= 2.0 => {}
+        Some(runs) => violations.push(format!(
+            "runs_chained {runs} — a single run never exercises transfer"
+        )),
+        None => violations.push("no runs_chained recorded".to_owned()),
+    }
+    for (number, line) in json.lines().enumerate() {
+        let Some(cost) = field_f64(line, "cost_to_target") else {
+            continue;
+        };
+        let cell = format!("cell at line {}", number + 1);
+        if !(cost.is_finite() && cost >= 0.0) {
+            violations.push(format!("{cell}: cost_to_target {cost} unusable"));
+        }
+        if let (Some(candidates), Some(cut)) = (
+            field_f64(line, "first_decision_candidates"),
+            field_f64(line, "first_decision_cut"),
+        ) {
+            if cut > candidates {
+                violations.push(format!(
+                    "{cell}: first-decision cut {cut} > candidates {candidates}"
+                ));
+            }
+        }
+        if let Some(fraction) = field_f64(line, "first_decision_prune_fraction") {
+            if !(0.0..=1.0).contains(&fraction) {
+                violations.push(format!(
+                    "{cell}: first_decision_prune_fraction {fraction} outside [0, 1]"
+                ));
+            }
+        }
+    }
+    match (
+        field_f64(&whole, "cold_cost_to_target"),
+        field_f64(&whole, "final_cost_to_target"),
+    ) {
+        (Some(cold), Some(last)) => {
+            if !(cold.is_finite() && last.is_finite() && cold > 0.0 && last >= 0.0) {
+                violations.push(format!(
+                    "cost-to-target endpoints cold {cold} / final {last} unusable"
+                ));
+            } else if last >= cold {
+                violations.push(format!(
+                    "cost-to-target never improved: final {last} >= cold {cold}"
+                ));
+            }
+        }
+        _ => violations.push("cost-to-target endpoints not both recorded".to_owned()),
+    }
+    match (
+        field_f64(&whole, "cold_first_decision_prune_fraction"),
+        field_f64(&whole, "warm_first_decision_prune_fraction"),
+    ) {
+        (Some(cold), Some(warm)) => {
+            if !((0.0..=1.0).contains(&cold) && (0.0..=1.0).contains(&warm)) {
+                violations.push(format!(
+                    "first-decision prune fractions cold {cold} / warm {warm} outside [0, 1]"
+                ));
+            } else if warm <= cold {
+                violations.push(format!(
+                    "warm anchors never armed: warm first-decision pruning {warm} \
+                     <= cold {cold}"
+                ));
+            }
+        }
+        _ => violations.push("first-decision prune fractions not both recorded".to_owned()),
+    }
+    if !whole.contains("\"chain_reports_identical\": ") {
+        violations
+            .push("chain_reports_identical flag missing — the bench stopped asserting".to_owned());
+    }
+    violations
+}
+
 fn workspace_bench_files() -> Vec<PathBuf> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let Ok(entries) = std::fs::read_dir(&root) else {
@@ -331,14 +419,16 @@ fn main() -> ExitCode {
         let flat = flat_violations(&json);
         let faults = faults_violations(&json);
         let http = http_violations(&json);
+        let recurring = recurring_violations(&json);
         if false_flags.is_empty()
             && violations.is_empty()
             && flat.is_empty()
             && faults.is_empty()
             && http.is_empty()
+            && recurring.is_empty()
         {
             println!(
-                "bench_check: {} ok ({} equivalence flag(s) true, pruning, flat, fault and http cells coherent)",
+                "bench_check: {} ok ({} equivalence flag(s) true, pruning, flat, fault, http and recurring cells coherent)",
                 file.display(),
                 flags.len()
             );
@@ -371,6 +461,12 @@ fn main() -> ExitCode {
             for violation in &http {
                 eprintln!(
                     "bench_check: {} has an invalid http-service cell — {violation}",
+                    file.display()
+                );
+            }
+            for violation in &recurring {
+                eprintln!(
+                    "bench_check: {} has an invalid recurring-job cell — {violation}",
                     file.display()
                 );
             }
@@ -607,6 +703,89 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("counters submitted/admitted/shed incomplete")));
+    }
+
+    use super::recurring_violations;
+
+    fn recurring_artifact(
+        cold_cost: f64,
+        final_cost: f64,
+        cold_frac: f64,
+        warm_frac: f64,
+    ) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"recurring\",\n  \"runs_chained\": 3,\n  \
+             \"cells\": [\n    \
+             {{ \"run\": 0, \"cost_to_target\": {cold_cost:.3}, \
+             \"first_decision_candidates\": 67, \"first_decision_cut\": 0, \
+             \"first_decision_prune_fraction\": {cold_frac:.3} }},\n    \
+             {{ \"run\": 2, \"cost_to_target\": {final_cost:.3}, \
+             \"first_decision_candidates\": 64, \"first_decision_cut\": 9, \
+             \"first_decision_prune_fraction\": {warm_frac:.3} }}\n  ],\n  \
+             \"cold_cost_to_target\": {cold_cost:.3},\n  \
+             \"final_cost_to_target\": {final_cost:.3},\n  \
+             \"cold_first_decision_prune_fraction\": {cold_frac:.3},\n  \
+             \"warm_first_decision_prune_fraction\": {warm_frac:.3},\n  \
+             \"chain_reports_identical\": true\n}}\n"
+        )
+    }
+
+    #[test]
+    fn coherent_recurring_cells_pass() {
+        assert_eq!(
+            recurring_violations(&recurring_artifact(3.36, 0.0, 0.0, 0.141)),
+            Vec::<String>::new()
+        );
+        // Other artifacts are not required to carry recurring cells.
+        assert!(recurring_violations(r#"{ "benchmark": "multi_session" }"#).is_empty());
+    }
+
+    #[test]
+    fn flat_or_incoherent_recurring_chains_are_reported() {
+        // A chain whose cost-to-target never improved — knowledge was not
+        // transferred (or the warm runs ignored it).
+        assert!(
+            recurring_violations(&recurring_artifact(3.36, 3.36, 0.0, 0.141))
+                .iter()
+                .any(|v| v.contains("never improved"))
+        );
+        // Warm first-decision pruning no better than the cold disarmed guard.
+        assert!(
+            recurring_violations(&recurring_artifact(3.36, 0.0, 0.2, 0.2))
+                .iter()
+                .any(|v| v.contains("never armed"))
+        );
+        // A fraction outside [0, 1].
+        assert!(
+            recurring_violations(&recurring_artifact(3.36, 0.0, 0.0, 1.5))
+                .iter()
+                .any(|v| v.contains("outside [0, 1]"))
+        );
+        // A chain of one run exercises no transfer at all.
+        let single = recurring_artifact(3.36, 0.0, 0.0, 0.141)
+            .replace("\"runs_chained\": 3", "\"runs_chained\": 1");
+        assert!(recurring_violations(&single)
+            .iter()
+            .any(|v| v.contains("never exercises transfer")));
+        // A cell claiming more first-decision cuts than candidates.
+        let overcut = recurring_artifact(3.36, 0.0, 0.0, 0.141)
+            .replace("\"first_decision_cut\": 9", "\"first_decision_cut\": 99");
+        assert!(recurring_violations(&overcut)
+            .iter()
+            .any(|v| v.contains("> candidates")));
+        // A dropped cross-engine assertion flag.
+        let unasserted =
+            recurring_artifact(3.36, 0.0, 0.0, 0.141).replace("chain_reports_identical", "gone");
+        assert!(recurring_violations(&unasserted)
+            .iter()
+            .any(|v| v.contains("stopped asserting")));
+        // Missing endpoints entirely.
+        let bare = r#"{ "benchmark": "recurring" }"#;
+        let violations = recurring_violations(bare);
+        assert!(violations.iter().any(|v| v.contains("no runs_chained")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("endpoints not both recorded")));
     }
 
     #[test]

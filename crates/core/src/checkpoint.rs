@@ -30,8 +30,9 @@ use std::sync::Mutex;
 
 /// File magic of the checkpoint format.
 const MAGIC: [u8; 4] = *b"LYNC";
-/// Format version; bumped on any wire-format change.
-const VERSION: u32 = 1;
+/// Format version; bumped on any wire-format change. Version 2 added the
+/// cross-run knowledge fields (attached prior, harvested anchor keys).
+const VERSION: u32 = 2;
 
 /// A serialized-state snapshot of one session at a decision boundary.
 ///
@@ -62,6 +63,14 @@ pub struct SessionCheckpoint {
     pub(crate) explorations: Vec<Exploration>,
     pub(crate) receipts: Vec<DecisionReceipt>,
     pub(crate) oracle_state: Option<Vec<u8>>,
+    /// The knowledge record attached at admission, carried verbatim so a
+    /// killed warm session resumes bit-identically from the checkpoint
+    /// alone — independent of whatever the knowledge store holds by then.
+    pub(crate) prior: Option<crate::transfer::JobKnowledge>,
+    /// Ratcheted warm-anchor harvest at the snapshot (see
+    /// [`crate::transfer`] for the incumbent/tail safety asymmetry).
+    pub(crate) harvest_incumbent_key: u64,
+    pub(crate) harvest_tail_key: u64,
 }
 
 impl SessionCheckpoint {
@@ -145,6 +154,15 @@ impl SessionCheckpoint {
             }
             None => enc.put_bool(false),
         }
+        match &self.prior {
+            Some(prior) => {
+                enc.put_bool(true);
+                enc.put_bytes(&prior.encode());
+            }
+            None => enc.put_bool(false),
+        }
+        enc.put_u64(self.harvest_incumbent_key);
+        enc.put_u64(self.harvest_tail_key);
         enc.finish()
     }
 
@@ -230,6 +248,13 @@ impl SessionCheckpoint {
         } else {
             None
         };
+        let prior = if dec.get_bool()? {
+            Some(crate::transfer::JobKnowledge::decode(dec.get_bytes()?)?)
+        } else {
+            None
+        };
+        let harvest_incumbent_key = dec.get_u64()?;
+        let harvest_tail_key = dec.get_u64()?;
         if !dec.is_finished() {
             return Err(CodecError::Invalid("trailing bytes after the checkpoint"));
         }
@@ -249,6 +274,9 @@ impl SessionCheckpoint {
             explorations,
             receipts,
             oracle_state,
+            prior,
+            harvest_incumbent_key,
+            harvest_tail_key,
         })
     }
 }
@@ -410,6 +438,9 @@ mod tests {
                 retries_consumed: 0,
             }],
             oracle_state: Some(vec![9, 9, 9]),
+            prior: None,
+            harvest_incumbent_key: 0,
+            harvest_tail_key: 0,
         }
     }
 
@@ -428,6 +459,33 @@ mod tests {
         no_oracle.current = None;
         let back = SessionCheckpoint::decode(&no_oracle.encode()).unwrap();
         assert_eq!(back, no_oracle);
+    }
+
+    #[test]
+    fn warm_checkpoint_round_trips_the_prior() {
+        let mut warm = snapshot();
+        warm.prior = Some(crate::transfer::JobKnowledge {
+            job_key: "nightly".to_owned(),
+            runs: 1,
+            ensemble_seed: 7,
+            last_incumbent_key: 3,
+            last_tail_key: 11,
+            observations: vec![crate::transfer::PriorObservation {
+                id: ConfigId(2),
+                runtime_seconds: 8.0,
+                cost: 2.0,
+                metrics: vec![1.5],
+            }],
+        });
+        warm.harvest_incumbent_key = 41;
+        warm.harvest_tail_key = 43;
+        let back = SessionCheckpoint::decode(&warm.encode()).unwrap();
+        assert_eq!(back, warm);
+        // A corrupt nested prior fails the whole checkpoint cleanly.
+        let good = warm.encode();
+        for cut in 1..good.len() {
+            assert!(SessionCheckpoint::decode(&good[..cut]).is_err());
+        }
     }
 
     #[test]

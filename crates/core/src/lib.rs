@@ -74,6 +74,7 @@ pub mod receipt;
 pub mod service;
 pub mod state;
 pub mod switching;
+pub mod transfer;
 
 pub use acquisition::{constrained_ei, expected_improvement, incumbent_cost, score_cmp};
 pub use bo::BoOptimizer;
@@ -97,3 +98,7 @@ pub use service::{
 };
 pub use state::{SearchState, SpeculativeCursor};
 pub use switching::SwitchingCost;
+// The knowledge stores stay module-qualified (`transfer::MemoryStore`,
+// `transfer::DirStore`) — the crate-root names belong to the checkpoint
+// stores.
+pub use transfer::{JobKnowledge, KnowledgeStore, PriorObservation};

@@ -76,6 +76,7 @@ use crate::pool;
 use crate::receipt::DecisionReceipt;
 use crate::state::{SearchState, SpeculativeCursor};
 use crate::switching::{FreeSwitching, SwitchingCost};
+use crate::transfer::{JobKnowledge, PriorObservation};
 use lynceus_learners::{BaggingEnsemble, FeatureMatrix, Prediction, RowValueMemo, Surrogate};
 use lynceus_math::quadrature::{discretize_normal_clamped, GaussHermiteRule, WeightedValue};
 use lynceus_math::rng::SeededRng;
@@ -790,6 +791,7 @@ impl LynceusOptimizer {
     /// The selected configuration is bit-identical to
     /// [`LynceusOptimizer::next_config_batched`]; only the amount of work
     /// (and therefore wall-clock time) differs.
+    #[allow(clippy::too_many_arguments)]
     fn next_config_pruned(
         &self,
         driver: &Driver<'_>,
@@ -798,6 +800,7 @@ impl LynceusOptimizer {
         rule: &GaussHermiteRule,
         z: f64,
         scratch: &mut DecisionScratch,
+        warm: &mut WarmAnchors,
     ) -> Option<ConfigId> {
         scratch.last_gamma = 0;
         if !model.is_fitted() {
@@ -924,13 +927,23 @@ impl LynceusOptimizer {
         // "no incumbent yet" sentinel below every real key. A stale read
         // only reduces pruning, never changes any result.
         // ------------------------------------------------------------------
+        // The incumbent cell always restarts at zero: scores decay as Σ
+        // grows, so seeding it with a stale (prior-decision or prior-run)
+        // key could prune every candidate and end the session early. The
+        // measured-tail anchor has the opposite asymmetry — tails decay
+        // too, so a stale anchor is *larger* and bounds built from it err
+        // high (admissible) — which is why a warm session may preload it
+        // from the previous run's harvest and pruning bites from decision
+        // one instead of relearning the anchor per decision.
         let incumbent = AtomicU64::new(0);
-        let observed_tail = AtomicU64::new(0);
+        let observed_tail = AtomicU64::new(warm.tail_preload);
         // Before the first feasible observation the incumbent fallback
         // (`max cost + 3σ`) can grow along a speculated path, voiding the
         // tail bound's premise; those (rare, early) decisions expand
-        // exhaustively.
-        let prunable = lookahead > 1 && driver.state.tested().iter().any(|t| t.feasible);
+        // exhaustively. A warm session's prior run is feasibility evidence
+        // of the same strength, so its anchor arms the guard immediately.
+        let prunable = lookahead > 1
+            && (warm.feasible_prior || driver.state.tested().iter().any(|t| t.feasible));
         let base_len = ctx.base_ids.len();
         let gamma = &*gamma;
         let init = || WorkerLease::take(workers, base_len);
@@ -970,6 +983,26 @@ impl LynceusOptimizer {
             }
         }
         crate::poison::lock(&self.counters.0).absorb(&decision);
+
+        // Harvest the final cell values for the cross-run knowledge layer.
+        // The *latest publishing* decision wins, not a running maximum:
+        // measured tails shrink as Σ grows, so the most recent measurement
+        // is the tightest anchor that still errs high for the next run
+        // (whose Σ starts as a superset of this run's). Zero cells are
+        // skipped — end-of-budget decisions whose branches all die early
+        // never publish, and must not erase the anchor. The incumbent key
+        // is recorded for statistics and as feasibility evidence only.
+        // ordering: Relaxed — the pool joined all workers above, so these
+        // loads observe the final published values; no ordering is derived.
+        let final_incumbent = incumbent.load(Ordering::Relaxed);
+        if final_incumbent != 0 {
+            warm.harvest_incumbent = final_incumbent;
+        }
+        // ordering: Relaxed — same post-join argument as the incumbent load.
+        let final_tail = observed_tail.load(Ordering::Relaxed);
+        if final_tail != 0 {
+            warm.harvest_tail = final_tail;
+        }
 
         // Reduction in Γ order over the expanded candidates. A pruned (or
         // mid-expansion cut) candidate's bound was strictly below some
@@ -2120,6 +2153,37 @@ pub(crate) enum SessionStep {
     Done,
 }
 
+/// The warm-start anchors a session carries across decisions — and, through
+/// the knowledge layer ([`crate::transfer`]), across runs of a recurring
+/// job. All zeros for a cold session, which reproduces the pre-transfer
+/// behaviour exactly.
+///
+/// Only the *tail* anchor feeds back into pruning: tails decay as Σ grows,
+/// so a stale anchor errs high and the bounds built from it stay
+/// admissible. The incumbent key is harvested for statistics and as
+/// feasibility evidence (arming the `prunable` guard from decision one) —
+/// it is never preloaded into the incumbent cell, where staleness would
+/// over-prune.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct WarmAnchors {
+    /// Prior evidence that a feasible configuration exists (prior run
+    /// observed one under the current `tmax`): arms pruning immediately.
+    pub(crate) feasible_prior: bool,
+    /// The prior **run's** tail anchor, preloaded into every decision's
+    /// tail cell. Constant within a run — a cold session's zero reproduces
+    /// the pre-transfer per-decision relearning exactly, and a warm
+    /// session's decisions stay bit-identical in prune *behaviour* to the
+    /// guarantees the cross-engine suites pin.
+    pub(crate) tail_preload: u64,
+    /// The latest decision's incumbent cell this run (statistics and
+    /// feasibility evidence only — never preloaded).
+    pub(crate) harvest_incumbent: u64,
+    /// The latest decision's tail cell (the cell is seeded with the
+    /// preload, so this never drops below the prior anchor): the next
+    /// run's `tail_preload`.
+    pub(crate) harvest_tail: u64,
+}
+
 /// How a [`LynceusSession`] holds its optimizer: borrowed for the standalone
 /// `optimize()` path, owned for the service's registry sessions (which must
 /// be `'static` and [`Send`] so scheduler lanes can step them from any
@@ -2176,6 +2240,12 @@ pub(crate) struct LynceusSession<'a> {
     pending_faults: u32,
     pending_retries: u32,
     attempts_used: u32,
+    // Cross-run transfer: the knowledge record attached at admission (its
+    // observations are already replayed into `Σ`; kept so the terminal
+    // harvest extends it and the checkpoint round-trips it), and the warm
+    // anchors threaded through the branch-and-bound engine.
+    prior: Option<JobKnowledge>,
+    warm: WarmAnchors,
 }
 
 impl<'a> LynceusSession<'a> {
@@ -2200,7 +2270,47 @@ impl<'a> LynceusSession<'a> {
         LynceusSession::from_parts(OptimizerHandle::Owned(Box::new(optimizer)), driver, seed)
     }
 
+    /// [`LynceusSession::owned`] warm-started from a recurring job's
+    /// knowledge: the prior observations are replayed into `Σ` (no budget
+    /// or oracle charges), the LHS bootstrap shrinks by the replayed count,
+    /// the surrogate extends the prior run's fits bit-identically
+    /// ([`BaggingEnsemble::warm_from`] under the job's stable ensemble
+    /// seed), and the branch-and-bound tail anchor is preloaded so pruning
+    /// bites from decision one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the prior references non-candidate or
+    /// duplicate configurations or violates the knowledge float policy.
+    pub(crate) fn owned_warm(
+        optimizer: LynceusOptimizer,
+        oracle: Box<dyn CostOracle>,
+        seed: u64,
+        prior: JobKnowledge,
+    ) -> Result<LynceusSession<'static>, CodecError> {
+        let mut driver = Driver::owned(oracle, &optimizer.settings, seed);
+        driver.replay_prior(&prior.observations)?;
+        driver.set_model_seed(prior.ensemble_seed);
+        Ok(LynceusSession::from_parts_warm(
+            OptimizerHandle::Owned(Box::new(optimizer)),
+            driver,
+            seed,
+            Some(prior),
+        ))
+    }
+
     fn from_parts(optimizer: OptimizerHandle<'a>, driver: Driver<'a>, seed: u64) -> Self {
+        Self::from_parts_warm(optimizer, driver, seed, None)
+    }
+
+    /// Shared constructor; `prior`'s observations must already be replayed
+    /// into the driver when present.
+    fn from_parts_warm(
+        optimizer: OptimizerHandle<'a>,
+        driver: Driver<'a>,
+        seed: u64,
+        prior: Option<JobKnowledge>,
+    ) -> Self {
         let settings = &optimizer.get().settings;
         // The driver carries its own settings copy (it must own one to be
         // 'static for the service registry); the engine reads the
@@ -2218,10 +2328,37 @@ impl<'a> LynceusSession<'a> {
             settings.ensemble_size,
             seed,
         );
-        let bootstrap_plan: VecDeque<Vec<usize>> = driver.bootstrap_plan(&mut rng).into();
+        let replayed = prior.as_ref().map_or(0, |p| p.observations.len());
+        let bootstrap_plan: VecDeque<Vec<usize>> =
+            driver.bootstrap_plan_shrunk(&mut rng, replayed).into();
         let rule = GaussHermiteRule::new(settings.gauss_hermite_nodes);
         let z = budget_filter_z(settings.budget_confidence);
-        let model = BaggingEnsemble::with_seed(settings.ensemble_size, driver.model_seed());
+        // A warm session's surrogate extends the prior run's fits under the
+        // job's stable ensemble seed (already installed as the driver's
+        // model seed) — bit-identical to a from-scratch fit on the union
+        // (the Poisson resample counts are counter-based).
+        let (model, model_len, warm) = match prior.as_ref().filter(|p| !p.observations.is_empty()) {
+            Some(p) => {
+                let tested = driver.state.tested();
+                let rows: Vec<(&[f64], f64)> = tested
+                    .iter()
+                    .map(|t| (driver.features_of(t.id), t.cost))
+                    .collect();
+                let model =
+                    BaggingEnsemble::warm_from(settings.ensemble_size, driver.model_seed(), &rows);
+                let warm = WarmAnchors {
+                    feasible_prior: tested.iter().any(|t| t.feasible),
+                    tail_preload: p.last_tail_key,
+                    harvest_incumbent: 0,
+                    harvest_tail: p.last_tail_key,
+                };
+                (model, tested.len(), warm)
+            }
+            None => {
+                let model = BaggingEnsemble::with_seed(settings.ensemble_size, driver.model_seed());
+                (model, 0, WarmAnchors::default())
+            }
+        };
         Self {
             optimizer,
             driver,
@@ -2231,13 +2368,15 @@ impl<'a> LynceusSession<'a> {
             rule,
             z,
             model,
-            model_len: 0,
+            model_len,
             seed,
             steps: 0,
             receipts: Vec::new(),
             pending_faults: 0,
             pending_retries: 0,
             attempts_used: 0,
+            prior,
+            warm,
         }
     }
 
@@ -2312,6 +2451,7 @@ impl<'a> LynceusSession<'a> {
                         &self.rule,
                         self.z,
                         &mut scratch,
+                        &mut self.warm,
                     ),
                     _ => optimizer.next_config_batched(
                         &self.driver,
@@ -2428,6 +2568,38 @@ impl<'a> LynceusSession<'a> {
         }
     }
 
+    /// The knowledge record this run leaves behind for the job's next run:
+    /// the attached prior extended with this run's (policy-clean)
+    /// explorations, the run counter bumped, and the warm anchors replaced
+    /// by this run's harvest. `None` when the session was admitted without
+    /// a job key.
+    pub(crate) fn harvest_knowledge(&self) -> Option<JobKnowledge> {
+        let mut knowledge = self.prior.clone()?;
+        knowledge.runs += 1;
+        for e in &self.driver.explorations {
+            let o = &e.observation;
+            // The knowledge float policy is enforced at harvest too, so a
+            // weird-but-tolerated live observation (e.g. a NaN runtime the
+            // session merely marked infeasible) never poisons the record.
+            let clean = o.runtime_seconds.is_finite()
+                && o.runtime_seconds >= 0.0
+                && o.cost.is_finite()
+                && o.cost >= 0.0
+                && o.metrics.iter().all(|m| m.is_finite());
+            if clean {
+                knowledge.observations.push(PriorObservation {
+                    id: e.id,
+                    runtime_seconds: o.runtime_seconds,
+                    cost: o.cost,
+                    metrics: o.metrics.clone(),
+                });
+            }
+        }
+        knowledge.last_incumbent_key = self.warm.harvest_incumbent;
+        knowledge.last_tail_key = self.warm.harvest_tail;
+        Some(knowledge)
+    }
+
     /// Serializes the session's full durable state at a decision boundary.
     pub(crate) fn encode_checkpoint(&self) -> Vec<u8> {
         let state = &self.driver.state;
@@ -2447,6 +2619,9 @@ impl<'a> LynceusSession<'a> {
             explorations: self.driver.explorations.clone(),
             receipts: self.receipts.clone(),
             oracle_state: self.driver.oracle().durable_state(),
+            prior: self.prior.clone(),
+            harvest_incumbent_key: self.warm.harvest_incumbent,
+            harvest_tail_key: self.warm.harvest_tail,
         }
         .encode()
     }
@@ -2511,7 +2686,41 @@ impl<'a> LynceusSession<'a> {
             budget,
             checkpoint.current,
         );
-        session.driver.restore(state, checkpoint.explorations);
+        // A warm session's checkpoint carries the attached prior verbatim:
+        // the resume replays its metric rows ahead of the explorations
+        // (matching the live construction order), rebuilds the unfitted
+        // surrogate under the job's stable ensemble seed — the first
+        // decision's whole-set refit is then bit-identical to the warm
+        // chain — and restores the ratcheted anchors, so a killed warm
+        // session resumes and harvests bit-identically even if the
+        // knowledge store mutated underneath it.
+        match &checkpoint.prior {
+            Some(prior) => {
+                if !prior.observations.iter().all(|o| id_ok(o.id)) {
+                    return Err(CodecError::Invalid(
+                        "checkpoint prior references configurations outside the space",
+                    ));
+                }
+                session.driver.restore_with_prior(
+                    state,
+                    checkpoint.explorations,
+                    &prior.observations,
+                );
+                session.driver.set_model_seed(prior.ensemble_seed);
+                session.model = BaggingEnsemble::with_seed(
+                    session.optimizer.get().settings.ensemble_size,
+                    prior.ensemble_seed,
+                );
+                session.warm = WarmAnchors {
+                    feasible_prior: prior.feasible_count(session.driver.settings.tmax_seconds) > 0,
+                    tail_preload: prior.last_tail_key,
+                    harvest_incumbent: checkpoint.harvest_incumbent_key,
+                    harvest_tail: checkpoint.harvest_tail_key,
+                };
+            }
+            None => session.driver.restore(state, checkpoint.explorations),
+        }
+        session.prior = checkpoint.prior;
         session.rng = SeededRng::from_state(checkpoint.rng_state);
         session.bootstrap_plan = checkpoint.bootstrap_plan.into_iter().collect();
         session.steps = checkpoint.steps;
@@ -3023,5 +3232,149 @@ mod tests {
         let optimizer = LynceusOptimizer::new(settings(120.0, 1));
         let report = optimizer.optimize(&oracle, 1);
         assert!(report.num_explorations() <= 8);
+    }
+
+    /// Drives a session to completion and returns its harvested knowledge.
+    fn run_to_done(session: &mut LynceusSession<'static>) {
+        while let SessionStep::Profiled(_) = session.step().expect("oracle never faults here") {}
+    }
+
+    #[test]
+    fn warm_anchors_arm_first_decision_pruning_without_changing_decisions() {
+        // A tight runtime constraint: only the valley floor is feasible, so
+        // a cold session's early decisions carry no feasible observation and
+        // the pruning guard stays disarmed — the cold-start waste this warm
+        // path removes. Single-threaded dispatch keeps the prune counters
+        // deterministic.
+        let s = OptimizerSettings {
+            tmax_seconds: 24.0,
+            parallel_paths: false,
+            ..settings(1_500.0, 2)
+        };
+
+        // Run 1 of a recurring job: harvest knowledge (incl. a tail anchor
+        // and feasible observations under the tight constraint).
+        let mut first = LynceusSession::owned_warm(
+            LynceusOptimizer::new(s.clone()),
+            Box::new(valley_oracle()),
+            3,
+            JobKnowledge::new("valley", 3),
+        )
+        .expect("fresh knowledge is valid");
+        run_to_done(&mut first);
+        let knowledge = first.harvest_knowledge().expect("job key attached");
+        assert_eq!(knowledge.runs, 1);
+        assert!(!knowledge.observations.is_empty());
+        assert!(
+            knowledge.last_tail_key > 0,
+            "run 1 harvested no tail anchor"
+        );
+        assert!(knowledge.last_incumbent_key > 0);
+        assert!(
+            knowledge.feasible_count(s.tmax_seconds) > 0,
+            "run 1 never reached the valley floor"
+        );
+
+        // A cold session under the same settings: its first model-driven
+        // decision lands before any feasible observation, so the guard is
+        // disarmed and the whole Γ expands exhaustively — zero prunes.
+        let mut cold = LynceusSession::owned(
+            LynceusOptimizer::new(s.clone()),
+            Box::new(valley_oracle()),
+            17,
+        );
+        let cold_first = loop {
+            match cold.step().expect("oracle never faults here") {
+                SessionStep::Profiled(_) => {
+                    let receipt = cold.receipts.last().expect("step pushed a receipt");
+                    if !receipt.bootstrap {
+                        break receipt.clone();
+                    }
+                }
+                SessionStep::Done => panic!("cold session finished during bootstrap"),
+            }
+        };
+        assert!(
+            cold_first.incumbent.is_none(),
+            "seed 17's bootstrap found the valley floor; pick a blinder seed"
+        );
+        assert_eq!(
+            cold_first.pruned + cold_first.deep_pruned,
+            0,
+            "the guard armed without a feasible observation"
+        );
+
+        // Run 2 twice from the same prior: anchors live vs anchors zeroed.
+        // Everything else (Σ, surrogate, RNG, budget) is identical, so this
+        // isolates exactly what the warm anchors contribute.
+        let second = |anchored: bool| {
+            let mut session = LynceusSession::owned_warm(
+                LynceusOptimizer::new(s.clone()),
+                Box::new(valley_oracle()),
+                17,
+                knowledge.clone(),
+            )
+            .expect("harvested knowledge is valid");
+            if !anchored {
+                session.warm = WarmAnchors::default();
+            }
+            let step = session.step().expect("oracle never faults here");
+            let receipt = session.receipts[0].clone();
+            (step, receipt)
+        };
+        let (warm_step, warm_receipt) = second(true);
+        let (zeroed_step, zeroed_receipt) = second(false);
+
+        // The prior replay already covers the bootstrap quota: the first
+        // step is a model-driven decision, not an LHS sample.
+        assert!(!warm_receipt.bootstrap, "bootstrap was not skipped");
+        // Anchors influence pruning effort only — never the decision.
+        assert_eq!(warm_step, zeroed_step);
+        assert_eq!(warm_receipt.chosen, zeroed_receipt.chosen);
+        assert_eq!(warm_receipt.candidates, zeroed_receipt.candidates);
+        // The satellite claim: the prior run's feasibility evidence arms the
+        // guard from decision one, so the warm session prunes immediately
+        // where the cold session's disarmed first decision pruned nothing.
+        assert!(
+            warm_receipt.pruned + warm_receipt.deep_pruned > 0,
+            "warm first decision pruned {}+{} of {} candidates",
+            warm_receipt.pruned,
+            warm_receipt.deep_pruned,
+            warm_receipt.candidates,
+        );
+    }
+
+    #[test]
+    fn warm_session_decisions_match_across_engines() {
+        // A warm prior must preserve the engine-equivalence guard rail: the
+        // replayed Σ and warm surrogate feed all three engines identically,
+        // and the anchors (BoundAndPrune-only) never change decisions.
+        let s = settings(900.0, 2);
+        let mut first = LynceusSession::owned_warm(
+            LynceusOptimizer::new(s.clone()),
+            Box::new(valley_oracle()),
+            5,
+            JobKnowledge::new("valley-engines", 5),
+        )
+        .expect("fresh knowledge is valid");
+        run_to_done(&mut first);
+        let knowledge = first.harvest_knowledge().expect("job key attached");
+
+        let run = |engine: PathEngine| {
+            let mut session = LynceusSession::owned_warm(
+                LynceusOptimizer::new(s.clone()).with_engine(engine),
+                Box::new(valley_oracle()),
+                23,
+                knowledge.clone(),
+            )
+            .expect("harvested knowledge is valid");
+            run_to_done(&mut session);
+            session.finish("warm")
+        };
+        let pruned = run(PathEngine::BoundAndPrune);
+        let batched = run(PathEngine::Batched);
+        let naive = run(PathEngine::NaiveReference);
+        assert_eq!(pruned, batched, "warm bound-and-prune diverged");
+        assert_eq!(batched, naive, "warm engines diverged");
     }
 }

@@ -2,6 +2,7 @@
 //! every search strategy.
 
 use crate::budget::Budget;
+use crate::codec::CodecError;
 use crate::constraints::SecondaryConstraint;
 use crate::faults::OracleFault;
 use crate::oracle::{CostOracle, Observation};
@@ -389,17 +390,70 @@ impl<'a> Driver<'a> {
     /// feature matrix, price rates, settings, model seed — is derived from
     /// the oracle and settings, which the caller reconstructs identically.
     pub(crate) fn restore(&mut self, state: SearchState, explorations: Vec<Exploration>) {
-        self.observed_metrics = explorations
+        self.restore_with_prior(state, explorations, &[]);
+    }
+
+    /// [`Driver::restore`] for warm sessions: the observed-metrics table is
+    /// rebuilt as *replayed prior rows first, then explorations* — the exact
+    /// order the live warm run built it in, which constraint-model fits
+    /// depend on. (`Σ` already contains the replayed prior configurations;
+    /// only the metrics table has to be re-derived here, because prior
+    /// observations never enter the exploration log.)
+    pub(crate) fn restore_with_prior(
+        &mut self,
+        state: SearchState,
+        explorations: Vec<Exploration>,
+        prior: &[crate::transfer::PriorObservation],
+    ) {
+        self.observed_metrics = prior
             .iter()
-            .map(|e| {
+            .map(|o| (self.features.row(o.id.index()).to_vec(), o.metrics.clone()))
+            .chain(explorations.iter().map(|e| {
                 (
                     self.features.row(e.id.index()).to_vec(),
                     e.observation.metrics.clone(),
                 )
-            })
+            }))
             .collect();
         self.state = state;
         self.explorations = explorations;
+    }
+
+    /// Replays a prior run's observations into `Σ` and the metrics table —
+    /// training points the recurring job already paid for, so no budget
+    /// charge, no switching charge and no exploration-log entry. Called
+    /// once, before the session's first own step.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (driver untouched for the failing entry onward) observations
+    /// naming non-candidate or duplicate configurations, or violating the
+    /// knowledge float policy — a hand-built prior gets the same scrutiny
+    /// as a decoded one.
+    pub(crate) fn replay_prior(
+        &mut self,
+        observations: &[crate::transfer::PriorObservation],
+    ) -> Result<(), CodecError> {
+        for o in observations {
+            if !(o.cost.is_finite()
+                && o.cost >= 0.0
+                && o.runtime_seconds.is_finite()
+                && o.runtime_seconds >= 0.0)
+                || o.metrics.iter().any(|m| !m.is_finite())
+            {
+                return Err(CodecError::Invalid("non-finite prior observation"));
+            }
+            if !self.state.untested().contains(&o.id) {
+                return Err(CodecError::Invalid(
+                    "prior observation is not an untested candidate",
+                ));
+            }
+            let feasible = o.runtime_seconds <= self.settings.tmax_seconds;
+            self.state.replay(o.id, o.cost, feasible);
+            self.observed_metrics
+                .push((self.features.row(o.id.index()).to_vec(), o.metrics.clone()));
+        }
+        Ok(())
     }
 
     /// Feature vector of a configuration (cached).
@@ -421,6 +475,15 @@ impl<'a> Driver<'a> {
     /// Seed used to build surrogate models for this run.
     pub(crate) fn model_seed(&self) -> u64 {
         self.model_seed
+    }
+
+    /// Overrides the surrogate seed with a recurring job's canonical
+    /// ensemble seed, so *every* surrogate construction path (the session's
+    /// incremental chain, the naive engine's per-decision scratch fits, a
+    /// checkpoint restore's whole-set refit) extends the prior run's fits
+    /// bit-identically.
+    pub(crate) fn set_model_seed(&mut self, seed: u64) {
+        self.model_seed = seed;
     }
 
     /// Metric vectors observed so far (for the multi-constraint extension).
@@ -501,10 +564,28 @@ impl<'a> Driver<'a> {
     /// the split exists so the multi-session scheduler can interleave
     /// bootstrap runs of different sessions fairly.
     pub(crate) fn bootstrap_plan(&self, rng: &mut SeededRng) -> Vec<Vec<usize>> {
+        self.bootstrap_plan_shrunk(rng, 0)
+    }
+
+    /// [`Driver::bootstrap_plan`] minus `replayed` samples: a warm session
+    /// counts the prior run's replayed observations against the bootstrap
+    /// quota, so a prior at least as large as the quota skips the LHS phase
+    /// entirely and the first decision is model-driven.
+    pub(crate) fn bootstrap_plan_shrunk(
+        &self,
+        rng: &mut SeededRng,
+        replayed: usize,
+    ) -> Vec<Vec<usize>> {
         let space = self.oracle.get().space();
         let n = self
             .settings
-            .bootstrap_count(self.state.untested().len(), space.dims());
+            .bootstrap_count(self.state.untested().len(), space.dims())
+            .saturating_sub(replayed);
+        if n == 0 {
+            // Prior covers the whole quota: skip the LHS phase (and its
+            // RNG draws) entirely — the first step is a model decision.
+            return Vec::new();
+        }
         latin_hypercube_levels(n, &space.cardinalities(), rng)
     }
 

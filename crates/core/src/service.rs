@@ -113,6 +113,7 @@ use crate::oracle::CostOracle;
 use crate::pool::Pool;
 use crate::receipt::DecisionReceipt;
 use crate::switching::SwitchingCost;
+use crate::transfer::{JobKnowledge, KnowledgeStore};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -208,6 +209,7 @@ pub struct SessionSpec {
     deadline: f64,
     retry: RetryPolicy,
     halt_after: Option<u64>,
+    job_key: Option<String>,
 }
 
 impl SessionSpec {
@@ -231,6 +233,7 @@ impl SessionSpec {
             deadline: f64::INFINITY,
             retry: RetryPolicy::default(),
             halt_after: None,
+            job_key: None,
         }
     }
 
@@ -332,6 +335,26 @@ impl SessionSpec {
     pub fn step_limit(&self) -> Option<u64> {
         self.halt_after
     }
+
+    /// Marks the session as one run of a *recurring job*. With a
+    /// [`KnowledgeStore`] attached ([`TuningService::with_knowledge_store`]),
+    /// admission loads the job's [`JobKnowledge`] under this key and
+    /// warm-starts the session from it (replayed observations, extended
+    /// surrogate, armed pruning — see [`crate::transfer`]), and every
+    /// terminal outcome harvests the session's observations back under the
+    /// same key for the job's next run. Without a store the key is inert.
+    #[must_use]
+    pub fn with_job_key(mut self, key: impl Into<String>) -> Self {
+        self.job_key = Some(key.into());
+        self
+    }
+
+    /// The session's recurring-job key, if any (see
+    /// [`SessionSpec::with_job_key`]).
+    #[must_use]
+    pub fn job_key(&self) -> Option<&str> {
+        self.job_key.as_deref()
+    }
 }
 
 /// A point-in-time snapshot of the service's population, used by admission
@@ -377,6 +400,11 @@ pub enum SessionError {
     /// A checkpoint could not be decoded (truncated, corrupted, or written
     /// by an incompatible version); the session was not started.
     CorruptCheckpoint(String),
+    /// The job knowledge stored under the spec's
+    /// [`SessionSpec::with_job_key`] could not be decoded or replayed
+    /// (corrupted record, or prior observations that do not belong to this
+    /// session's configuration space); the session was not started.
+    CorruptKnowledge(String),
     /// The session was cancelled via [`TuningService::cancel`] before it
     /// reached a natural terminal state. The partial report and the receipt
     /// trail cover everything profiled up to the cancellation boundary.
@@ -395,6 +423,9 @@ impl std::fmt::Display for SessionError {
             ),
             SessionError::CorruptCheckpoint(message) => {
                 write!(f, "session checkpoint is unusable: {message}")
+            }
+            SessionError::CorruptKnowledge(message) => {
+                write!(f, "session job knowledge is unusable: {message}")
             }
             SessionError::Cancelled => write!(f, "session cancelled"),
         }
@@ -515,6 +546,9 @@ struct Sched {
     /// Checkpoint persistence, when attached via
     /// [`TuningService::with_checkpoints`].
     store: Option<Arc<dyn CheckpointStore>>,
+    /// Cross-run job knowledge, when attached via
+    /// [`TuningService::with_knowledge_store`].
+    knowledge: Option<Arc<dyn KnowledgeStore>>,
     shutdown: bool,
 }
 
@@ -645,6 +679,7 @@ impl TuningService {
                     undelivered: Vec::new(),
                     running: 0,
                     store: None,
+                    knowledge: None,
                     shutdown: false,
                 }),
                 work: Condvar::new(),
@@ -683,6 +718,29 @@ impl TuningService {
     pub fn with_checkpoints(self, store: Arc<dyn CheckpointStore>) -> Self {
         self.lock_state().store = Some(store);
         self
+    }
+
+    /// Attaches a [`KnowledgeStore`]: from now on every session submitted
+    /// with a [`SessionSpec::with_job_key`] warm-starts from the job's
+    /// stored [`JobKnowledge`] (first runs start from a fresh record) and
+    /// harvests its observations back into the store on every terminal
+    /// outcome — finished, failed, and cancelled sessions alike, so even a
+    /// partial run feeds the job's next one. Attach the store **before**
+    /// submitting; sessions admitted earlier are not knowledge-managed.
+    #[must_use]
+    pub fn with_knowledge_store(self, store: Arc<dyn KnowledgeStore>) -> Self {
+        self.lock_state().knowledge = Some(store);
+        self
+    }
+
+    /// Decodes the [`JobKnowledge`] stored under `key` in the attached
+    /// [`KnowledgeStore`]. Returns `None` with no store attached, no record
+    /// under that key, or a record that fails to decode.
+    #[must_use]
+    pub fn job_knowledge(&self, key: &str) -> Option<JobKnowledge> {
+        let store = self.lock_state().knowledge.clone()?;
+        let bytes = store.load(key)?;
+        JobKnowledge::decode(&bytes).ok()
     }
 
     /// The pool shared by every session of this service.
@@ -771,8 +829,10 @@ impl TuningService {
         match slot.session.take() {
             Some(mut session) => {
                 // Ready (checked in): finalize in place. The session sits at
-                // a decision boundary, so its partial report is coherent.
+                // a decision boundary, so its partial report is coherent —
+                // and worth harvesting for the job's next run.
                 let name = slot.name.clone();
+                let harvested = session.harvest_knowledge();
                 let receipts = session.take_receipts();
                 let status = SessionStatus::Failed {
                     error: SessionError::Cancelled,
@@ -783,9 +843,13 @@ impl TuningService {
                 }
                 state.finalize(id.0, status, receipts);
                 let store = state.store.clone();
+                let knowledge = state.knowledge.clone();
                 drop(state);
                 if let Some(store) = store {
                     store.remove(&name);
+                }
+                if let (Some(store), Some(harvested)) = (knowledge, harvested) {
+                    store.save(&harvested.job_key, &harvested.encode());
                 }
                 self.shared.progress.notify_all();
                 true
@@ -859,12 +923,31 @@ impl TuningService {
             deadline,
             retry,
             halt_after,
+            job_key,
         } = spec;
-        let store = self.lock_state().store.clone();
+        let (store, knowledge) = {
+            let state = self.lock_state();
+            (state.store.clone(), state.knowledge.clone())
+        };
         // Panic recovery restarts from the latest checkpoint, the step-limit
         // fuse flushes one, and an attached store persists them — each needs
         // the session to checkpoint at every decision boundary.
         let durable = retry.max_attempts > 0 || halt_after.is_some() || store.is_some();
+        // A recurring job's prior is attached at admission: loaded from the
+        // knowledge store for repeat runs, a fresh record (fixing the job's
+        // canonical ensemble seed to this first run's seed) otherwise. A
+        // *resumed* session never reads the store — its checkpoint carries
+        // the attached prior verbatim, so a killed warm session restores
+        // bit-identically even if the store mutated underneath it.
+        let prior: Result<Option<JobKnowledge>, SessionError> = match (&job_key, &knowledge) {
+            (Some(key), Some(store)) if resume.is_none() => match store.load(key) {
+                Some(bytes) => JobKnowledge::decode(&bytes)
+                    .map(Some)
+                    .map_err(|e| SessionError::CorruptKnowledge(e.to_string())),
+                None => Ok(Some(JobKnowledge::new(key.clone(), seed))),
+            },
+            _ => Ok(None),
+        };
         // Build the owned session outside the scheduler lock: constructing
         // the optimizer draws the bootstrap plan and allocates the decision
         // arena, none of which should serialize concurrent submitters.
@@ -872,16 +955,23 @@ impl TuningService {
             .validate()
             .map_err(SessionError::InvalidSettings)
             .and_then(|()| {
+                let prior = prior?;
                 let mut optimizer = LynceusOptimizer::new(settings)
                     .with_engine(engine)
                     .with_pool(Arc::clone(&self.shared.pool));
                 if let Some(switching) = switching {
                     optimizer = optimizer.with_switching_cost(switching);
                 }
-                let session = match resume {
-                    Some(bytes) => LynceusSession::owned_from_checkpoint(optimizer, oracle, &bytes)
-                        .map_err(|e| SessionError::CorruptCheckpoint(e.to_string()))?,
-                    None => LynceusSession::owned(optimizer, oracle, seed),
+                let session = match (resume, prior) {
+                    (Some(bytes), _) => {
+                        LynceusSession::owned_from_checkpoint(optimizer, oracle, &bytes)
+                            .map_err(|e| SessionError::CorruptCheckpoint(e.to_string()))?
+                    }
+                    (None, Some(prior)) => {
+                        LynceusSession::owned_warm(optimizer, oracle, seed, prior)
+                            .map_err(|e| SessionError::CorruptKnowledge(e.to_string()))?
+                    }
+                    (None, None) => LynceusSession::owned(optimizer, oracle, seed),
                 };
                 // The step-0 (or resumed) checkpoint exists before the first
                 // dispatch, so even a panic on the very first step recovers.
@@ -1102,7 +1192,7 @@ fn take_outcome(state: &mut Sched, index: usize) -> SessionOutcome {
 /// and returns the session (or records its terminal outcome).
 fn run_lane(shared: &Shared) {
     loop {
-        let (index, mut session, name, retry, halt_after, durable, cancelled, store) = {
+        let (index, mut session, name, retry, halt_after, durable, cancelled, store, knowledge) = {
             let mut state = crate::poison::lock(&shared.state);
             loop {
                 if state.shutdown {
@@ -1133,6 +1223,7 @@ fn run_lane(shared: &Shared) {
                         slot.durable,
                         slot.cancel_requested,
                         state.store.clone(),
+                        state.knowledge.clone(),
                     );
                 }
                 // Backoff fast-forward: when no lane is stepping and every
@@ -1160,6 +1251,7 @@ fn run_lane(shared: &Shared) {
             if let Some(store) = &store {
                 store.remove(&name);
             }
+            harvest_into(&knowledge, &session);
             let receipts = session.take_receipts();
             let status = SessionStatus::Failed {
                 error: SessionError::Cancelled,
@@ -1224,6 +1316,7 @@ fn run_lane(shared: &Shared) {
                 if let Some(store) = &store {
                     store.remove(&name);
                 }
+                harvest_into(&knowledge, &session);
                 let receipts = session.take_receipts();
                 let status = SessionStatus::Finished(finish_session(session));
                 let mut state = crate::poison::lock(&shared.state);
@@ -1271,6 +1364,7 @@ fn run_lane(shared: &Shared) {
                 if let Some(store) = &store {
                     store.remove(&name);
                 }
+                harvest_into(&knowledge, &session);
                 let attempts = session.attempts_used();
                 let receipts = session.take_receipts();
                 let error = if error.is_transient() {
@@ -1297,7 +1391,9 @@ fn run_lane(shared: &Shared) {
                     .map(|s| (*s).to_owned())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic payload".to_owned());
-                recover_from_panic(shared, index, session, &name, retry, &store, message);
+                recover_from_panic(
+                    shared, index, session, &name, retry, &store, &knowledge, message,
+                );
             }
         }
     }
@@ -1311,6 +1407,7 @@ fn run_lane(shared: &Shared) {
 /// the partial report attached, because nothing of the failed step was ever
 /// recorded (`try_profile` validates before recording): a dead session still
 /// explains every dollar it spent.
+#[allow(clippy::too_many_arguments)]
 fn recover_from_panic(
     shared: &Shared,
     index: usize,
@@ -1318,6 +1415,7 @@ fn recover_from_panic(
     name: &str,
     retry: RetryPolicy,
     store: &Option<Arc<dyn CheckpointStore>>,
+    knowledge: &Option<Arc<dyn KnowledgeStore>>,
     message: String,
 ) {
     let bytes = if session.attempts_used() < retry.max_attempts {
@@ -1339,8 +1437,12 @@ fn recover_from_panic(
     };
     let Some(bytes) = bytes else {
         // No retry budget left (or the session never checkpointed): flush
-        // what the session can still tell us.
+        // what the session can still tell us. The knowledge harvest is safe
+        // here — explorations are recorded only at decision boundaries
+        // (`try_profile` validates before recording), so the unwound step
+        // left nothing half-written behind.
         let mut session = session;
+        harvest_into(knowledge, &session);
         let receipts = session.take_receipts();
         let status = SessionStatus::Failed {
             error: SessionError::Panicked(message),
@@ -1398,6 +1500,16 @@ fn recover_from_panic(
 fn finish_session(session: LynceusSession<'static>) -> OptimizationReport {
     let name = session.optimizer().name().to_owned();
     session.finish(&name)
+}
+
+/// Harvests a terminal session's cross-run knowledge into the store — every
+/// terminal outcome feeds the job's next run, partial ones included. A
+/// no-op for sessions without an attached prior (no job key at admission)
+/// or without a store.
+fn harvest_into(store: &Option<Arc<dyn KnowledgeStore>>, session: &LynceusSession<'static>) {
+    if let (Some(store), Some(knowledge)) = (store, session.harvest_knowledge()) {
+        store.save(&knowledge.job_key, &knowledge.encode());
+    }
 }
 
 /// Owned sessions must be `Send` for lanes to carry them; keep the

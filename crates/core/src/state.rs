@@ -114,6 +114,26 @@ impl SearchState {
         self.current = Some(id);
     }
 
+    /// Replays a **prior run's** observation into `Σ`: exactly
+    /// [`SearchState::record`] minus the budget charge — the measurement was
+    /// paid for by the run that made it, so a recurring job's next run gets
+    /// the training point for free. Used only by the cross-run knowledge
+    /// layer ([`crate::transfer`]) before the session's first own step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not in the untested set.
+    pub(crate) fn replay(&mut self, id: ConfigId, cost: f64, feasible: bool) {
+        let position = self
+            .untested
+            .iter()
+            .position(|&u| u == id)
+            .expect("replayed configuration was already tested or is not a candidate");
+        self.untested.swap_remove(position);
+        self.tested.push(TestedConfig { id, cost, feasible });
+        self.current = Some(id);
+    }
+
     /// Returns a copy of the state in which the job was (speculatively) run
     /// on `id` with the given cost: the speculative counterpart of
     /// [`SearchState::record`], used by the exploration-path simulation.

@@ -278,6 +278,34 @@ impl BaggingEnsemble {
         next
     }
 
+    /// The exact warm-start path for recurring jobs: an ensemble seeded
+    /// with `seed` and pre-fitted on `rows` (a prior run's training set, in
+    /// recording order) through [`BaggingEnsemble::refit_with`].
+    ///
+    /// Because the bootstrap resample counts are counter-based, later
+    /// `refit_with` extensions of the returned ensemble are bit-identical
+    /// to a from-scratch [`Surrogate::fit`] on the union of `rows` and the
+    /// extensions — which is what lets run N+1 of a recurring job extend
+    /// run N's surrogate instead of relearning it, with zero drift. The
+    /// one requirement is a stable `seed` across the runs of one job (the
+    /// job's knowledge record carries it).
+    ///
+    /// With empty `rows` this is just [`BaggingEnsemble::with_seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_estimators == 0` or a feature vector has the wrong
+    /// length.
+    #[must_use]
+    pub fn warm_from(n_estimators: usize, seed: u64, rows: &[(&[f64], f64)]) -> Self {
+        let base = Self::with_seed(n_estimators, seed);
+        if rows.is_empty() {
+            base
+        } else {
+            base.refit_with(rows)
+        }
+    }
+
     /// Mean of the training targets; the prediction fallback when every
     /// member resample came up empty (possible only for tiny training sets).
     fn target_mean_fallback(&self) -> f64 {
@@ -875,6 +903,37 @@ mod tests {
             .count();
         assert!(reused > 0, "no member tree was reused");
         assert!(reused < 32, "every member tree was reused");
+    }
+
+    #[test]
+    fn warm_from_extension_chain_equals_scratch_fit_on_union() {
+        // Run N's training set…
+        let prior = noisy_quadratic(20);
+        let prior_rows: Vec<(&[f64], f64)> =
+            (0..prior.len()).map(|i| prior.observation(i)).collect();
+        // …warm-starts run N+1, which then observes two more points.
+        let warm = BaggingEnsemble::warm_from(9, 33, &prior_rows)
+            .refit_with(&[(&[21.0][..], 441.0)])
+            .refit_with(&[(&[22.5][..], 506.25)]);
+
+        let mut union = prior.clone();
+        union.push(vec![21.0], 441.0);
+        union.push(vec![22.5], 506.25);
+        let mut scratch_fit = BaggingEnsemble::with_seed(9, 33);
+        scratch_fit.fit(&union);
+
+        assert_eq!(warm.training_len(), 22);
+        for x in [0.0, 4.5, 10.0, 19.0, 21.0, 22.5, 25.0] {
+            let (w, s) = (warm.predict(&[x]), scratch_fit.predict(&[x]));
+            assert_eq!(
+                (w.mean.to_bits(), w.std.to_bits()),
+                (s.mean.to_bits(), s.std.to_bits()),
+                "warm chain and union fit diverge at {x}"
+            );
+        }
+
+        // Empty prior degrades to a plain unfitted ensemble.
+        assert!(!BaggingEnsemble::warm_from(9, 33, &[]).is_fitted());
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Fixture: the `core::transfer` store pattern gone wrong — a job-key map
+//! behind a mutex, iterated through its lock guard to pick "any" prior. The
+//! visit order is nondeterministic, so which knowledge record wins differs
+//! between runs. Must FAIL `hash-iteration`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct Store {
+    jobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl Store {
+    fn any_prior(&self) -> Option<Vec<u8>> {
+        let guard = self.jobs.lock().unwrap();
+        guard.iter().map(|(_, bytes)| bytes.clone()).next()
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: the `core::transfer` store pattern done right — every read of
+//! the mutex-held job-key map is a keyed lookup or an order-independent
+//! size probe, and the one listing snapshots the keys and sorts them before
+//! anything downstream can observe hash order. Must PASS.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct Store {
+    jobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl Store {
+    fn load(&self, key: &str) -> Option<Vec<u8>> {
+        let guard = self.jobs.lock().unwrap();
+        guard.get(key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    fn job_keys_sorted(&self) -> Vec<String> {
+        let guard = self.jobs.lock().unwrap();
+        // lint: allow(hash-iteration) -- fixture: the snapshot is sorted before anything can observe hash order
+        let mut keys: Vec<String> = guard.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}

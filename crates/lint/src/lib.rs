@@ -12,7 +12,7 @@
 //! | Rule id | Invariant |
 //! | --- | --- |
 //! | [`FLOAT_ORDER`] | No `partial_cmp` float comparisons: a NaN from a bad oracle turns them into a panic (`.expect`) or an inconsistent sort. Use `f64::total_cmp` or `core::acquisition::score_cmp`. |
-//! | [`HASH_ITERATION`] | No `HashMap`/`HashSet` *iteration* in the decision crates (`core`, `learners`): hash iteration order is nondeterministic across runs and toolchains. |
+//! | [`HASH_ITERATION`] | No `HashMap`/`HashSet` *iteration* in the decision crates (`core`, `learners`) — including through the lock guard of a mutex-held map, the `core::transfer` job-key store pattern: hash iteration order is nondeterministic across runs and toolchains. |
 //! | [`WALL_CLOCK`] | No `Instant::now`/`SystemTime`/`thread::sleep` outside `crates/bench`: wall-clock reads feeding a decision make it irreproducible, and retry backoff must be counted in scheduler steps, not slept out. |
 //! | [`THREAD_SPAWN`] | Threads are spawned only by `core::pool` and `core::service`: every other thread would escape the shared worker budget and the panic-containment lanes. |
 //! | [`ATOMIC_ORDERING`] | Every atomic `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site carries an adjacent `// ordering:` justification, so memory-ordering choices are audited, not inherited. |
@@ -476,7 +476,10 @@ fn normalize(path: &str) -> String {
     p.strip_prefix("./").unwrap_or(&p).to_owned()
 }
 
-/// Decision-path crates: the rule 2 scope.
+/// Decision-path crates: the rule 2 scope. `crates/core/src/` covers the
+/// whole decision spine including `core::transfer` — harvested knowledge is
+/// replayed into live sessions, so a nondeterministically-ordered job-key
+/// map there would leak straight into decisions.
 fn in_decision_crate(path: &str) -> bool {
     path.starts_with("crates/core/src/") || path.starts_with("crates/learners/src/")
 }
@@ -623,6 +626,33 @@ fn rule_hash_iteration(path: &str, masked: &MaskedSource, out: &mut Vec<Violatio
             }
         }
     }
+    // Lock guards of hash containers inherit hashness: `core::transfer`-style
+    // stores keep their job-key map behind a `Mutex`, and iterating the map
+    // through `let guard = jobs.lock()…` is the same nondeterministic order
+    // under another name.
+    let mut guard_names: Vec<String> = Vec::new();
+    for line in &masked.code {
+        let Some(pos) = line.find("let ") else {
+            continue;
+        };
+        let after = line[pos + "let ".len()..].trim_start();
+        let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+        let name: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            continue;
+        };
+        let rhs = &line[eq + 1..];
+        if rhs.contains(".lock(") && hash_names.iter().any(|n| contains_word(rhs, n)) {
+            guard_names.push(name);
+        }
+    }
+    hash_names.extend(guard_names);
     for (idx, line) in masked.code.iter().enumerate() {
         if masked.in_test[idx] {
             continue;
@@ -948,5 +978,29 @@ mod tests {
         assert_eq!(v[0].line, 3);
         // Out of the decision crates the same source is fine.
         assert!(scan_source("crates/datasets/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_guards_of_hash_maps_are_tracked() {
+        // The `core::transfer` store pattern: a job-key map behind a mutex,
+        // iterated through its lock guard.
+        let src =
+            "struct Store { jobs: std::sync::Mutex<std::collections::HashMap<String, u8>> }\n\
+                   fn f(s: &Store) -> usize {\n\
+                   let guard = s.jobs.lock().unwrap();\n\
+                   guard.iter().count()\n\
+                   }\n";
+        let v = scan_source("crates/core/src/transfer.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, HASH_ITERATION);
+        assert_eq!(v[0].line, 4);
+        // Keyed lookups through the same guard stay clean.
+        let clean =
+            "struct Store { jobs: std::sync::Mutex<std::collections::HashMap<String, u8>> }\n\
+                   fn f(s: &Store) -> Option<u8> {\n\
+                   let guard = s.jobs.lock().unwrap();\n\
+                   guard.get(\"k\").copied()\n\
+                   }\n";
+        assert!(scan_source("crates/core/src/transfer.rs", clean).is_empty());
     }
 }

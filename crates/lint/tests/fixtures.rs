@@ -6,51 +6,71 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// `(rule id, pseudo workspace path the fixture is linted under)`.
+/// `(fixture directory, rule id, pseudo workspace path the fixture is
+/// linted under)`.
 ///
 /// Path-scoped rules key off the workspace-relative path, so each fixture is
-/// presented at a path inside its rule's scope.
-const FIXTURES: &[(&str, &str)] = &[
-    ("float-order", "crates/core/src/fixture.rs"),
-    ("hash-iteration", "crates/learners/src/fixture.rs"),
-    ("wall-clock", "crates/core/src/fixture.rs"),
-    ("thread-spawn", "crates/core/src/optimizer.rs"),
-    ("atomic-ordering", "crates/core/src/fixture.rs"),
-    ("no-panic", "crates/core/src/service.rs"),
-    ("forbid-unsafe", "crates/core/src/lib.rs"),
+/// presented at a path inside its rule's scope. A rule may carry several
+/// fixture directories (hash-iteration also has the `core::transfer`
+/// job-key-store corpus).
+const FIXTURES: &[(&str, &str, &str)] = &[
+    ("float-order", "float-order", "crates/core/src/fixture.rs"),
+    (
+        "hash-iteration",
+        "hash-iteration",
+        "crates/learners/src/fixture.rs",
+    ),
+    (
+        "hash-iteration-transfer",
+        "hash-iteration",
+        "crates/core/src/transfer.rs",
+    ),
+    ("wall-clock", "wall-clock", "crates/core/src/fixture.rs"),
+    (
+        "thread-spawn",
+        "thread-spawn",
+        "crates/core/src/optimizer.rs",
+    ),
+    (
+        "atomic-ordering",
+        "atomic-ordering",
+        "crates/core/src/fixture.rs",
+    ),
+    ("no-panic", "no-panic", "crates/core/src/service.rs"),
+    ("forbid-unsafe", "forbid-unsafe", "crates/core/src/lib.rs"),
 ];
 
-fn fixture_path(rule: &str, case: &str) -> PathBuf {
+fn fixture_path(dir: &str, case: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
-        .join(rule)
+        .join(dir)
         .join(format!("{case}.rs"))
 }
 
-fn read_fixture(rule: &str, case: &str) -> String {
-    let path = fixture_path(rule, case);
+fn read_fixture(dir: &str, case: &str) -> String {
+    let path = fixture_path(dir, case);
     std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
 }
 
 #[test]
 fn every_rule_has_a_firing_fail_fixture() {
-    for (rule, pseudo) in FIXTURES {
-        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(rule, "fail"));
+    for (dir, rule, pseudo) in FIXTURES {
+        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(dir, "fail"));
         assert!(
             violations.iter().any(|v| v.rule == *rule),
-            "fixtures/{rule}/fail.rs raised no {rule} violation (got: {violations:?})"
+            "fixtures/{dir}/fail.rs raised no {rule} violation (got: {violations:?})"
         );
     }
 }
 
 #[test]
 fn every_rule_has_a_clean_pass_fixture() {
-    for (rule, pseudo) in FIXTURES {
-        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(rule, "pass"));
+    for (dir, _, pseudo) in FIXTURES {
+        let violations = lynceus_lint::scan_source(pseudo, &read_fixture(dir, "pass"));
         assert!(
             violations.is_empty(),
-            "fixtures/{rule}/pass.rs is not clean: {violations:?}"
+            "fixtures/{dir}/pass.rs is not clean: {violations:?}"
         );
     }
 }
@@ -58,17 +78,17 @@ fn every_rule_has_a_clean_pass_fixture() {
 #[test]
 fn the_binary_exits_nonzero_on_each_fail_fixture_and_zero_on_each_pass() {
     let bin = env!("CARGO_BIN_EXE_lynceus-lint");
-    for (rule, pseudo) in FIXTURES {
+    for (dir, _, pseudo) in FIXTURES {
         for (case, expect_clean) in [("fail", false), ("pass", true)] {
             let status = Command::new(bin)
                 .args(["--as", pseudo])
-                .arg(fixture_path(rule, case))
+                .arg(fixture_path(dir, case))
                 .output()
                 .expect("failed to run lynceus-lint");
             assert_eq!(
                 status.status.success(),
                 expect_clean,
-                "fixtures/{rule}/{case}.rs: unexpected exit status\n{}",
+                "fixtures/{dir}/{case}.rs: unexpected exit status\n{}",
                 String::from_utf8_lossy(&status.stdout)
             );
         }

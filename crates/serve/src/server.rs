@@ -30,8 +30,8 @@ use crate::http::{read_request, HttpError, HttpLimits, Request, Response};
 use crate::json::Value;
 use crate::wire;
 use lynceus_core::{
-    CostOracle, DecisionReceipt, SessionError, SessionId, SessionOutcome, SessionSpec,
-    SessionStatus, TuningService,
+    CostOracle, DecisionReceipt, KnowledgeStore, SessionError, SessionId, SessionOutcome,
+    SessionSpec, SessionStatus, TuningService,
 };
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,7 +44,7 @@ use std::time::Duration;
 pub type OracleFactory = Arc<dyn Fn(&str) -> Option<Box<dyn CostOracle>> + Send + Sync>;
 
 /// Server construction parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker-thread budget of the underlying [`TuningService`].
     pub service_threads: usize,
@@ -62,6 +62,24 @@ pub struct ServerConfig {
     /// admission decisions exactly reproducible (no completions race the
     /// burst) — used by the conformance suite and the load bench.
     pub hold_sessions: bool,
+    /// Cross-run knowledge store, attached to the underlying service so
+    /// specs carrying a `job_key` warm-start from (and harvest back into)
+    /// it. `None` disables the recurring-job layer entirely.
+    pub knowledge: Option<Arc<dyn KnowledgeStore>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("service_threads", &self.service_threads)
+            .field("handler_threads", &self.handler_threads)
+            .field("admission", &self.admission)
+            .field("limits", &self.limits)
+            .field("read_timeout_ms", &self.read_timeout_ms)
+            .field("hold_sessions", &self.hold_sessions)
+            .field("knowledge", &self.knowledge.as_ref().map(|_| "<store>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -73,6 +91,7 @@ impl Default for ServerConfig {
             limits: HttpLimits::default(),
             read_timeout_ms: 2_000,
             hold_sessions: false,
+            knowledge: None,
         }
     }
 }
@@ -138,7 +157,11 @@ impl Server {
     pub fn start(config: ServerConfig, factory: OracleFactory) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let service = Arc::new(TuningService::with_threads(config.service_threads));
+        let mut service = TuningService::with_threads(config.service_threads);
+        if let Some(store) = config.knowledge {
+            service = service.with_knowledge_store(store);
+        }
+        let service = Arc::new(service);
         let shared = Arc::new(ServerShared {
             service,
             registry: Registry {
@@ -329,6 +352,7 @@ fn handle(shared: &ServerShared, request: &Request) -> Response {
         ("GET", ["v1", "sessions", id, "report"]) => session_report(shared, id),
         ("GET", ["v1", "sessions", id, "receipts"]) => session_receipts(shared, id),
         ("GET", ["v1", "sessions", id, "outcome"]) => session_outcome(shared, id),
+        ("GET", ["v1", "jobs", key]) => job_stats(shared, key),
         ("GET", ["v1", "stats"]) => stats(shared),
         ("POST", ["v1", "flush"]) => flush(shared),
         (
@@ -336,6 +360,7 @@ fn handle(shared: &ServerShared, request: &Request) -> Response {
             ["v1", "sessions"]
             | ["v1", "sessions", _]
             | ["v1", "sessions", _, "report" | "receipts" | "outcome"]
+            | ["v1", "jobs", _]
             | ["v1", "stats"]
             | ["v1", "flush"],
         ) => Response::error(405, "method not allowed"),
@@ -375,6 +400,9 @@ fn submit(shared: &ServerShared, request: &Request) -> Response {
         .with_retry_policy(spec.retry);
     if let Some(limit) = spec.step_limit {
         core_spec = core_spec.with_step_limit(limit);
+    }
+    if let Some(key) = &spec.job_key {
+        core_spec = core_spec.with_job_key(key.clone());
     }
     let mut inner = crate::poison::lock(&shared.registry.inner);
     let serve_id = inner.records.len();
@@ -572,6 +600,40 @@ fn cancel(shared: &ServerShared, raw_id: &str) -> Response {
         }
         SessionState::Terminal { .. } => Response::error(409, "session is already terminal"),
     }
+}
+
+/// `GET /v1/jobs/{key}` — the knowledge-stats snapshot for a recurring
+/// job: how many runs have harvested into the store, how much prior
+/// evidence the next run will replay, and the warm anchor keys. `404`
+/// when the key has never harvested (or no store is attached), so a
+/// client can distinguish "cold next run" without decoding anything.
+fn job_stats(shared: &ServerShared, key: &str) -> Response {
+    let Some(knowledge) = shared.service.job_knowledge(key) else {
+        return Response::error(404, "no knowledge for that job key");
+    };
+    Response::json(
+        200,
+        &versioned(vec![
+            ("job_key".to_owned(), Value::Str(knowledge.job_key.clone())),
+            ("runs".to_owned(), Value::from_u64(knowledge.runs)),
+            (
+                "ensemble_seed".to_owned(),
+                Value::from_u64(knowledge.ensemble_seed),
+            ),
+            (
+                "observations".to_owned(),
+                Value::from_usize(knowledge.observations.len()),
+            ),
+            (
+                "last_incumbent_key".to_owned(),
+                Value::from_u64(knowledge.last_incumbent_key),
+            ),
+            (
+                "last_tail_key".to_owned(),
+                Value::from_u64(knowledge.last_tail_key),
+            ),
+        ]),
+    )
 }
 
 fn stats(shared: &ServerShared) -> Response {

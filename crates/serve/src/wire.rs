@@ -527,6 +527,13 @@ pub fn encode_session_error(error: &SessionError) -> Value {
             ),
             ("message".to_owned(), Value::Str(message.clone())),
         ]),
+        SessionError::CorruptKnowledge(message) => Value::Obj(vec![
+            (
+                "kind".to_owned(),
+                Value::Str("corrupt_knowledge".to_owned()),
+            ),
+            ("message".to_owned(), Value::Str(message.clone())),
+        ]),
         SessionError::Cancelled => Value::Obj(vec![(
             "kind".to_owned(),
             Value::Str("cancelled".to_owned()),
@@ -570,6 +577,12 @@ pub fn decode_session_error(value: &Value) -> Result<SessionError, WireError> {
         "corrupt_checkpoint" => {
             deny_unknown(fields, &["kind", "message"], "session error")?;
             Ok(SessionError::CorruptCheckpoint(
+                as_wire_str(req(fields, "message", "session error")?, "message")?.to_owned(),
+            ))
+        }
+        "corrupt_knowledge" => {
+            deny_unknown(fields, &["kind", "message"], "session error")?;
+            Ok(SessionError::CorruptKnowledge(
                 as_wire_str(req(fields, "message", "session error")?, "message")?.to_owned(),
             ))
         }
@@ -717,6 +730,10 @@ pub struct SpecRequest {
     pub retry: RetryPolicy,
     /// Step-limit fuse.
     pub step_limit: Option<u64>,
+    /// Recurring-job key (see [`lynceus_core::SessionSpec::with_job_key`]):
+    /// the session warm-starts from the job's stored knowledge and harvests
+    /// back into it when the server has a knowledge store attached.
+    pub job_key: Option<String>,
 }
 
 impl SpecRequest {
@@ -738,6 +755,7 @@ impl SpecRequest {
             deadline: f64::INFINITY,
             retry: RetryPolicy::default(),
             step_limit: None,
+            job_key: None,
         }
     }
 }
@@ -909,6 +927,13 @@ pub fn encode_spec(spec: &SpecRequest) -> Value {
                 None => Value::Null,
             },
         ),
+        (
+            "job_key".to_owned(),
+            match &spec.job_key {
+                Some(key) => Value::Str(key.clone()),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 
@@ -931,6 +956,7 @@ pub fn decode_spec(value: &Value) -> Result<SpecRequest, WireError> {
             "deadline",
             "retry",
             "step_limit",
+            "job_key",
         ],
         "session spec",
     )?;
@@ -959,6 +985,12 @@ pub fn decode_spec(value: &Value) -> Result<SpecRequest, WireError> {
         spec.step_limit = match value {
             Value::Null => None,
             _ => Some(as_wire_u64(value, "step_limit")?),
+        };
+    }
+    if let Some(value) = get(fields, "job_key") {
+        spec.job_key = match value {
+            Value::Null => None,
+            _ => Some(as_wire_str(value, "job_key")?.to_owned()),
         };
     }
     Ok(spec)
@@ -1076,6 +1108,10 @@ mod tests {
                 partial: None,
             },
             SessionStatus::Failed {
+                error: SessionError::CorruptKnowledge("not a Lynceus knowledge record".to_owned()),
+                partial: None,
+            },
+            SessionStatus::Failed {
                 error: SessionError::Cancelled,
                 partial: Some(sample_report()),
             },
@@ -1133,10 +1169,12 @@ mod tests {
             retry_cost: 0.5,
         };
         spec.step_limit = Some(9);
+        spec.job_key = Some("nightly-etl".to_owned());
         let json = encode_spec(&spec).to_json();
         let decoded = decode_spec(&parse(&json).expect("valid JSON")).expect("valid wire");
         assert_eq!(decoded, spec);
         assert_eq!(decoded.seed, u64::MAX - 12);
+        assert_eq!(decoded.job_key.as_deref(), Some("nightly-etl"));
     }
 
     #[test]
@@ -1149,6 +1187,7 @@ mod tests {
         assert_eq!(spec.deadline, f64::INFINITY);
         assert_eq!(spec.retry, RetryPolicy::default());
         assert_eq!(spec.step_limit, None);
+        assert_eq!(spec.job_key, None);
         let defaults = OptimizerSettings::default();
         assert_eq!(spec.settings.lookahead, defaults.lookahead);
         assert_eq!(spec.settings.discount, defaults.discount);
@@ -1184,6 +1223,9 @@ mod tests {
             // Unknown engine.
             "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
              \"settings\":{\"budget\":1,\"tmax_seconds\":1},\"engine\":\"warp\"}",
+            // Mistyped job key.
+            "{\"v\":1,\"name\":\"j\",\"oracle\":\"o\",\"seed\":1,\
+             \"settings\":{\"budget\":1,\"tmax_seconds\":1},\"job_key\":7}",
         ];
         for doc in reject {
             let value = parse(doc).expect("valid JSON");

@@ -104,6 +104,49 @@
 //! `BENCH_service_http.json` (from the `service_http` load bench) records
 //! sessions/sec and p50/p99 report latency through the full wire path.
 //!
+//! # Recurring jobs
+//!
+//! The paper's premise is that data-analytic jobs *recur* — the cost of
+//! tuning is amortized across executions — yet a plain session starts
+//! every run cold: fresh LHS bootstrap, empty ensemble, a pruning guard
+//! that relearns feasibility from zero. The cross-run knowledge layer
+//! ([`core::transfer`]) closes that loop:
+//!
+//! * **Job knowledge** — a [`core::JobKnowledge`] record per job key:
+//!   every prior observation (config id, runtime, cost, secondary
+//!   metrics), the ensemble seed the chain fits under, the last run's
+//!   incumbent/tail-anchor `score_key`s and a run counter, serialized
+//!   through a versioned `KNOW` codec that rejects truncation and
+//!   non-finite payloads. Stores implement [`core::KnowledgeStore`]
+//!   (in-memory [`core::transfer::MemoryStore`], crash-safe
+//!   temp-file+atomic-rename [`core::transfer::DirStore`]).
+//! * **Warm starts, exactly** — a session whose [`core::SessionSpec`]
+//!   carries a `job_key` replays the prior observations into Σ without
+//!   oracle charges, shrinks (or skips) the LHS bootstrap by the replayed
+//!   count, and extends the prior run's fitted ensemble through the
+//!   Poisson-count `refit_with` machinery under the chain's pinned
+//!   ensemble seed — so the warm fit is bit-identical to fitting the
+//!   union from scratch, on every engine and thread count
+//!   (`tests/recurring.rs` pins K=3 chains across
+//!   `PathEngine::{BoundAndPrune, Batched, NaiveReference}`, store
+//!   backends, and mid-run kill/resume).
+//! * **Warm anchors** — the prior run's tail anchor and feasibility
+//!   evidence arm branch-and-bound pruning from the first decision
+//!   (anchors only ever shrink effort, never change decisions: stale
+//!   tails err high, and incumbents are *not* carried — a stale incumbent
+//!   could over-prune). The committed `BENCH_recurring.json`
+//!   (`fig_recurring` bench, gated by `bench_check::recurring_violations`)
+//!   measures a K=3 scout chain under a tight constraint: cost-to-target
+//!   3.36 → 0.00 dollars by run 2, and first-decision pruning 0% cold
+//!   (disarmed guard) → 14% warm.
+//! * **Service + wire integration** — [`core::TuningService`] attaches
+//!   knowledge at admit and harvests at every terminal outcome (never at
+//!   suspension; checkpoints carry the attached prior, so kill/resume
+//!   replays bit-identically). Over HTTP, a spec's `job_key` field rides
+//!   the versioned wire form, `GET /v1/jobs/{key}` reports knowledge
+//!   stats, and the wire chain harvests/reuses knowledge identically to
+//!   the embedded path (`tests/http_conformance.rs`, CI `recurring` job).
+//!
 //! # Fault model & durability
 //!
 //! Production profiling runs meet weather a lookup-table replay never
@@ -335,9 +378,10 @@ pub use lynceus_space as space;
 pub mod prelude {
     pub use crate::core::{
         BoOptimizer, CheckpointStore, CostOracle, DecisionReceipt, DirStore, FaultKind, FaultPlan,
-        FaultProfile, LynceusOptimizer, MemoryStore, Observation, OptimizationReport, Optimizer,
-        OptimizerSettings, OracleFault, RandomOptimizer, RetryPolicy, SchedulePolicy,
-        SecondaryConstraint, SessionSpec, SessionStatus, TableOracle, TuningService,
+        FaultProfile, JobKnowledge, KnowledgeStore, LynceusOptimizer, MemoryStore, Observation,
+        OptimizationReport, Optimizer, OptimizerSettings, OracleFault, PriorObservation,
+        RandomOptimizer, RetryPolicy, SchedulePolicy, SecondaryConstraint, SessionSpec,
+        SessionStatus, TableOracle, TuningService,
     };
     pub use crate::datasets::{catalog, LookupDataset};
     pub use crate::experiments::{ExperimentConfig, OptimizerKind};

@@ -556,6 +556,104 @@ fn flush_forwards_held_sessions_bit_identically() {
 }
 
 #[test]
+fn job_key_sessions_transfer_knowledge_identically_over_the_wire() {
+    use lynceus::core::transfer::MemoryStore;
+    use lynceus::core::KnowledgeStore;
+
+    // Embedded reference: a 2-run recurring chain through an in-process
+    // service with its own knowledge store.
+    let spec_for = |run: u64| {
+        SessionSpec::new(
+            format!("wire-recurring-{run}"),
+            settings(500.0, 1),
+            Box::new(valley_oracle(4.0)),
+            900 + run,
+        )
+        .with_job_key("nightly")
+    };
+    let store: Arc<dyn KnowledgeStore> = Arc::new(MemoryStore::new());
+    let mut embedded = Vec::new();
+    for run in 0..2u64 {
+        let service = TuningService::with_threads(1).with_knowledge_store(Arc::clone(&store));
+        service.submit(spec_for(run));
+        let mut outcomes = service.run_until_idle();
+        let outcome = outcomes.remove(0);
+        embedded.push((outcome.status, outcome.receipts));
+    }
+
+    // The same chain over HTTP, against a server-owned store: run 2 must
+    // warm-start from run 1's harvest exactly like the embedded path.
+    let server = Server::start(
+        ServerConfig {
+            knowledge: Some(Arc::new(MemoryStore::new())),
+            read_timeout_ms: 30_000,
+            ..ServerConfig::default()
+        },
+        factory(),
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    for run in 0..2u64 {
+        let mut spec = SpecRequest::new(
+            format!("wire-recurring-{run}"),
+            "valley-4",
+            settings(500.0, 1),
+            900 + run,
+        );
+        spec.job_key = Some("nightly".to_owned());
+        let accepted = client
+            .post("/v1/sessions", &wire::encode_spec(&spec).to_json())
+            .expect("submit succeeds");
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        // Run 2 may only be submitted after run 1 harvested, so wait for
+        // the terminal state before moving on.
+        let outcome = client
+            .get(&format!("/v1/sessions/{run}?wait=1"))
+            .and_then(|_| client.get(&format!("/v1/sessions/{run}/outcome")))
+            .expect("outcome fetch succeeds");
+        let outcome =
+            wire::decode_outcome(&outcome.json().expect("valid JSON")).expect("outcome decodes");
+        let reference = &embedded[run as usize];
+        assert_eq!(
+            outcome.status, reference.0,
+            "wire run {run} status diverged from the embedded chain"
+        );
+        assert_eq!(
+            outcome.receipts, reference.1,
+            "wire run {run} receipt trail diverged from the embedded chain"
+        );
+    }
+
+    // The knowledge-stats endpoint reflects the harvested record…
+    let stats = client.get("/v1/jobs/nightly").expect("job stats fetch");
+    assert_eq!(stats.status, 200);
+    let stats = stats.json().expect("valid JSON");
+    assert_eq!(stats.get("runs").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        stats.get("ensemble_seed").and_then(|v| v.as_u64()),
+        Some(900)
+    );
+    assert!(stats.get("observations").and_then(|v| v.as_u64()) > Some(0));
+    // …an unharvested key is a 404, and wrong methods are 405.
+    assert_eq!(client.get("/v1/jobs/stranger").expect("fetch").status, 404);
+    assert_eq!(
+        client.delete("/v1/jobs/nightly").expect("delete").status,
+        405
+    );
+
+    // Strictness is preserved around the new field: unknown fields still
+    // reject, and a mistyped job_key rejects.
+    for body in [
+        r#"{"v":1,"name":"x","oracle":"valley-4","seed":1,"settings":{},"job_key":"k","zzz":1}"#,
+        r#"{"v":1,"name":"x","oracle":"valley-4","seed":1,"settings":{},"job_key":7}"#,
+    ] {
+        let response = client.post("/v1/sessions", body).expect("post succeeds");
+        assert_eq!(response.status, 400, "{body} must be rejected");
+    }
+    server.shutdown();
+}
+
+#[test]
 fn cancellation_covers_every_session_state() {
     let server = Server::start(
         ServerConfig {
